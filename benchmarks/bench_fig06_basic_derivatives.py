@@ -1,0 +1,132 @@
+"""Fig. 6 — basic (no fusion/unroll) derivative kernel + speedups.
+
+Paper (same setup as Fig. 5):
+
+    dudt basic: 11.3 s   3,219,865,483 inst   1,695,229,754 cycles
+    dudr basic:  8.89 s  2,428,697,316 inst   1,394,120,803 cycles
+    duds basic:  "no noticeable improvement over the basic
+                  implementation"
+
+and Section V's headline: loop optimization makes dudt 2.31x and dudr
+1.03x faster, duds unchanged.
+
+Reproduction: modelled counters for the ``basic`` variant plus the
+fused/basic speedup table; wall timing of the real numpy ``basic``
+kernels (per-pencil loops) for pytest-benchmark.  Checked claims:
+counters within 2%, and the modelled speedups land on 2.31x / 1.03x /
+1.00x within tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import render_table
+from repro.kernels import derivative_matrix, kernel_cost, speedup
+from repro.kernels import derivatives as dk
+from repro.perfmodel import MachineModel
+
+PAPER_N, PAPER_NEL, PAPER_STEPS = 5, 1563, 1000
+PAPER_BASIC = {  # direction -> (runtime s, instructions, cycles)
+    "t": (11.3, 3_219_865_483, 1_695_229_754),
+    "r": (8.89, 2_428_697_316, 1_394_120_803),
+}
+PAPER_SPEEDUP = {"t": 2.31, "r": 1.03, "s": 1.00}
+BENCH_NEL = 64  # basic variant loops in Python: keep the batch modest
+
+
+@pytest.mark.parametrize("direction", ["t", "r", "s"])
+def test_fig06_basic_kernel_wall(benchmark, direction):
+    dmat = np.asarray(derivative_matrix(PAPER_N))
+    u = np.random.default_rng(2).standard_normal(
+        (BENCH_NEL, PAPER_N, PAPER_N, PAPER_N)
+    )
+    benchmark(dk.derivative, u, dmat, direction, "basic")
+
+
+def test_fig06_modelled_counters_and_speedup(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    machine = MachineModel.preset("opteron6378")
+
+    rows = []
+    for d in ("t", "r"):
+        c = kernel_cost(d, "basic", PAPER_N, PAPER_NEL,
+                        steps=PAPER_STEPS, machine=machine)
+        p_rt, p_inst, p_cyc = PAPER_BASIC[d]
+        rows.append((f"dud{d}", c.seconds, c.instructions, c.cycles,
+                     p_rt, p_inst, p_cyc))
+    report(
+        "Fig. 6 — basic derivative kernel "
+        f"(N={PAPER_N}, Nel={PAPER_NEL}, {PAPER_STEPS} steps)\n"
+        + render_table(
+            ["kernel", "model s", "model inst", "model cycles",
+             "paper s", "paper inst", "paper cycles"],
+            rows, floatfmt="{:.4g}",
+        )
+    )
+
+    srows = []
+    for d in ("t", "r", "s"):
+        s = speedup(d, PAPER_N, PAPER_NEL, machine=machine)
+        srows.append((f"dud{d}", s, PAPER_SPEEDUP[d]))
+    report(
+        "Section V speedups from loop fusion/unroll "
+        "(basic time / optimized time)\n"
+        + render_table(
+            ["kernel", "modelled speedup", "paper speedup"],
+            srows, floatfmt="{:.3g}",
+        )
+    )
+
+    # Claim 1: counters within 2% of the published PAPI numbers.
+    for d in ("t", "r"):
+        c = kernel_cost(d, "basic", PAPER_N, PAPER_NEL,
+                        steps=PAPER_STEPS, machine=machine)
+        _, p_inst, p_cyc = PAPER_BASIC[d]
+        assert c.instructions == pytest.approx(p_inst, rel=0.02)
+        assert c.cycles == pytest.approx(p_cyc, rel=0.02)
+
+    # Claim 2: speedups — dudt large, dudr marginal, duds none.
+    assert speedup("t", PAPER_N, PAPER_NEL) == pytest.approx(2.31, rel=0.08)
+    assert speedup("r", PAPER_N, PAPER_NEL) == pytest.approx(1.03, abs=0.05)
+    assert speedup("s", PAPER_N, PAPER_NEL) == pytest.approx(1.00, abs=0.02)
+
+
+def test_fig06_wall_speedup_direction(benchmark, report):
+    """The real numpy kernels show the same *direction* of the effect.
+
+    The mechanism differs (Python-loop overhead removal vs Fortran
+    vectorization) so magnitudes are larger, but fused must never lose
+    to basic, and duds must benefit least among fusable directions at
+    large N (its middle-index contraction stays a strided batch GEMM).
+    """
+    import time
+
+    n, nel = 16, 64
+    dmat = np.asarray(derivative_matrix(n))
+    u = np.random.default_rng(3).standard_normal((nel, n, n, n))
+
+    def best_of(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    walls = {}
+    for d in ("t", "r", "s"):
+        tb = best_of(lambda d=d: dk.derivative(u, dmat, d, "basic"))
+        tf = best_of(lambda d=d: dk.derivative(u, dmat, d, "fused"))
+        walls[d] = (tb, tf, tb / tf)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    report(
+        f"Measured numpy wall speedups (N={n}, Nel={nel}; mechanism "
+        "differs from Fortran, see module docstring)\n"
+        + render_table(
+            ["kernel", "basic s", "fused s", "speedup"],
+            [(f"dud{d}",) + walls[d] for d in ("t", "r", "s")],
+            floatfmt="{:.3g}",
+        )
+    )
+    for d in ("t", "r", "s"):
+        assert walls[d][2] > 1.0  # fused never loses

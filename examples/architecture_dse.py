@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Co-design example: architecture design-space exploration.
+
+"Mini-apps can also serve as a platform for fast algorithm design
+space exploration" — this example is the paper's raison d'être in
+action.  It sweeps a CMT-bone workload across (a) the named notional
+exascale candidates and (b) a factorial knob grid, prints a ranked
+speedup table, and computes the cost/performance Pareto front.
+
+Run:  python examples/architecture_dse.py
+"""
+
+from repro.analysis import render_table
+from repro.codesign import (
+    Candidate,
+    Explorer,
+    bottleneck,
+    candidate_grid,
+    notional_exascale_candidates,
+    pareto_front,
+    speedup_table,
+)
+from repro.core import CMTBoneConfig
+from repro.perfmodel import MachineModel
+
+WORKLOAD = CMTBoneConfig(
+    n=10,
+    local_shape=(2, 2, 2),
+    proc_shape=(2, 2, 2),
+    nsteps=4,
+    work_mode="proxy",
+    gs_method="pairwise",
+)
+NRANKS = 8
+
+
+def named_candidates_study(explorer):
+    print("=== notional exascale candidates (CMT-bone workload, "
+          f"{NRANKS} ranks, N={WORKLOAD.n}) ===")
+    base = Candidate("baseline", MachineModel.preset("compton"), cost=1.0)
+    cands = [base] + notional_exascale_candidates()
+    evals = explorer.sweep(cands)
+    rows = [
+        (name, t, s, f"{100 * frac:.1f}%",
+         bottleneck(next(e for e in evals if e.name == name)))
+        for name, t, s, frac in speedup_table(evals, "baseline")
+    ]
+    print(render_table(
+        ["candidate", "step time (s)", "speedup", "comm %", "bound by"],
+        rows, floatfmt="{:.4g}",
+    ))
+    print("\nCompute-side upgrades (faster cores, then memory bandwidth) "
+          "dominate, while an 8x fatter network\nlink barely moves this "
+          "workload — its face messages are small and infrequent.  This "
+          "is the kind of\ninsight the paper wants architects to pull "
+          "from the mini-app before silicon exists.\n")
+
+
+def grid_pareto_study(explorer):
+    print("=== factorial knob grid + cost/performance Pareto front ===")
+    grid = candidate_grid()
+    evals = explorer.sweep(grid)
+    front = pareto_front(evals)
+    rows = [
+        (e.name, e.cost, e.step_time, f"{100 * e.comm_fraction:.1f}%")
+        for e in front
+    ]
+    print(render_table(
+        ["Pareto candidate", "cost", "step time (s)", "comm %"],
+        rows, floatfmt="{:.4g}",
+    ))
+    dominated = len(evals) - len(front)
+    print(f"\n{len(evals)} candidates evaluated, {dominated} dominated, "
+          f"{len(front)} on the front.")
+
+
+if __name__ == "__main__":
+    explorer = Explorer(config=WORKLOAD, nranks=NRANKS)
+    named_candidates_study(explorer)
+    grid_pareto_study(explorer)

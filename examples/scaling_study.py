@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Co-design example: weak-scaling and network-sensitivity study.
+
+The paper positions CMT-bone as a tool for evaluating "notional future
+systems".  This example does exactly that with the machine models: it
+weak-scales the mini-app from 8 to 64 ranks (constant work per rank)
+and then re-runs the largest configuration on networks with different
+latency/bandwidth to show where the mini-app's communication pattern
+becomes the bottleneck.
+
+Run:  python examples/scaling_study.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis import render_table, summarize_fractions
+from repro.core import CMTBoneConfig, run_cmtbone
+from repro.mesh import factor3
+from repro.mpi import Runtime
+from repro.perfmodel import MachineModel
+
+
+def run_once(nranks: int, machine: MachineModel, nsteps: int = 4):
+    cfg = CMTBoneConfig(
+        n=8,
+        local_shape=(2, 2, 2),
+        proc_shape=factor3(nranks),
+        nsteps=nsteps,
+        work_mode="proxy",          # modelled compute: fast at any P
+        gs_method="pairwise",
+        compute_imbalance=0.05,
+    )
+    rt = Runtime(nranks=nranks, machine=machine)
+    results = rt.run(run_cmtbone, args=(cfg,))
+    prof = rt.job_profile()
+    max_t = max(r.vtime_total for r in results)
+    mean_mpi, _, max_mpi, imb = summarize_fractions(prof)
+    return max_t, mean_mpi, max_mpi, imb
+
+
+def weak_scaling():
+    print("=== weak scaling (constant 8 elements x N=8 per rank) ===")
+    machine = MachineModel.preset("compton")
+    rows = []
+    base = None
+    for p in (1, 8, 27, 64):
+        t, mpi_mean, mpi_max, imb = run_once(p, machine)
+        base = base or t
+        rows.append((p, t, base / t, mpi_mean, mpi_max))
+    print(render_table(
+        ["ranks", "step time (s)", "efficiency", "MPI % (mean)",
+         "MPI % (max)"],
+        [(p, t, e, m1, m2) for p, t, e, m1, m2 in rows],
+        floatfmt="{:.4g}",
+    ))
+    print("\nWeak-scaling efficiency stays near 1 because the "
+          "nearest-neighbour exchange is surface-local;\nthe slow "
+          "erosion comes from the allreduce monitor and setup "
+          "collectives growing with log P.\n")
+
+
+def network_sensitivity():
+    print("=== network sensitivity at 64 ranks ===")
+    base = MachineModel.preset("compton")
+    variants = {
+        "compton (QDR IB)": base,
+        "10x latency": base.with_network(
+            replace(base.network, latency=base.network.latency * 10)
+        ),
+        "10x less bandwidth": base.with_network(
+            replace(base.network, bandwidth=base.network.bandwidth / 10)
+        ),
+        "dream NIC (0.1x lat, 10x bw)": base.with_network(
+            replace(
+                base.network,
+                latency=base.network.latency / 10,
+                bandwidth=base.network.bandwidth * 10,
+            )
+        ),
+    }
+    rows = []
+    for name, machine in variants.items():
+        t, mpi_mean, mpi_max, _ = run_once(64, machine)
+        rows.append((name, t, mpi_mean, mpi_max))
+    print(render_table(
+        ["network", "step time (s)", "MPI % (mean)", "MPI % (max)"],
+        rows,
+        floatfmt="{:.4g}",
+    ))
+    print("\nAt this small per-rank size the ~2 KB face messages are "
+          "latency-dominated, so the 10x-latency\nnetwork hurts most; "
+          "grow N or the local element count and the balance tips "
+          "toward bandwidth.\nThis is exactly why the paper measures "
+          "message sizes (Fig. 10): the right network model\ndepends "
+          "on where the workload sits on that curve.")
+
+
+if __name__ == "__main__":
+    weak_scaling()
+    network_sensitivity()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Shock capturing: a steepening nonlinear wave with the modal filter.
+
+A finite-amplitude simple wave steepens until characteristics cross —
+without stabilization the spectral scheme rings itself into negative
+pressures.  The Persson–Peraire sensor spots the troubled elements and
+the exponential modal filter (conservative by construction) damps just
+enough of their top modes to keep the run alive, foreshadowing the
+shock-capturing item on the CMT-nek roadmap.
+
+Run:  python examples/shock_capturing.py
+"""
+
+import numpy as np
+
+from repro.mesh import BoxMesh, Partition
+from repro.mpi import MAX, Runtime
+from repro.solver import (
+    CMTSolver,
+    RHO,
+    ShockFilter,
+    SolverConfig,
+    from_primitives,
+    smoothness_sensor,
+)
+
+MESH = BoxMesh(shape=(8, 1, 1), n=8, lengths=(2.0, 1.0, 1.0))
+PART = Partition(MESH, proc_shape=(2, 1, 1))
+AMPLITUDE = 0.5
+STEPS = 900
+
+
+def initial_state(comm):
+    """Right-moving isentropic simple wave of finite amplitude."""
+    coords = np.stack(
+        [MESH.element_nodes(ec) for ec in PART.local_elements(comm.rank)],
+        axis=1,
+    )
+    x = coords[0]
+    bump = AMPLITUDE * np.sin(np.pi * x)
+    rho = 1.0 + bump
+    p = rho**1.4
+    vel = np.zeros((3,) + rho.shape)
+    # Simple-wave relation: u = 2/(gamma-1) (a - a0).
+    vel[0] = (2.0 / 0.4) * (np.sqrt(1.4 * p / rho) - np.sqrt(1.4))
+    return from_primitives(rho, vel, p)
+
+
+def main(comm):
+    filt = ShockFilter(n=MESH.n, threshold=-7.0, ramp=3.0)
+    solver = CMTSolver(
+        comm, PART,
+        config=SolverConfig(
+            gs_method="pairwise", cfl=0.25, shock_filter=filt
+        ),
+    )
+    state = initial_state(comm)
+    mass0 = solver.integrate(state.u[RHO])
+    dt = solver.stable_dt(state)
+
+    if comm.rank == 0:
+        print(f"steepening wave: amplitude={AMPLITUDE}, N={MESH.n}, "
+              f"{MESH.nelgt} elements, dt={dt:.2e}")
+        print(f"{'step':>5s} {'max sensor':>11s} {'troubled el':>12s} "
+              f"{'min p':>9s} {'mass drift':>11s}")
+
+    for step in range(1, STEPS + 1):
+        state = solver.step(state, dt)
+        if step % 100 == 0:
+            sensor = smoothness_sensor(state.u[RHO])
+            troubled = int(np.sum(filt.strength(sensor) > 0))
+            s_max = comm.allreduce(float(sensor.max()), op=MAX)
+            troubled = comm.allreduce(troubled)
+            p_min = -comm.allreduce(-float(state.pressure().min()), op=MAX)
+            mass = solver.integrate(state.u[RHO])
+            if comm.rank == 0:
+                print(f"{step:5d} {s_max:11.2f} {troubled:12d} "
+                      f"{p_min:9.4f} {abs(mass - mass0):11.2e}")
+            assert state.is_physical(), "filter failed to hold the line"
+
+    if comm.rank == 0:
+        print("\nThe wave steepened (sensor rose toward 0, elements "
+              "tripped the filter), pressure stayed\npositive, and mass "
+              "is conserved to roundoff — the filter damps modes, never "
+              "mass.")
+    return solver.stats.steps
+
+
+if __name__ == "__main__":
+    Runtime(nranks=PART.nranks).run(main)

@@ -1,0 +1,67 @@
+"""``repro.analysis`` — profiling reports (gprof- and mpiP-style).
+
+Turns the runtime's raw profiling data into the views the paper's
+evaluation plots: the Fig. 4 call-graph/flat profile and the Figs. 8-10
+MPI time/size breakdowns.
+"""
+
+from .callgraph import (
+    CallGraphProfiler,
+    RegionStats,
+    call_graph,
+    flat_profile,
+    merge_profiles,
+)
+from .mpip import (
+    aggregates_by_op,
+    full_report,
+    message_size_report,
+    mpi_fraction_report,
+    summarize_fractions,
+    top_calls_report,
+    wait_dominance,
+)
+from .tables import render_histogram, render_table
+from .timeline import (
+    Interval,
+    TimelineRecorder,
+    merge_timelines,
+    render_gantt,
+    utilization,
+)
+from .traffic import (
+    hop_weighted_bytes,
+    injection_timeline,
+    neighbor_degree,
+    size_histogram,
+    traffic_matrix,
+    traffic_report,
+)
+
+__all__ = [
+    "CallGraphProfiler",
+    "Interval",
+    "RegionStats",
+    "TimelineRecorder",
+    "aggregates_by_op",
+    "call_graph",
+    "flat_profile",
+    "full_report",
+    "hop_weighted_bytes",
+    "injection_timeline",
+    "merge_profiles",
+    "merge_timelines",
+    "message_size_report",
+    "mpi_fraction_report",
+    "neighbor_degree",
+    "render_gantt",
+    "render_histogram",
+    "render_table",
+    "size_histogram",
+    "summarize_fractions",
+    "top_calls_report",
+    "traffic_matrix",
+    "traffic_report",
+    "utilization",
+    "wait_dominance",
+]

@@ -1,0 +1,157 @@
+"""mpiP-style report rendering (Figs. 8, 9, 10 of the paper).
+
+The raw data comes from :class:`repro.mpi.profiler.JobProfile`; this
+module turns it into the three views the paper plots:
+
+* :func:`mpi_fraction_report` — "% time spent in MPI calls across all
+  MPI processes", one value per rank (Fig. 8);
+* :func:`top_calls_report` — "Time spent in the 20 most expensive MPI
+  calls" by (operation, call site) (Fig. 9);
+* :func:`message_size_report` — "Total and average size of messages
+  sent in the most frequently called MPI calls" (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..mpi.profiler import JobProfile, SiteAggregate
+from .tables import render_histogram, render_table
+
+
+def mpi_fraction_report(profile: JobProfile, bars: bool = True) -> str:
+    """Per-rank percentage of virtual time inside MPI (Fig. 8)."""
+    fractions = profile.mpi_fractions()
+    header = "% time spent in MPI calls across all MPI processes"
+    if bars:
+        labels = [f"rank {r:4d}" for r in range(len(fractions))]
+        body = render_histogram(
+            labels, [100.0 * f for f in fractions], unit="%"
+        )
+    else:
+        body = render_table(
+            ["rank", "MPI %"],
+            [(r, 100.0 * f) for r, f in enumerate(fractions)],
+        )
+    agg = summarize_fractions(profile)
+    tail = (
+        f"mean={agg[0]:.2f}%  min={agg[1]:.2f}%  max={agg[2]:.2f}%  "
+        f"(imbalance max/mean = {agg[3]:.2f})"
+    )
+    return f"{header}\n{body}\n{tail}"
+
+
+def summarize_fractions(
+    profile: JobProfile,
+) -> Tuple[float, float, float, float]:
+    """(mean %, min %, max %, max/mean imbalance) of per-rank MPI time."""
+    fr = [100.0 * f for f in profile.mpi_fractions()]
+    mean = sum(fr) / len(fr) if fr else 0.0
+    mx = max(fr, default=0.0)
+    mn = min(fr, default=0.0)
+    return mean, mn, mx, (mx / mean if mean else 0.0)
+
+
+def top_calls_report(profile: JobProfile, n: int = 20) -> str:
+    """The n most expensive (operation, site) pairs (Fig. 9)."""
+    rows = profile.top_sites(n)
+    table = render_table(
+        ["MPI call", "site", "count", "time (s)", "app %", "MPI %"],
+        [
+            (r.op, r.site, r.count, r.vtime, r.app_pct, r.mpi_pct)
+            for r in rows
+        ],
+    )
+    return f"Time spent in the {n} most expensive MPI calls\n{table}"
+
+
+def message_size_report(
+    profile: JobProfile, n: int = 20, ops: Optional[List[str]] = None
+) -> str:
+    """Total and average message sizes of frequent calls (Fig. 10)."""
+    rows = profile.message_size_rows(n, ops=ops)
+    table = render_table(
+        ["MPI call", "site", "count", "total bytes", "avg bytes"],
+        [
+            (r.op, r.site, r.count, r.bytes_total, round(r.bytes_avg, 1))
+            for r in rows
+        ],
+    )
+    return (
+        "Total and average size of messages sent in the most frequently "
+        f"called MPI calls\n{table}"
+    )
+
+
+def wait_dominance(profile: JobProfile) -> Tuple[str, float]:
+    """(dominant op name, its share of total MPI time).
+
+    The paper's Fig. 9 observation — "a large amount of time is spent
+    in MPI_Wait for synchronization" — is checked against this.
+    """
+    by_op = profile.by_op()
+    if not by_op:
+        return "", 0.0
+    total = sum(by_op.values()) or 1.0
+    op, t = max(by_op.items(), key=lambda kv: kv[1])
+    return op, t / total
+
+
+def full_report(profile: JobProfile, top_n: int = 20) -> str:
+    """All three mpiP-style sections in one string."""
+    return "\n\n".join(
+        [
+            mpi_fraction_report(profile),
+            top_calls_report(profile, top_n),
+            message_size_report(profile, top_n),
+        ]
+    )
+
+
+def aggregates_by_op(profile: JobProfile) -> List[SiteAggregate]:
+    """Site aggregates re-merged by op name only (coarse view)."""
+    merged = {}
+    for row in profile.aggregates():
+        cur = merged.get(row.op)
+        if cur is None:
+            merged[row.op] = SiteAggregate(
+                op=row.op,
+                site="*",
+                count=row.count,
+                vtime=row.vtime,
+                vtime_mean=0.0,
+                vtime_max=row.vtime_max,
+                bytes_total=row.bytes_total,
+                bytes_avg=0.0,
+                app_pct=row.app_pct,
+                mpi_pct=row.mpi_pct,
+            )
+        else:
+            merged[row.op] = SiteAggregate(
+                op=row.op,
+                site="*",
+                count=cur.count + row.count,
+                vtime=cur.vtime + row.vtime,
+                vtime_mean=0.0,
+                vtime_max=max(cur.vtime_max, row.vtime_max),
+                bytes_total=cur.bytes_total + row.bytes_total,
+                bytes_avg=0.0,
+                app_pct=cur.app_pct + row.app_pct,
+                mpi_pct=cur.mpi_pct + row.mpi_pct,
+            )
+    out = sorted(merged.values(), key=lambda r: r.vtime, reverse=True)
+    return [
+        SiteAggregate(
+            op=r.op,
+            site="*",
+            count=r.count,
+            vtime=r.vtime,
+            vtime_mean=r.vtime / r.count if r.count else 0.0,
+            vtime_max=r.vtime_max,
+            bytes_total=r.bytes_total,
+            bytes_avg=r.bytes_total / r.count if r.count else 0.0,
+            app_pct=r.app_pct,
+            mpi_pct=r.mpi_pct,
+        )
+        for r in out
+    ]

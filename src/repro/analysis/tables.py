@@ -1,0 +1,57 @@
+"""Fixed-width table rendering for paper-style reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    floatfmt: str = "{:.6g}",
+    min_width: int = 8,
+) -> str:
+    """Render rows as an aligned, pipe-free text table.
+
+    Floats go through ``floatfmt``; everything else through ``str``.
+    """
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    str_rows: List[List[str]] = [[fmt(v) for v in row] for row in rows]
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        out.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def render_histogram(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """ASCII bar chart (used for the Fig. 8-10 style plots in text)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    vmax = max(values) if values else 1.0
+    vmax = vmax or 1.0
+    lwidth = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, v in zip(labels, values):
+        bar = "#" * max(1 if v > 0 else 0, int(round(width * v / vmax)))
+        lines.append(f"{label.ljust(lwidth)} |{bar} {v:.6g}{unit}")
+    return "\n".join(lines)

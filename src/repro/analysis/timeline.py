@@ -1,0 +1,148 @@
+"""Per-rank execution timelines (text Gantt charts).
+
+Section VI argues that modelling MPI_Wait "is hard to do with
+analytical models and may require timing-based simulations".  The
+virtual-time runtime *is* such a simulation; this module makes its
+timing visible: a :class:`TimelineRecorder` collects (region, t0, t1)
+intervals per rank, and :func:`render_gantt` draws the classic
+trace-viewer picture in plain text — compute bars interleaved with
+communication gaps, rank by rank, so wait chains can be eyeballed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..mpi.clock import VirtualClock
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One recorded region occurrence on one rank."""
+
+    rank: int
+    name: str
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+class TimelineRecorder:
+    """Collects top-level region intervals against a virtual clock.
+
+    Only outermost regions are recorded (nested regions belong to the
+    call-graph profiler); the timeline answers "what was rank r doing
+    at time t", which wants one bar per instant.
+    """
+
+    def __init__(self, rank: int, clock: VirtualClock):
+        self.rank = rank
+        self._clock = clock
+        self.intervals: List[Interval] = []
+        self._depth = 0
+
+    @contextmanager
+    def region(self, name: str) -> Iterator[None]:
+        t0 = self._clock.now
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            if self._depth == 0:
+                t1 = self._clock.now
+                if t1 > t0:
+                    self.intervals.append(
+                        Interval(rank=self.rank, name=name, t0=t0, t1=t1)
+                    )
+
+
+def merge_timelines(
+    recorders: Sequence[TimelineRecorder],
+) -> List[Interval]:
+    """All intervals from all ranks, time-ordered."""
+    out = [iv for r in recorders for iv in r.intervals]
+    out.sort(key=lambda iv: (iv.t0, iv.rank))
+    return out
+
+
+def _symbol_map(intervals: Sequence[Interval]) -> Dict[str, str]:
+    """Stable one-character symbols per region name."""
+    symbols = "abcdefghijklmnopqrstuvwxyz"
+    names: List[str] = []
+    for iv in intervals:
+        if iv.name not in names:
+            names.append(iv.name)
+    return {
+        name: symbols[i % len(symbols)] for i, name in enumerate(names)
+    }
+
+
+def render_gantt(
+    intervals: Sequence[Interval],
+    width: int = 72,
+    t_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Text Gantt chart: one row per rank, one column per time bin.
+
+    Each cell shows the symbol of the region covering most of that
+    bin; ``.`` marks idle/untracked time (usually a blocked wait).
+    """
+    if not intervals:
+        return "(empty timeline)"
+    if t_range is None:
+        t_lo = min(iv.t0 for iv in intervals)
+        t_hi = max(iv.t1 for iv in intervals)
+    else:
+        t_lo, t_hi = t_range
+    span = max(t_hi - t_lo, 1e-30)
+    dt = span / width
+    ranks = sorted({iv.rank for iv in intervals})
+    sym = _symbol_map(intervals)
+
+    rows = []
+    for rank in ranks:
+        coverage = [("", 0.0)] * width  # (symbol, covered seconds)
+        cover: List[Dict[str, float]] = [dict() for _ in range(width)]
+        for iv in intervals:
+            if iv.rank != rank:
+                continue
+            b0 = max(int((iv.t0 - t_lo) / dt), 0)
+            b1 = min(int((iv.t1 - t_lo) / dt), width - 1)
+            for b in range(b0, b1 + 1):
+                bin_lo = t_lo + b * dt
+                bin_hi = bin_lo + dt
+                overlap = min(iv.t1, bin_hi) - max(iv.t0, bin_lo)
+                if overlap > 0:
+                    cover[b][iv.name] = cover[b].get(iv.name, 0.0) + overlap
+        cells = []
+        for b in range(width):
+            if not cover[b]:
+                cells.append(".")
+            else:
+                name = max(cover[b], key=cover[b].get)
+                cells.append(sym[name])
+        rows.append(f"rank {rank:4d} |{''.join(cells)}|")
+
+    legend = "  ".join(f"{s}={name}" for name, s in sym.items())
+    header = (
+        f"t = [{t_lo:.3e}, {t_hi:.3e}] s, {width} bins of {dt:.3e} s   "
+        "('.' = blocked/idle)"
+    )
+    return "\n".join([header] + rows + [legend])
+
+
+def utilization(
+    recorders: Sequence[TimelineRecorder], total_time: float
+) -> List[float]:
+    """Per-rank fraction of time covered by recorded regions."""
+    out = []
+    for r in sorted(recorders, key=lambda r: r.rank):
+        busy = sum(iv.duration for iv in r.intervals)
+        out.append(busy / total_time if total_time > 0 else 0.0)
+    return out

@@ -1,0 +1,316 @@
+"""Command-line mini-app runner: ``python -m repro.cli <command>``.
+
+Mirrors how the Fortran CMT-bone/Nekbone are driven (a parameter deck
+plus ``mpiexec -n P``): one process simulates all ranks.
+
+Commands
+--------
+``cmtbone``
+    Run the CMT-bone mini-app, print the gs auto-tune table, the
+    gprof-style compute profile, and the mpiP-style MPI report.
+``nekbone``
+    Run the Nekbone comparator (CG solve) and print its profile.
+``fig7``
+    Reproduce the paper's Fig. 7 exchange-method comparison.
+``machines``
+    List the available machine-model presets.
+
+Examples
+--------
+::
+
+    python -m repro.cli cmtbone --ranks 8 -N 10 --local 2,2,2 --steps 10
+    python -m repro.cli nekbone --ranks 8 --iterations 50
+    python -m repro.cli fig7 --ranks 64 --machine compton
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    full_report,
+    mpi_fraction_report,
+    top_calls_report,
+)
+from .core import (
+    CMTBoneConfig,
+    NekboneConfig,
+    cmtbone_profile_report,
+    fig7_table,
+    nekbone_profile_report,
+    run_cmtbone,
+    run_nekbone,
+)
+from .gs import timing_table
+from .mpi import Runtime
+from .perfmodel import MachineModel
+
+
+def _coord(text: str):
+    parts = [int(p) for p in text.split(",")]
+    if len(parts) == 1:
+        return parts[0]
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected N or X,Y,Z, got {text!r}"
+        )
+    return tuple(parts)
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--ranks", type=int, default=8,
+                   help="simulated MPI ranks (default 8)")
+    p.add_argument("-N", "--points", type=int, default=10,
+                   help="GLL points per direction (default 10)")
+    p.add_argument("--local", type=_coord, default=(2, 2, 2),
+                   help="elements per rank, X,Y,Z or total (default 2,2,2)")
+    p.add_argument("--proc", type=_coord, default=None,
+                   help="processor grid X,Y,Z (default: auto-factor)")
+    p.add_argument("--machine", default="compton",
+                   choices=MachineModel.available_presets(),
+                   help="machine-model preset (default compton)")
+    p.add_argument("--gs-method", default=None,
+                   choices=["pairwise", "crystal", "allreduce"],
+                   help="exchange method (default: auto-tune)")
+    p.add_argument("--proxy", action="store_true",
+                   help="skip real array math; model compute time only")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CMT-bone mini-app reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cmt = sub.add_parser("cmtbone", help="run the CMT-bone mini-app")
+    _add_common(p_cmt)
+    p_cmt.add_argument("--steps", type=int, default=10,
+                       help="timesteps (default 10)")
+    p_cmt.add_argument("--imbalance", type=float, default=0.0,
+                       help="compute-load jitter fraction (default 0)")
+    p_cmt.add_argument("--pack", action="store_true",
+                       help="use gs_op_many packed exchanges")
+    p_cmt.add_argument("--variant", default="fused",
+                       choices=["basic", "fused", "einsum"],
+                       help="derivative-kernel variant (default fused)")
+    p_cmt.add_argument("--gantt", action="store_true",
+                       help="render a per-rank execution timeline")
+
+    p_nek = sub.add_parser("nekbone", help="run the Nekbone comparator")
+    _add_common(p_nek)
+    p_nek.add_argument("--iterations", type=int, default=50,
+                       help="CG iteration budget (default 50)")
+
+    p_f7 = sub.add_parser("fig7", help="exchange-method comparison table")
+    _add_common(p_f7)
+
+    p_val = sub.add_parser(
+        "validate",
+        help="mini-app vs parent-application validation study",
+    )
+    _add_common(p_val)
+    p_val.add_argument("--steps", type=int, default=4,
+                       help="timesteps for both apps (default 4)")
+    p_val.add_argument("--calibrated", action="store_true",
+                       help="use the exchange_fields=11 calibration")
+
+    p_k = sub.add_parser(
+        "kernels", help="Fig. 5/6 derivative-kernel counter tables"
+    )
+    p_k.add_argument("-N", "--points", type=int, default=5,
+                     help="GLL points per direction (paper: 5)")
+    p_k.add_argument("--elements", type=int, default=1563,
+                     help="element count (paper: 1563)")
+    p_k.add_argument("--steps", type=int, default=1000,
+                     help="timesteps (paper: 1000)")
+
+    sub.add_parser("machines", help="list machine presets")
+    return parser
+
+
+def cmd_cmtbone(args) -> int:
+    config = CMTBoneConfig(
+        n=args.points,
+        local_shape=args.local,
+        proc_shape=args.proc,
+        nsteps=args.steps,
+        kernel_variant=args.variant,
+        gs_method=args.gs_method,
+        work_mode="proxy" if args.proxy else "real",
+        compute_imbalance=args.imbalance,
+        pack_fields=args.pack,
+    )
+    runtime = Runtime(
+        nranks=args.ranks, machine=MachineModel.preset(args.machine)
+    )
+
+    def app_main(comm):
+        from .core.cmtbone import CMTBone
+
+        app = CMTBone(comm, config)
+        return app.run(), app.timeline
+
+    pairs = runtime.run(app_main)
+    results = [r for r, _t in pairs]
+    timelines = [t for _r, t in pairs]
+    r0 = results[0]
+    print(config.build_partition(args.ranks).describe())
+    if r0.autotune:
+        print("\n" + timing_table(r0.autotune, "gs auto-tune:"))
+    print(f"\nchosen gs method: {r0.chosen_method}")
+    print("\n=== compute profile (merged over ranks) ===")
+    print(cmtbone_profile_report(results))
+    print("\n=== MPI profile ===")
+    print(full_report(runtime.job_profile(), top_n=12))
+    if args.gantt:
+        from .analysis import merge_timelines, render_gantt
+
+        print("\n=== execution timeline ===")
+        print(render_gantt(merge_timelines(timelines), width=68))
+    return 0
+
+
+def cmd_nekbone(args) -> int:
+    config = NekboneConfig(
+        n=args.points,
+        local_shape=args.local,
+        proc_shape=args.proc,
+        cg_iterations=args.iterations,
+        gs_method=args.gs_method,
+        work_mode="proxy" if args.proxy else "real",
+    )
+    runtime = Runtime(
+        nranks=args.ranks, machine=MachineModel.preset(args.machine)
+    )
+    results = runtime.run(run_nekbone, args=(config,))
+    r0 = results[0]
+    print(f"CG iterations: {r0.iterations}")
+    if r0.residual_history:
+        print(f"residual: {r0.residual_history[0]:.3e} -> "
+              f"{r0.residual_history[-1]:.3e}")
+    if r0.solution_error is not None:
+        print(f"solution max error: {r0.solution_error:.3e}")
+    if r0.autotune:
+        print("\n" + timing_table(r0.autotune, "gs auto-tune:"))
+    print(f"chosen gs method: {r0.chosen_method}")
+    print("\n=== compute profile (merged over ranks) ===")
+    print(nekbone_profile_report(results))
+    print("\n=== MPI time per rank ===")
+    print(mpi_fraction_report(runtime.job_profile()))
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    from .core.cmtbone import CMTBone
+    from .core.nekbone import Nekbone
+
+    cmt_cfg = CMTBoneConfig(
+        n=args.points, local_shape=args.local, proc_shape=args.proc,
+        work_mode="proxy", nsteps=0,
+    )
+    nek_cfg = NekboneConfig(
+        n=args.points, local_shape=args.local, proc_shape=args.proc,
+        work_mode="proxy", cg_iterations=0,
+    )
+
+    def main(comm):
+        cmt = CMTBone(comm, cmt_cfg)
+        nek = Nekbone(comm, nek_cfg)
+        return cmt.autotune, nek.autotune
+
+    runtime = Runtime(
+        nranks=args.ranks, machine=MachineModel.preset(args.machine)
+    )
+    cmt_t, nek_t = runtime.run(main)[0]
+    print(cmt_cfg.build_partition(args.ranks).describe())
+    print()
+    print(fig7_table(cmt_t, nek_t,
+                     methods=("pairwise", "crystal", "allreduce")))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .validation import (
+        cmtbone_signature,
+        score,
+        solver_signature,
+        validation_report,
+    )
+
+    config = CMTBoneConfig(
+        n=args.points,
+        local_shape=args.local,
+        proc_shape=args.proc,
+        nsteps=args.steps,
+        gs_method=args.gs_method or "pairwise",
+        work_mode="proxy" if args.proxy else "real",
+        monitor_every=1,
+        exchange_fields=11 if args.calibrated else None,
+    )
+    machine = MachineModel.preset(args.machine)
+    mini = cmtbone_signature(config, args.ranks, machine=machine)
+    parent = solver_signature(config, args.ranks, machine=machine)
+    s = score(mini, parent)
+    label = "calibrated" if args.calibrated else "uncalibrated"
+    print(f"=== mini-app validation ({label}, {args.ranks} ranks, "
+          f"N={args.points}) ===\n")
+    print(validation_report(mini, parent, s))
+    return 0
+
+
+def cmd_kernels(args) -> int:
+    from .analysis import render_table
+    from .kernels import kernel_cost, speedup
+
+    machine = MachineModel.preset("opteron6378")
+    rows = []
+    for variant in ("fused", "basic"):
+        for d in ("t", "r", "s"):
+            c = kernel_cost(d, variant, args.points, args.elements,
+                            steps=args.steps, machine=machine)
+            rows.append((f"dud{d}", variant, c.seconds,
+                         c.instructions, c.cycles))
+    print(f"Derivative-kernel counters (N={args.points}, "
+          f"Nel={args.elements}, {args.steps} steps, Opteron 6378 "
+          "model)\n")
+    print(render_table(
+        ["kernel", "variant", "model s", "instructions", "cycles"],
+        rows, floatfmt="{:.4g}",
+    ))
+    print("\nloop-fusion speedups (basic/fused):")
+    for d in ("t", "r", "s"):
+        print(f"  dud{d}: "
+              f"{speedup(d, args.points, args.elements, machine=machine):.2f}x")
+    print("paper (Figs. 5-6): dudt 2.31x, dudr 1.03x, duds ~1.0x")
+    return 0
+
+
+def cmd_machines(_args) -> int:
+    for name in MachineModel.available_presets():
+        m = MachineModel.preset(name)
+        print(f"{name:<14s} cpu={m.cpu.ghz / 1e9:.1f}GHz "
+              f"peak={m.cpu.peak_flops / 1e9:.0f}GF/s  "
+              f"net[{m.network.describe()}]")
+    return 0
+
+
+_COMMANDS = {
+    "cmtbone": cmd_cmtbone,
+    "nekbone": cmd_nekbone,
+    "fig7": cmd_fig7,
+    "validate": cmd_validate,
+    "kernels": cmd_kernels,
+    "machines": cmd_machines,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

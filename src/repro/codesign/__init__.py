@@ -1,0 +1,39 @@
+"""``repro.codesign`` — architecture design-space exploration.
+
+The reason mini-apps exist (paper abstract): "an investigation of
+mini-app behavior can provide system designers with insight into the
+impact of architectures ... on application performance".  This package
+sweeps CMT-bone across candidate machine models and ranks them:
+factorial knob grids, named notional-exascale candidates, speedup
+tables, and cost/performance Pareto fronts.
+"""
+
+from .candidates import (
+    Candidate,
+    candidate_grid,
+    default_cost,
+    notional_exascale_candidates,
+    scale_machine,
+)
+from .explorer import (
+    Evaluation,
+    Explorer,
+    bottleneck,
+    pareto_front,
+    rank_by_speed,
+    speedup_table,
+)
+
+__all__ = [
+    "Candidate",
+    "Evaluation",
+    "Explorer",
+    "bottleneck",
+    "candidate_grid",
+    "default_cost",
+    "notional_exascale_candidates",
+    "pareto_front",
+    "rank_by_speed",
+    "scale_machine",
+    "speedup_table",
+]

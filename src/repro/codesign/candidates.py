@@ -1,0 +1,173 @@
+"""Candidate-architecture definitions for design-space exploration.
+
+The paper's purpose for CMT-bone (Section III-C): "position ourselves
+to extract maximum performance on futuristic exascale architectures
+through a co-design effort ... to emulate and evaluate a series of
+candidate exascale architectures" (the CHREC Behavioral Emulation
+flow).  A candidate here is a named :class:`MachineModel` variation;
+:func:`candidate_grid` builds factorial sweeps over the knobs a system
+architect actually trades (core speed, memory bandwidth, NIC latency,
+link bandwidth, topology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..perfmodel.machine import CpuModel, MachineModel
+from ..perfmodel.network import NetworkModel
+from ..perfmodel.topology import FatTreeTopology, Topology, TorusTopology
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point in the architecture design space."""
+
+    name: str
+    machine: MachineModel
+    #: Relative cost of the system (arbitrary units) for Pareto studies;
+    #: defaults derive from the knob multipliers.
+    cost: float = 1.0
+    knobs: Dict[str, float] = field(default_factory=dict)
+
+
+def scale_machine(
+    base: MachineModel,
+    *,
+    cpu_speed: float = 1.0,
+    mem_bandwidth: float = 1.0,
+    net_latency: float = 1.0,
+    net_bandwidth: float = 1.0,
+    topology: Optional[Topology] = None,
+) -> MachineModel:
+    """Scale a base machine's knobs multiplicatively.
+
+    ``net_latency`` scales latency *and* per-message overheads (a
+    faster NIC improves both); ``cpu_speed`` scales the clock.
+    """
+    for name, v in (("cpu_speed", cpu_speed),
+                    ("mem_bandwidth", mem_bandwidth),
+                    ("net_latency", net_latency),
+                    ("net_bandwidth", net_bandwidth)):
+        if v <= 0:
+            raise ValueError(f"{name} multiplier must be positive, got {v}")
+    cpu = replace(
+        base.cpu,
+        ghz=base.cpu.ghz * cpu_speed,
+        mem_bandwidth=base.cpu.mem_bandwidth * mem_bandwidth,
+    )
+    net = replace(
+        base.network,
+        latency=base.network.latency * net_latency,
+        hop_latency=base.network.hop_latency * net_latency,
+        o_send=base.network.o_send * net_latency,
+        o_recv=base.network.o_recv * net_latency,
+        bandwidth=base.network.bandwidth * net_bandwidth,
+        shm_bandwidth=base.network.shm_bandwidth * mem_bandwidth,
+        topology=topology if topology is not None else base.network.topology,
+    )
+    return replace(base, cpu=cpu, network=net)
+
+
+def default_cost(
+    cpu_speed: float,
+    mem_bandwidth: float,
+    net_latency: float,
+    net_bandwidth: float,
+) -> float:
+    """A crude monotone cost model: faster parts cost more.
+
+    Latency improvements (multiplier < 1) are priced like bandwidth
+    increases; the exact shape only matters for Pareto ordering, and
+    tests assert monotonicity, not values.
+    """
+    return (
+        cpu_speed**1.5
+        + 0.5 * mem_bandwidth**1.2
+        + 0.5 * net_bandwidth
+        + 0.5 / net_latency
+    )
+
+
+def candidate_grid(
+    base: Optional[MachineModel] = None,
+    cpu_speeds: Sequence[float] = (1.0, 2.0),
+    mem_bandwidths: Sequence[float] = (1.0, 2.0),
+    net_latencies: Sequence[float] = (1.0, 0.5),
+    net_bandwidths: Sequence[float] = (1.0, 4.0),
+) -> List[Candidate]:
+    """Factorial sweep over the four headline knobs."""
+    base = base or MachineModel.preset("compton")
+    out = []
+    for cs, mb, nl, nb in product(
+        cpu_speeds, mem_bandwidths, net_latencies, net_bandwidths
+    ):
+        name = f"cpu{cs:g}x_mem{mb:g}x_lat{nl:g}x_bw{nb:g}x"
+        out.append(
+            Candidate(
+                name=name,
+                machine=scale_machine(
+                    base,
+                    cpu_speed=cs,
+                    mem_bandwidth=mb,
+                    net_latency=nl,
+                    net_bandwidth=nb,
+                ),
+                cost=default_cost(cs, mb, nl, nb),
+                knobs={
+                    "cpu_speed": cs,
+                    "mem_bandwidth": mb,
+                    "net_latency": nl,
+                    "net_bandwidth": nb,
+                },
+            )
+        )
+    return out
+
+
+def notional_exascale_candidates(
+    base: Optional[MachineModel] = None,
+) -> List[Candidate]:
+    """A handful of named 'notional future systems' (Section I/III-C).
+
+    Caricatures of real design directions circa the paper: a fat-core
+    machine, a bandwidth machine, a low-latency-fabric machine, and a
+    torus machine.
+    """
+    base = base or MachineModel.preset("compton")
+    return [
+        Candidate(
+            "fat-cores",
+            scale_machine(base, cpu_speed=4.0),
+            cost=default_cost(4, 1, 1, 1),
+            knobs={"cpu_speed": 4.0},
+        ),
+        Candidate(
+            "hbm-memory",
+            scale_machine(base, mem_bandwidth=6.0),
+            cost=default_cost(1, 6, 1, 1),
+            knobs={"mem_bandwidth": 6.0},
+        ),
+        Candidate(
+            "low-latency-fabric",
+            scale_machine(base, net_latency=0.1),
+            cost=default_cost(1, 1, 0.1, 1),
+            knobs={"net_latency": 0.1},
+        ),
+        Candidate(
+            "fat-links",
+            scale_machine(base, net_bandwidth=8.0),
+            cost=default_cost(1, 1, 1, 8),
+            knobs={"net_bandwidth": 8.0},
+        ),
+        Candidate(
+            "torus-fabric",
+            scale_machine(
+                base, topology=TorusTopology(shape=(8, 8, 4))
+            ),
+            cost=default_cost(1, 1, 1, 1),
+            knobs={},
+        ),
+    ]

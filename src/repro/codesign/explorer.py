@@ -1,0 +1,121 @@
+"""Design-space exploration driver: run the mini-app on candidates.
+
+"Mini-apps can also serve as a platform for fast algorithm design
+space exploration" (abstract) and for "performance analysis on
+notional future systems" (Section I).  :class:`Explorer` runs a fixed
+CMT-bone workload against each candidate architecture, collects
+virtual-time metrics, and ranks the candidates — the mini-app doing
+exactly the co-design job it was built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.mpip import summarize_fractions
+from ..core.cmtbone import run_cmtbone
+from ..core.config import CMTBoneConfig
+from ..mpi.runtime import Runtime
+from .candidates import Candidate
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Metrics from running the workload on one candidate."""
+
+    candidate: Candidate
+    step_time: float           # virtual seconds per timestep (max rank)
+    compute_time: float        # per-step compute portion
+    comm_time: float           # per-step communication portion
+    mpi_pct_mean: float
+    chosen_gs_method: str
+
+    @property
+    def name(self) -> str:
+        return self.candidate.name
+
+    @property
+    def cost(self) -> float:
+        return self.candidate.cost
+
+    @property
+    def comm_fraction(self) -> float:
+        total = self.compute_time + self.comm_time
+        return self.comm_time / total if total else 0.0
+
+
+@dataclass
+class Explorer:
+    """Evaluate a CMT-bone workload across candidate architectures."""
+
+    config: CMTBoneConfig
+    nranks: int
+
+    def evaluate(self, candidate: Candidate) -> Evaluation:
+        """Run the workload on one candidate (fresh simulated job)."""
+        runtime = Runtime(nranks=self.nranks, machine=candidate.machine)
+        results = runtime.run(run_cmtbone, args=(self.config,))
+        nsteps = max(self.config.nsteps, 1)
+        worst = max(results, key=lambda r: r.vtime_total)
+        profile = runtime.job_profile()
+        mean_pct, _, _, _ = summarize_fractions(profile)
+        return Evaluation(
+            candidate=candidate,
+            step_time=worst.vtime_total / nsteps,
+            compute_time=worst.vtime_compute / nsteps,
+            comm_time=worst.vtime_comm / nsteps,
+            mpi_pct_mean=mean_pct,
+            chosen_gs_method=worst.chosen_method,
+        )
+
+    def sweep(self, candidates: Sequence[Candidate]) -> List[Evaluation]:
+        """Evaluate every candidate; order follows the input."""
+        return [self.evaluate(c) for c in candidates]
+
+
+def rank_by_speed(evals: Sequence[Evaluation]) -> List[Evaluation]:
+    """Fastest first."""
+    return sorted(evals, key=lambda e: e.step_time)
+
+
+def speedup_table(
+    evals: Sequence[Evaluation], baseline_name: str
+) -> List[tuple]:
+    """(name, step time, speedup vs baseline, comm fraction) rows."""
+    by_name = {e.name: e for e in evals}
+    if baseline_name not in by_name:
+        raise KeyError(
+            f"baseline {baseline_name!r} not among "
+            f"{sorted(by_name)}"
+        )
+    base = by_name[baseline_name].step_time
+    return [
+        (e.name, e.step_time, base / e.step_time, e.comm_fraction)
+        for e in rank_by_speed(evals)
+    ]
+
+
+def pareto_front(evals: Sequence[Evaluation]) -> List[Evaluation]:
+    """Non-dominated candidates in (cost, step_time) space.
+
+    A candidate is on the front if no other candidate is both cheaper
+    and faster.  Returned sorted by cost.
+    """
+    out = []
+    for e in evals:
+        dominated = any(
+            (o.cost < e.cost and o.step_time <= e.step_time)
+            or (o.cost <= e.cost and o.step_time < e.step_time)
+            for o in evals
+        )
+        if not dominated:
+            out.append(e)
+    return sorted(out, key=lambda e: e.cost)
+
+
+def bottleneck(evaluation: Evaluation) -> str:
+    """Coarse diagnosis: is this candidate compute- or comm-bound?"""
+    return (
+        "communication" if evaluation.comm_fraction > 0.5 else "compute"
+    )

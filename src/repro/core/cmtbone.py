@@ -1,0 +1,240 @@
+"""CMT-bone — the mini-app itself.
+
+"The current version of CMT-bone abstracts CMT-nek behavior as
+matrix-multiplication and nearest neighbor surface data exchanges to
+represent the flux divergence term and the numerical flux term
+respectively" (Section IV).  Accordingly a CMT-bone timestep is *not*
+the physics solver (that lives in :mod:`repro.solver`): per RK stage it
+
+1. runs the derivative kernel over all ``neq`` synthetic fields
+   (``ax_`` in Fig. 4's call graph),
+2. extracts surface data (``full2face_cmt``),
+3. exchanges it with nearest neighbours through the gather-scatter
+   library (``gs_op_``), and
+4. applies a pointwise axpy update (``add2s2``),
+
+with periodic vector reductions (``MPI_Allreduce``) as the monitor.
+Setup performs ``gs_setup`` discovery and the three-way exchange-method
+auto-tune exactly as the paper describes.
+
+Every phase is bracketed by the gprof-style region profiler (Fig. 4)
+and all communication flows through the mpiP-style profiler
+(Figs. 8-10).  Compute is charged to the virtual clock via the
+machine-model roofline; in ``work_mode="real"`` the numpy kernels also
+actually execute on the synthetic fields so the data dependencies are
+genuine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.callgraph import CallGraphProfiler
+from ..analysis.timeline import TimelineRecorder
+from ..gs import MethodTiming, choose_method, gs_op, gs_setup
+from ..kernels import counters, derivative_matrix
+from ..kernels import derivatives as dkernels
+from ..mesh import Partition, dg_face_numbering
+from ..mpi import MAX, SUM, Comm
+from ..solver.surface import full2face, full2face_flops
+from .config import CMTBoneConfig
+
+#: Region names mirror the Fortran routine names in Fig. 4.
+R_SETUP = "gs_setup"
+R_STEP = "cmt_timestep"
+R_AX = "ax_"                 # derivative computation (flux divergence)
+R_FULL2FACE = "full2face_cmt"
+R_GSOP = "gs_op_"
+R_UPDATE = "add2s2"          # nek's axpy
+R_MONITOR = "monitor"
+
+
+@dataclass
+class CMTBoneResult:
+    """Everything a CMT-bone run reports back."""
+
+    rank: int
+    config: CMTBoneConfig
+    autotune: Optional[Dict[str, MethodTiming]]
+    chosen_method: str
+    profiler: CallGraphProfiler
+    setup_stats: dict
+    vtime_total: float
+    vtime_comm: float
+    monitor_values: List[float] = field(default_factory=list)
+
+    @property
+    def vtime_compute(self) -> float:
+        return self.vtime_total - self.vtime_comm
+
+
+class CMTBone:
+    """One rank's CMT-bone instance (construct inside the SPMD main)."""
+
+    def __init__(self, comm: Comm, config: Optional[CMTBoneConfig] = None):
+        self.comm = comm
+        self.config = config or CMTBoneConfig()
+        self.partition: Partition = self.config.build_partition(comm.size)
+        self.n = self.config.n
+        self.nel = self.partition.nel_local
+        self.neq = self.config.neq
+        self.dmat = np.asarray(derivative_matrix(self.n))
+        self.profiler = CallGraphProfiler(comm.clock)
+        #: Per-phase interval recording for Gantt rendering
+        #: (:func:`repro.analysis.render_gantt`).
+        self.timeline = TimelineRecorder(comm.rank, comm.clock)
+        self.autotune: Optional[Dict[str, MethodTiming]] = None
+        self.monitor_values: List[float] = []
+
+        with self.profiler.region(R_SETUP):
+            gids = dg_face_numbering(self.partition, comm.rank)
+            self.handle = gs_setup(gids, comm, site=R_SETUP)
+            if self.config.gs_method is not None:
+                self.handle.method = self.config.gs_method
+            elif comm.size > 1:
+                self.autotune = choose_method(
+                    self.handle, trials=self.config.autotune_trials
+                )
+            else:
+                self.handle.method = "pairwise"
+
+        rng = np.random.default_rng(self.config.seed + comm.rank)
+        #: Synthetic conserved fields: (neq, nel, N, N, N).
+        self.u = rng.standard_normal(
+            (self.neq, self.nel, self.n, self.n, self.n)
+        )
+        self._faces = np.zeros(
+            (self.neq, self.nel, 6, self.n, self.n)
+        )
+        self._machine = comm.machine
+        # Deterministic per-rank load factor: a hash of the rank mapped
+        # to [0, 1) scales compute charges by 1 + imbalance * h(rank).
+        h = (comm.rank * 2654435761) % (2**32) / 2**32
+        self._load_factor = 1.0 + self.config.compute_imbalance * h
+
+    # -- phases -------------------------------------------------------------
+
+    def _charge(self, seconds: float) -> None:
+        self.comm.compute(seconds=seconds * self._load_factor)
+
+    def _derivative_phase(self) -> None:
+        """The ``ax_`` hot spot: grad of every field via the kernel."""
+        cfg = self.config
+        with self.timeline.region(R_AX), \
+                self.profiler.region(R_AX):
+            if cfg.work_mode == "real":
+                for c in range(self.neq):
+                    dkernels.grad(
+                        self.u[c], self.dmat, variant=cfg.kernel_variant
+                    )
+            self._charge(
+                self.neq
+                * counters.roofline_seconds(
+                    self.n, self.nel, self._machine, variant=cfg.kernel_variant
+                )
+            )
+
+    def _surface_phase(self) -> None:
+        """``full2face_cmt``: build the surface arrays."""
+        with self.timeline.region(R_FULL2FACE), \
+                self.profiler.region(R_FULL2FACE):
+            if self.config.work_mode == "real":
+                for c in range(self.neq):
+                    self._faces[c] = full2face(self.u[c])
+            # In proxy mode the face buffers keep their previous (live)
+            # contents; the exchange still moves real arrays.
+            self._charge(
+                self._machine.compute_seconds(
+                    flops=full2face_flops(self.n, self.nel, self.neq),
+                    mem_bytes=16.0 * self.neq * self.nel * 6 * self.n**2,
+                )
+            )
+
+    def _exchange_phase(self) -> None:
+        """``gs_op_``: nearest-neighbour exchange of the face traces."""
+        nfields = self.config.exchange_fields or self.neq
+        with self.timeline.region(R_GSOP), \
+                self.profiler.region(R_GSOP):
+            if self.config.pack_fields:
+                from ..gs import gs_op_many
+
+                fields = [
+                    self._faces[c % self.neq] for c in range(nfields)
+                ]
+                out = gs_op_many(self.handle, fields, op=SUM, site=R_GSOP)
+                for c in range(self.neq):
+                    self._faces[c] = out[c]
+            else:
+                for c in range(nfields):
+                    result = gs_op(
+                        self.handle, self._faces[c % self.neq], op=SUM,
+                        site=R_GSOP,
+                    )
+                    if c < self.neq:
+                        self._faces[c] = result
+
+    def _update_phase(self) -> None:
+        """``add2s2``-style pointwise RK update."""
+        with self.timeline.region(R_UPDATE), \
+                self.profiler.region(R_UPDATE):
+            if self.config.work_mode == "real":
+                self.u *= 0.75
+                self.u += 0.25 * self.u
+            npts = self.neq * self.nel * self.n**3
+            self._charge(
+                self._machine.compute_seconds(
+                    flops=2.0 * npts, mem_bytes=24.0 * npts
+                )
+            )
+
+    def _monitor_phase(self) -> None:
+        """Vector reduction: the residual/CFL allreduce."""
+        with self.timeline.region(R_MONITOR), \
+                self.profiler.region(R_MONITOR):
+            local = float(np.max(np.abs(self._faces))) if (
+                self.config.work_mode == "real"
+            ) else float(self.comm.rank)
+            self.monitor_values.append(
+                self.comm.allreduce(local, op=MAX, site=R_MONITOR)
+            )
+
+    # -- driver ---------------------------------------------------------------
+
+    def timestep(self) -> None:
+        """One explicit step: ``rk_stages`` x (ax, full2face, gs, update)."""
+        with self.profiler.region(R_STEP):
+            for _stage in range(self.config.rk_stages):
+                self._derivative_phase()
+                self._surface_phase()
+                self._exchange_phase()
+                self._update_phase()
+
+    def run(self, nsteps: Optional[int] = None) -> CMTBoneResult:
+        """Run the configured number of steps and collect results."""
+        nsteps = self.config.nsteps if nsteps is None else nsteps
+        for istep in range(nsteps):
+            self.timestep()
+            me = self.config.monitor_every
+            if me and (istep + 1) % me == 0:
+                self._monitor_phase()
+        clock = self.comm.clock
+        return CMTBoneResult(
+            rank=self.comm.rank,
+            config=self.config,
+            autotune=self.autotune,
+            chosen_method=self.handle.method or "pairwise",
+            profiler=self.profiler,
+            setup_stats=dict(self.handle.setup_stats),
+            vtime_total=clock.now,
+            vtime_comm=clock.comm_time,
+            monitor_values=list(self.monitor_values),
+        )
+
+
+def run_cmtbone(comm: Comm, config: Optional[CMTBoneConfig] = None
+                ) -> CMTBoneResult:
+    """SPMD entry point: ``Runtime(nranks=P).run(run_cmtbone, args=(cfg,))``."""
+    return CMTBone(comm, config).run()

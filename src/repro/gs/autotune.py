@@ -1,0 +1,118 @@
+"""Setup-time auto-tuning of the gather-scatter exchange method.
+
+Paper, Section VI: "At the beginning of each CMT-nek and CMT-bone
+simulation, three gather-scatter methods are evaluated to determine
+which one performs the best for the given problem setup and machine."
+
+:func:`choose_method` replays that procedure: time each candidate over
+a few trial ``gs_op`` rounds (barrier-separated so the measurements are
+clean), reduce per-rank averages/minima/maxima across the job, and
+stamp the winner into the handle.  The per-method statistics are kept
+— they are exactly the rows of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..mpi.datatypes import MAX, MIN, SUM
+from .handle import GSHandle
+from .ops import METHOD_LABELS, METHODS, gs_op
+
+
+@dataclass(frozen=True)
+class MethodTiming:
+    """Cross-rank timing statistics for one exchange method.
+
+    ``avg``/``mn``/``mx`` are seconds per ``gs_op`` invocation: the
+    per-rank mean over trials, averaged / min'd / max'd across ranks —
+    the same three columns Fig. 7 reports.
+    """
+
+    method: str
+    avg: float
+    mn: float
+    mx: float
+
+    @property
+    def label(self) -> str:
+        return METHOD_LABELS[self.method]
+
+    def row(self) -> str:
+        return (
+            f"{self.label:<18s} {self.avg:14.9f} {self.mn:14.9f} "
+            f"{self.mx:14.9f}"
+        )
+
+
+def time_method(
+    handle: GSHandle,
+    method: str,
+    trials: int = 3,
+    warmup: int = 1,
+    seed: int = 1234,
+) -> MethodTiming:
+    """Time one exchange method over ``trials`` gs_op rounds.
+
+    Collective.  Virtual time is deterministic, so no repetitions are
+    needed for noise — ``trials`` exists to mirror the real procedure
+    and to amortize any first-call setup inside a method.
+    """
+    comm = handle.comm
+    rng = np.random.default_rng(seed + comm.rank)
+    u = rng.standard_normal(handle.shape)
+    for _ in range(warmup):
+        gs_op(handle, u, op=SUM, method=method, site=f"gs_autotune:{method}")
+    comm.barrier(site="gs_autotune")
+    t0 = comm.time()
+    for _ in range(trials):
+        gs_op(handle, u, op=SUM, method=method, site=f"gs_autotune:{method}")
+    dt = (comm.time() - t0) / trials
+    avg = comm.allreduce(dt, op=SUM, site="gs_autotune") / comm.size
+    mn = comm.allreduce(dt, op=MIN, site="gs_autotune")
+    mx = comm.allreduce(dt, op=MAX, site="gs_autotune")
+    return MethodTiming(method=method, avg=avg, mn=mn, mx=mx)
+
+
+def choose_method(
+    handle: GSHandle,
+    methods: Optional[Sequence[str]] = None,
+    trials: int = 3,
+    set_on_handle: bool = True,
+) -> Dict[str, MethodTiming]:
+    """Evaluate candidate methods and select the fastest (by avg).
+
+    Returns the full timing table (Fig. 7's data); the winner's name is
+    written to ``handle.method`` so subsequent ``gs_op`` calls use it.
+    """
+    methods = list(methods) if methods is not None else sorted(METHODS)
+    timings: Dict[str, MethodTiming] = {}
+    for m in methods:
+        if m not in METHODS:
+            raise ValueError(f"unknown gs method {m!r}")
+        timings[m] = time_method(handle, m, trials=trials)
+    winner = min(timings.values(), key=lambda t: t.avg).method
+    if set_on_handle:
+        handle.method = winner
+        handle.setup_stats["autotune"] = {
+            m: (t.avg, t.mn, t.mx) for m, t in timings.items()
+        }
+        handle.setup_stats["chosen_method"] = winner
+    return timings
+
+
+def timing_table(timings: Dict[str, MethodTiming], title: str = "") -> str:
+    """Render a Fig. 7-style table."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'All-to-all method':<18s} {'Time (avg) s':>14s} "
+        f"{'Time (min) s':>14s} {'Time (max) s':>14s}"
+    )
+    for m in sorted(timings):
+        lines.append(timings[m].row())
+    return "\n".join(lines)

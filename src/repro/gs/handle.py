@@ -1,0 +1,272 @@
+"""``gs_setup`` — building a gather-scatter handle by global discovery.
+
+The paper, Section VI: "each processor is given index sets containing
+the global ids of the elements using ``gs_setup``.  This requires a
+discovery phase using all-to-all communication to identify for every
+global index *i* on process *p*, all the processes *q* that also have
+*i*."
+
+:func:`gs_setup` performs exactly that discovery over the simulated
+MPI, producing a :class:`GSHandle` that the three exchange algorithms
+(:mod:`~repro.gs.pairwise`, :mod:`~repro.gs.crystal`,
+:mod:`~repro.gs.allreduce_method`) and :func:`~repro.gs.ops.gs_op`
+operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..mpi.communicator import Comm
+from ..mpi.datatypes import MAX, ReduceOp
+
+
+@dataclass
+class GSHandle:
+    """Index sets and exchange plans for one global numbering.
+
+    Attributes
+    ----------
+    comm:
+        The communicator the handle was set up on.
+    shape:
+        Shape of the data arrays ``gs_op`` will accept.
+    uids:
+        Sorted unique global ids present on this rank.
+    local_order / segment_starts:
+        Permutation and segment boundaries so that
+        ``x.ravel()[local_order]`` groups equal-gid entries contiguously
+        (the *local condense* plan).
+    inverse:
+        Flat-index -> uid-index map (the *scatter back* plan).
+    shared_index:
+        uid-indices of ids shared with at least one other rank.
+    neighbor_send_index:
+        For each neighbour rank, the uid-indices (sorted by gid, hence
+        identically ordered on both sides) of ids shared with it.
+    owners:
+        For each shared uid (parallel to ``shared_index``), the sorted
+        list of *other* ranks holding it.
+    max_gid:
+        Global maximum id (sizes the allreduce method's big vector).
+    """
+
+    comm: Comm
+    shape: tuple
+    uids: np.ndarray
+    local_order: np.ndarray
+    segment_starts: np.ndarray
+    inverse: np.ndarray
+    shared_index: np.ndarray
+    neighbor_send_index: Dict[int, np.ndarray]
+    owners: List[List[int]]
+    max_gid: int
+    #: Total shared-id instances across the whole job (allreduce'd at
+    #: setup); drives the allreduce method's memory-vs-model switch.
+    global_shared: int = 0
+    method: Optional[str] = None
+    setup_stats: dict = field(default_factory=dict)
+
+    # -- local plans -------------------------------------------------------
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.uids)
+
+    @property
+    def neighbors(self) -> List[int]:
+        """Ranks this rank shares at least one id with (sorted)."""
+        return sorted(self.neighbor_send_index)
+
+    def condense(self, x: np.ndarray, op: ReduceOp) -> np.ndarray:
+        """Combine local duplicates: data array -> per-uid values."""
+        if x.shape != self.shape:
+            raise ValueError(
+                f"gs data shape {x.shape} != handle shape {self.shape}"
+            )
+        if op.ufunc is None:
+            raise ValueError(f"{op.name} has no ufunc; cannot gs over it")
+        flat = x.reshape(-1)[self.local_order]
+        return op.ufunc.reduceat(flat, self.segment_starts)
+
+    def scatter(self, condensed: np.ndarray) -> np.ndarray:
+        """Per-uid values -> data array (duplicates replicated)."""
+        return condensed[self.inverse].reshape(self.shape)
+
+    def shared_gids_with(self, q: int) -> np.ndarray:
+        """Global ids shared with neighbour ``q`` (sorted)."""
+        return self.uids[self.neighbor_send_index[q]]
+
+    def wire_bytes_pairwise(self, itemsize: int = 8) -> int:
+        """Bytes this rank sends per pairwise exchange of one field."""
+        return sum(
+            len(ix) * itemsize for ix in self.neighbor_send_index.values()
+        )
+
+
+def gs_setup(gids: np.ndarray, comm: Comm, site: str = "gs_setup") -> GSHandle:
+    """Discover sharing and build a :class:`GSHandle`.
+
+    ``gids`` is an integer array of any shape: one global id per data
+    entry (the numbering schemes in :mod:`repro.mesh.numbering` produce
+    them).  Collective over ``comm``.
+    """
+    gids = np.asarray(gids)
+    if not np.issubdtype(gids.dtype, np.integer):
+        raise TypeError(f"global ids must be integers, got {gids.dtype}")
+    if gids.size and int(gids.min()) < 0:
+        raise ValueError("global ids must be non-negative")
+    flat = gids.reshape(-1).astype(np.int64)
+
+    # Local condense plan.
+    uids, inverse = np.unique(flat, return_inverse=True)
+    local_order = np.argsort(flat, kind="stable")
+    sorted_vals = flat[local_order]
+    is_start = np.empty(len(sorted_vals), dtype=bool)
+    if len(sorted_vals):
+        is_start[0] = True
+        is_start[1:] = sorted_vals[1:] != sorted_vals[:-1]
+    segment_starts = np.nonzero(is_start)[0]
+
+    # --- discovery phase (all-to-all), as in the paper -----------------
+    size = comm.size
+    # 1. Route each unique id to its "home" rank by cheap hashing.
+    home = (uids % size).astype(np.int64)
+    send_lists = [uids[home == h] for h in range(size)]
+    got = comm.alltoall(send_lists, site=site)
+
+    # 2. Homes invert: id -> ranks that reported it; keep shared only.
+    # Vectorized grouping: sort (gid, src) pairs by gid, find group
+    # boundaries, and keep groups reported by more than one rank.
+    got_arrays = [np.asarray(g, dtype=np.int64).reshape(-1) for g in got]
+    all_ids = (
+        np.concatenate(got_arrays)
+        if got_arrays
+        else np.empty(0, dtype=np.int64)
+    )
+    all_src = np.repeat(
+        np.arange(size, dtype=np.int64),
+        [len(a) for a in got_arrays],
+    )
+    order = np.argsort(all_ids, kind="stable")
+    s_ids, s_src = all_ids[order], all_src[order]
+    if len(s_ids):
+        is_start = np.concatenate(([True], s_ids[1:] != s_ids[:-1]))
+        starts = np.nonzero(is_start)[0]
+        ends = np.concatenate((starts[1:], [len(s_ids)]))
+    else:
+        starts = ends = np.empty(0, dtype=np.int64)
+
+    # Member-level view of shared groups (group size >= 2), fully
+    # vectorized: one "member" per (gid, reporting rank) pair.
+    gsizes = ends - starts
+    shared_groups = gsizes >= 2
+    m_gsize = np.repeat(gsizes[shared_groups], gsizes[shared_groups])
+    m_gstart = np.repeat(starts[shared_groups], gsizes[shared_groups])
+    members = np.nonzero(
+        np.repeat(shared_groups, gsizes)
+    )[0]
+    m_gid = s_ids[members]
+    m_src = s_src[members]
+
+    # Sort members by destination rank; each destination's reply is
+    # (gids, group sizes, concatenated owner lists) — ragged arrays
+    # instead of per-id Python tuples.
+    dorder = np.argsort(m_src, kind="stable")
+    d_src = m_src[dorder]
+    d_gid = m_gid[dorder]
+    d_gsize = m_gsize[dorder]
+    d_gstart = m_gstart[dorder]
+    total_owned = int(d_gsize.sum())
+    if total_owned:
+        ofs = np.cumsum(d_gsize) - d_gsize
+        idx = (
+            np.arange(total_owned)
+            - np.repeat(ofs, d_gsize)
+            + np.repeat(d_gstart, d_gsize)
+        )
+        d_owners = s_src[idx]
+    else:
+        d_owners = np.empty(0, dtype=np.int64)
+    dest_cuts = np.searchsorted(d_src, np.arange(size + 1))
+    owner_cuts = np.concatenate(
+        ([0], np.cumsum(d_gsize))
+    ).astype(np.int64)
+    replies = []
+    for r in range(size):
+        a, b = dest_cuts[r], dest_cuts[r + 1]
+        replies.append(
+            (d_gid[a:b], d_gsize[a:b], d_owners[owner_cuts[a]:owner_cuts[b]])
+        )
+    answers = comm.alltoall(replies, site=site)
+
+    # 3. Assemble per-neighbour index sets (sorted by gid on both sides).
+    me = comm.rank
+    r_gid = np.concatenate([np.asarray(a[0]) for a in answers])
+    r_cnt = np.concatenate([np.asarray(a[1]) for a in answers])
+    r_own = np.concatenate([np.asarray(a[2]) for a in answers])
+    # Expand to (gid, owner) pairs and drop self.
+    pair_gid = np.repeat(r_gid, r_cnt)
+    keep = r_own != me
+    pair_gid = pair_gid[keep]
+    pair_own = r_own[keep]
+    shared_sorted = np.unique(r_gid)
+    shared_index = np.searchsorted(uids, shared_sorted)
+    # Group pairs by owner for the per-neighbour send lists.
+    powner_order = np.argsort(pair_own, kind="stable")
+    po = pair_own[powner_order]
+    pg = pair_gid[powner_order]
+    neighbor_send_index: Dict[int, np.ndarray] = {}
+    if len(po):
+        q_starts = np.nonzero(
+            np.concatenate(([True], po[1:] != po[:-1]))
+        )[0]
+        q_ends = np.concatenate((q_starts[1:], [len(po)]))
+        for a, b in zip(q_starts, q_ends):
+            q = int(po[a])
+            neighbor_send_index[q] = np.searchsorted(uids, np.sort(pg[a:b]))
+    # Owner lists per shared gid (ascending gid), for introspection.
+    gorder = np.argsort(pair_gid, kind="stable")
+    gg = pair_gid[gorder]
+    go = pair_own[gorder]
+    owners: List[List[int]] = []
+    if len(gg):
+        g_starts = np.nonzero(
+            np.concatenate(([True], gg[1:] != gg[:-1]))
+        )[0]
+        g_ends = np.concatenate((g_starts[1:], [len(gg)]))
+        for a, b in zip(g_starts, g_ends):
+            owners.append(sorted(go[a:b].tolist()))
+
+    local_max = int(uids[-1]) if len(uids) else -1
+    max_gid = int(comm.allreduce(local_max, op=MAX, site=site))
+    from ..mpi.datatypes import SUM as _SUM
+
+    global_shared = int(
+        comm.allreduce(len(shared_sorted), op=_SUM, site=site)
+    )
+
+    handle = GSHandle(
+        comm=comm,
+        shape=gids.shape,
+        uids=uids,
+        local_order=local_order,
+        segment_starts=segment_starts,
+        inverse=inverse,
+        shared_index=shared_index,
+        neighbor_send_index=neighbor_send_index,
+        owners=owners,
+        max_gid=max_gid,
+        global_shared=global_shared,
+    )
+    handle.setup_stats = {
+        "n_unique": handle.n_unique,
+        "n_shared": int(len(shared_sorted)),
+        "n_neighbors": len(neighbor_send_index),
+        "max_gid": max_gid,
+        "global_shared": global_shared,
+    }
+    return handle

@@ -1,0 +1,86 @@
+"""``gs_op`` — the user-facing gather-scatter operation.
+
+Mirrors gslib's ``gs_op_(u, op, handle)``: combine every entry of ``u``
+that shares a global id — across local duplicates *and* across ranks —
+with an associative operation, and write the combined value back into
+every copy.  The cross-rank exchange runs through whichever of the
+three algorithms the handle's auto-tuner selected (or an explicit
+``method=`` override).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..mpi.datatypes import ReduceOp, SUM
+from .allreduce_method import exchange_allreduce
+from .crystal import exchange_crystal
+from .handle import GSHandle
+from .pairwise import exchange_pairwise
+
+#: The three exchange strategies evaluated at setup (paper, Section VI).
+METHODS: Dict[str, Callable] = {
+    "pairwise": exchange_pairwise,
+    "crystal": exchange_crystal,
+    "allreduce": exchange_allreduce,
+}
+
+#: Paper-style display names (Fig. 7 rows).
+METHOD_LABELS = {
+    "pairwise": "pairwise exchange",
+    "crystal": "crystal router",
+    "allreduce": "allreduce",
+}
+
+
+def gs_op(
+    handle: GSHandle,
+    u: np.ndarray,
+    op: ReduceOp = SUM,
+    method: Optional[str] = None,
+    site: Optional[str] = None,
+) -> np.ndarray:
+    """Gather-scatter ``u`` in place of gslib's ``gs_op_``.
+
+    Returns a new array of the same shape where every set of entries
+    sharing a global id holds their ``op``-combination.  Collective:
+    every rank in the handle's communicator must call with the same
+    ``op`` and ``method``.
+    """
+    method = method or handle.method or "pairwise"
+    try:
+        exchange = METHODS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown gs method {method!r}; choose from {sorted(METHODS)}"
+        ) from None
+    u = np.asarray(u)
+    condensed = handle.condense(u, op)
+    if handle.comm.size > 1:
+        if site is None:
+            condensed = exchange(handle, condensed, op)
+        else:
+            condensed = exchange(handle, condensed, op, site=site)
+    out = handle.scatter(condensed)
+    # Local gather/scatter is a memory-bound indirected pass over the
+    # data (read u + write condensed, read condensed + write out).
+    # gslib pays it on every gs_op, and the paper's Fig. 7 timings
+    # include it, so the virtual clock must too.
+    itemsize = u.dtype.itemsize
+    handle.comm.compute(
+        flops=float(u.size),
+        mem_bytes=2.0 * itemsize * (u.size + handle.n_unique),
+    )
+    return out
+
+
+def gs_multiplicity(handle: GSHandle) -> np.ndarray:
+    """Global multiplicity of every data entry (gs-add of ones).
+
+    Nekbone uses the reciprocal as the assembly weight that makes
+    repeated ``gs_op(add)`` idempotent on already-continuous data.
+    """
+    ones = np.ones(handle.shape, dtype=np.float64)
+    return gs_op(handle, ones, op=SUM)

@@ -1,0 +1,55 @@
+"""Pairwise-exchange gather-scatter: direct neighbour messages.
+
+The simplest of the three gslib strategies and — per Fig. 7 — the one
+CMT-bone's auto-tuner selects on the paper's 256-rank workload: every
+rank posts a nonblocking receive from each sharing neighbour, sends its
+own condensed boundary values, and folds what arrives.  Message count
+equals the number of sharing neighbours (6 face neighbours for the DG
+numbering; up to 26 for the C0 numbering, many of them tiny edge and
+corner messages).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.datatypes import ReduceOp
+from ..mpi.request import waitall
+from .handle import GSHandle
+
+#: Tag used by pairwise exchanges (user tag space).
+TAG_PAIRWISE = 7001
+
+#: Call-site label recorded in the mpiP-style profile.
+SITE = "gs_op:pairwise"
+
+
+def exchange_pairwise(
+    handle: GSHandle, condensed: np.ndarray, op: ReduceOp, site: str = SITE
+) -> np.ndarray:
+    """Combine shared entries of ``condensed`` across sharing ranks.
+
+    Each neighbour receives this rank's *original* condensed values, so
+    ids shared by more than two ranks (edges/corners in the continuous
+    numbering) still fold every contribution exactly once.
+    """
+    comm = handle.comm
+    neighbors = handle.neighbors
+    if not neighbors:
+        return condensed
+    recv_reqs = [
+        comm.irecv(source=q, tag=TAG_PAIRWISE, site=site) for q in neighbors
+    ]
+    for q in neighbors:
+        comm.isend(
+            condensed[handle.neighbor_send_index[q]],
+            dest=q,
+            tag=TAG_PAIRWISE,
+            site=site,
+        )
+    payloads = waitall(recv_reqs, site=site)
+    out = condensed.copy()
+    for q, vals in zip(neighbors, payloads):
+        ix = handle.neighbor_send_index[q]
+        out[ix] = op.ufunc(out[ix], np.asarray(vals))
+    return out

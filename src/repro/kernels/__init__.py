@@ -1,0 +1,77 @@
+"""``repro.kernels`` — spectral-element compute kernels.
+
+The computational heart of CMT-bone: GLL quadrature machinery, the
+reference-element derivative/interpolation operators, the ``O(N^4)``
+derivative kernel in its ``basic``/``fused``/``einsum`` variants, the
+dealiasing transfer pair, and the PAPI-style analytic cost counters
+behind the Figs. 5-6 reproduction.
+"""
+
+from .counters import (
+    CYCLES_PER_INST,
+    INST_PER_FLOP,
+    KernelCost,
+    kernel_cost,
+    roofline_seconds,
+    speedup,
+    working_set_bytes,
+)
+from .dealias import dealias_flops, roundtrip, to_coarse, to_fine
+from .derivatives import (
+    DIRECTIONS,
+    VARIANTS,
+    derivative,
+    dudr,
+    duds,
+    dudt,
+    flops,
+    grad,
+    mem_bytes,
+)
+from .gll import (
+    barycentric_weights,
+    gll_points,
+    gll_weights,
+    lagrange_basis_at,
+    legendre_and_derivative,
+)
+from .operators import (
+    dealias_order,
+    derivative_matrix,
+    interpolation_matrix,
+    mass_matrix_diagonal,
+    stiffness_1d,
+)
+
+__all__ = [
+    "CYCLES_PER_INST",
+    "DIRECTIONS",
+    "INST_PER_FLOP",
+    "KernelCost",
+    "VARIANTS",
+    "barycentric_weights",
+    "dealias_flops",
+    "dealias_order",
+    "derivative",
+    "derivative_matrix",
+    "dudr",
+    "duds",
+    "dudt",
+    "flops",
+    "gll_points",
+    "gll_weights",
+    "grad",
+    "interpolation_matrix",
+    "kernel_cost",
+    "lagrange_basis_at",
+    "legendre_and_derivative",
+    "mass_matrix_diagonal",
+    "mem_bytes",
+    "roofline_seconds",
+    "roundtrip",
+    "speedup",
+    "stiffness_1d",
+    "to_coarse",
+    "to_fine",
+    "working_set_bytes",
+]

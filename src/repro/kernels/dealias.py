@@ -1,0 +1,82 @@
+"""Over-integration (dealiasing) transfer between coarse and fine grids.
+
+Section V of the paper notes the small-matrix multiplies are used "for
+computing partial derivatives in the spectral element solver and for
+dealiasing reference elements, where an element is first mapped to a
+finer mesh and later mapped back to the regular mesh".  This module
+implements that map/map-back pair as tensor-product applications of the
+1-D interpolation matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .operators import dealias_order, interpolation_matrix
+
+
+def _apply_tensor(op: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Apply a 1-D operator along all three axes of (nel, N, N, N) data.
+
+    ``op`` has shape ``(M, N)``; the result has shape ``(nel, M, M, M)``.
+    Implemented as three batched GEMMs (the same fused structure as the
+    derivative kernel).
+    """
+    nel = u.shape[0]
+    n = u.shape[1]
+    m = op.shape[0]
+    if op.shape[1] != n or u.shape[1:] != (n, n, n):
+        raise ValueError(
+            f"operator {op.shape} incompatible with field {u.shape}"
+        )
+    # axis 1 (r): (M,N) @ (nel, N, N*N)
+    v = np.matmul(op, u.reshape(nel, n, n * n)).reshape(nel, m, n, n)
+    # axis 2 (s): batch over (nel, M)
+    v = np.matmul(op, v.reshape(nel * m, n, n)).reshape(nel, m, m, n)
+    # axis 3 (t): (..., N) @ (N, M)
+    v = np.matmul(v.reshape(nel, m * m, n), op.T).reshape(nel, m, m, m)
+    return v
+
+
+def to_fine(u: np.ndarray, n: int, m: int | None = None) -> np.ndarray:
+    """Interpolate (nel, N, N, N) fields to the (nel, M, M, M) fine grid.
+
+    ``M`` defaults to the 3/2-rule :func:`~repro.kernels.operators.dealias_order`.
+    """
+    m = dealias_order(n) if m is None else m
+    return _apply_tensor(np.asarray(interpolation_matrix(n, m)), u)
+
+
+def to_coarse(v: np.ndarray, n: int, m: int | None = None) -> np.ndarray:
+    """Map fine-grid fields back to the N-point grid (L2-style restriction).
+
+    Uses the transpose-free interpolation back onto the coarse nodes
+    (collocation restriction), which is the identity on polynomials of
+    degree <= min(N, M) - 1; :func:`roundtrip` composes both directions.
+    """
+    m = dealias_order(n) if m is None else m
+    return _apply_tensor(np.asarray(interpolation_matrix(m, n)), v)
+
+
+def roundtrip(u: np.ndarray, n: int, m: int | None = None) -> np.ndarray:
+    """Map to the fine grid and back (the paper's dealias pattern).
+
+    Exact (to roundoff) for polynomial data of degree <= N-1 when
+    ``M >= N``.
+    """
+    return to_coarse(to_fine(u, n, m), n, m)
+
+
+def dealias_flops(n: int, m: int | None = None, nel: int = 1) -> float:
+    """Flop count for one map-to-fine + map-back pair."""
+    m = dealias_order(n) if m is None else m
+    # to_fine: 2*M*N^3 + 2*M^2*N^2 + 2*M^3*N per element; back is mirror.
+    fwd = 2.0 * (m * n**3 + m**2 * n**2 + m**3 * n)
+    return 2.0 * fwd * nel
+
+
+def shapes(n: int, m: int | None = None) -> Tuple[int, int]:
+    """(coarse, fine) grid sizes used by the dealiasing pair."""
+    return n, (dealias_order(n) if m is None else m)

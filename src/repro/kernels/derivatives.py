@@ -1,0 +1,209 @@
+"""The spectral-element derivative kernel — CMT-bone's hot spot.
+
+Per element, a field ``u`` lives on an ``N x N x N`` GLL grid indexed
+``(r, s, t)``; batches are stored ``(nel, N, N, N)`` in C order (``t``
+fastest).  The partial derivative along each reference direction is a
+small dense matrix product with the ``(N, N)`` derivative matrix ``D``:
+
+* ``dudr[e,i,j,k] = sum_m D[i,m] u[e,m,j,k]``  (first index),
+* ``duds[e,i,j,k] = sum_m D[j,m] u[e,i,m,k]``  (middle index),
+* ``dudt[e,i,j,k] = sum_m D[k,m] u[e,i,j,m]``  (last index),
+
+an ``O(N^4)`` operation per element (Section V of the paper).
+
+Two implementation strategies mirror the paper's loop study:
+
+``basic``
+    The untransformed triple loop: one small 2-D product per pencil
+    plane per element.  This is the Python analogue of the paper's
+    "basic implementation" without loop fusion or unrolling.
+``fused``
+    Loop fusion: the element and pencil loops collapse into a single
+    batched GEMM.  ``dudr`` and ``dudt`` fuse perfectly into one
+    ``(N, N) x (N, N^2)``-per-element product; ``duds`` contracts the
+    *middle* index, so fusion is only partial (a strided batched
+    matmul) — exactly the access-pattern obstruction the paper reports
+    for ``duds``.
+``einsum``
+    numpy's contraction engine with path optimization; used as an
+    independent cross-check in tests.
+
+All variants return newly allocated ``(nel, N, N, N)`` arrays and are
+bit-for-bit interchangeable (same contraction order up to float
+associativity; tests enforce agreement to tight tolerance).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+#: Variant names accepted by the public entry points.
+VARIANTS = ("basic", "fused", "einsum")
+#: Reference-direction names in CMT-nek order.
+DIRECTIONS = ("r", "s", "t")
+
+
+def _check(u: np.ndarray, dmat: np.ndarray) -> Tuple[int, int]:
+    if u.ndim != 4 or u.shape[1] != u.shape[2] or u.shape[2] != u.shape[3]:
+        raise ValueError(
+            f"expected field of shape (nel, N, N, N), got {u.shape}"
+        )
+    n = u.shape[1]
+    if dmat.shape != (n, n):
+        raise ValueError(
+            f"derivative matrix shape {dmat.shape} does not match N={n}"
+        )
+    return u.shape[0], n
+
+
+# ----------------------------------------------------------------------
+# basic: per-element, per-pencil-plane loops (no fusion, no unroll)
+# ----------------------------------------------------------------------
+
+def dudr_basic(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+    """d/dr, one (N,N)x(N,N) product per (element, t-plane)."""
+    nel, n = _check(u, dmat)
+    out = np.empty_like(u)
+    for e in range(nel):
+        for k in range(n):
+            out[e, :, :, k] = dmat @ u[e, :, :, k]
+    return out
+
+
+def duds_basic(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+    """d/ds, one (N,N)x(N,N) product per (element, r-plane)."""
+    nel, n = _check(u, dmat)
+    out = np.empty_like(u)
+    for e in range(nel):
+        for i in range(n):
+            out[e, i] = dmat @ u[e, i]
+    return out
+
+
+def dudt_basic(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+    """d/dt, one (N,N)x(N,N) product per (element, r-plane)."""
+    nel, n = _check(u, dmat)
+    out = np.empty_like(u)
+    dt = dmat.T
+    for e in range(nel):
+        for i in range(n):
+            out[e, i] = u[e, i] @ dt
+    return out
+
+
+# ----------------------------------------------------------------------
+# fused: element/pencil loops collapsed into batched GEMMs
+# ----------------------------------------------------------------------
+
+def dudr_fused(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+    """d/dr as one (N, N) x (N, N^2) GEMM per element (fully fused)."""
+    nel, n = _check(u, dmat)
+    return np.matmul(dmat, u.reshape(nel, n, n * n)).reshape(u.shape)
+
+
+def duds_fused(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+    """d/ds as a batched (N, N) x (N, N) matmul over (element, r).
+
+    The middle-index contraction cannot collapse into a single GEMM
+    without transposing the data — the fusion obstruction the paper
+    reports.  numpy broadcasts ``D`` over the ``nel*N`` batch instead.
+    """
+    nel, n = _check(u, dmat)
+    return np.matmul(dmat, u.reshape(nel * n, n, n)).reshape(u.shape)
+
+
+def dudt_fused(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+    """d/dt as one (N^2, N) x (N, N) GEMM per element (fully fused)."""
+    nel, n = _check(u, dmat)
+    return np.matmul(u.reshape(nel, n * n, n), dmat.T).reshape(u.shape)
+
+
+# ----------------------------------------------------------------------
+# einsum: independent contraction path (cross-check variant)
+# ----------------------------------------------------------------------
+
+def dudr_einsum(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+    _check(u, dmat)
+    return np.einsum("im,emjk->eijk", dmat, u, optimize=True)
+
+
+def duds_einsum(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+    _check(u, dmat)
+    return np.einsum("jm,eimk->eijk", dmat, u, optimize=True)
+
+
+def dudt_einsum(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+    _check(u, dmat)
+    return np.einsum("km,eijm->eijk", dmat, u, optimize=True)
+
+
+_IMPLS: Dict[Tuple[str, str], Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    ("r", "basic"): dudr_basic,
+    ("s", "basic"): duds_basic,
+    ("t", "basic"): dudt_basic,
+    ("r", "fused"): dudr_fused,
+    ("s", "fused"): duds_fused,
+    ("t", "fused"): dudt_fused,
+    ("r", "einsum"): dudr_einsum,
+    ("s", "einsum"): duds_einsum,
+    ("t", "einsum"): dudt_einsum,
+}
+
+
+def derivative(
+    u: np.ndarray,
+    dmat: np.ndarray,
+    direction: str,
+    variant: str = "fused",
+) -> np.ndarray:
+    """Dispatch ``d u / d{direction}`` to the requested variant."""
+    try:
+        impl = _IMPLS[(direction, variant)]
+    except KeyError:
+        raise ValueError(
+            f"unknown derivative ({direction!r}, {variant!r}); "
+            f"directions: {DIRECTIONS}, variants: {VARIANTS}"
+        ) from None
+    return impl(u, dmat)
+
+
+def dudr(u: np.ndarray, dmat: np.ndarray, variant: str = "fused") -> np.ndarray:
+    """d/dr of a batch of element fields."""
+    return derivative(u, dmat, "r", variant)
+
+
+def duds(u: np.ndarray, dmat: np.ndarray, variant: str = "fused") -> np.ndarray:
+    """d/ds of a batch of element fields."""
+    return derivative(u, dmat, "s", variant)
+
+
+def dudt(u: np.ndarray, dmat: np.ndarray, variant: str = "fused") -> np.ndarray:
+    """d/dt of a batch of element fields."""
+    return derivative(u, dmat, "t", variant)
+
+
+def grad(
+    u: np.ndarray, dmat: np.ndarray, variant: str = "fused"
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All three reference-space partial derivatives of ``u``."""
+    return (
+        derivative(u, dmat, "r", variant),
+        derivative(u, dmat, "s", variant),
+        derivative(u, dmat, "t", variant),
+    )
+
+
+def flops(n: int, nel: int, ndirections: int = 1) -> float:
+    """Floating-point operations for the derivative kernel.
+
+    Each output point needs ``N`` multiply-adds, so one direction over
+    ``nel`` elements costs ``2 N^4 nel`` flops.
+    """
+    return 2.0 * float(n) ** 4 * nel * ndirections
+
+
+def mem_bytes(n: int, nel: int, ndirections: int = 1) -> float:
+    """Minimum memory traffic (read field + write result), float64."""
+    return 16.0 * float(n) ** 3 * nel * ndirections

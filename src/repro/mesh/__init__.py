@@ -1,0 +1,43 @@
+"""``repro.mesh`` — box meshes, domain decomposition, and numberings.
+
+Implements the partitioned hexahedral-element domain of Fig. 3: the
+global element box, its decomposition onto a 3-D processor grid, the
+face topology between elements/ranks, and the two global GLL-point
+numbering schemes (C0 continuous for Nekbone, DG face-pair for
+CMT-bone) that drive ``gs_setup``.
+"""
+
+from .box import BoxMesh
+from .numbering import (
+    continuous_numbering,
+    dg_face_numbering,
+    face_counts,
+    multiplicity,
+    total_faces,
+)
+from .partition import Partition, factor3
+from .topology import (
+    FACE_AXIS_SIDE,
+    NFACES,
+    OPPOSITE_FACE,
+    FaceLink,
+    RankTopology,
+    neighbor_coords,
+)
+
+__all__ = [
+    "BoxMesh",
+    "FACE_AXIS_SIDE",
+    "FaceLink",
+    "NFACES",
+    "OPPOSITE_FACE",
+    "Partition",
+    "RankTopology",
+    "continuous_numbering",
+    "dg_face_numbering",
+    "face_counts",
+    "factor3",
+    "multiplicity",
+    "neighbor_coords",
+    "total_faces",
+]

@@ -1,0 +1,156 @@
+"""Domain decomposition: a 3-D processor grid over the element box.
+
+Fig. 7 of the paper specifies its workload exactly in these terms::
+
+    Number of processors: 256        Processor Distribution = 8, 8, 4
+    Total elements = 25600           Element Distribution   = 40, 40, 16
+    Elements per process = 100       Local Element Distrib. = 5, 5, 4
+
+:class:`Partition` reproduces that decomposition: the global element
+box is cut into equal bricks of ``lx x ly x lz`` local elements, one
+brick per rank, ranks laid out lexicographically (x fastest) so that
+rank order matches torus coordinates in
+:class:`repro.perfmodel.topology.TorusTopology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .box import BoxMesh, Coord
+
+
+def factor3(p: int) -> Coord:
+    """Factor ``p`` into a near-cubic (px, py, pz) with px >= py >= pz.
+
+    Greedy: repeatedly peel the largest prime factor onto the currently
+    smallest dimension.  Good enough for the balanced processor grids
+    mini-app studies use.
+    """
+    if p < 1:
+        raise ValueError(f"process count must be >= 1, got {p}")
+    dims = [1, 1, 1]
+    for f in _prime_factors_desc(p):
+        dims.sort()
+        dims[0] *= f
+    dims.sort(reverse=True)
+    return tuple(dims)  # type: ignore[return-value]
+
+
+def _prime_factors_desc(p: int) -> List[int]:
+    out = []
+    d = 2
+    while d * d <= p:
+        while p % d == 0:
+            out.append(d)
+            p //= d
+        d += 1
+    if p > 1:
+        out.append(p)
+    return sorted(out, reverse=True)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Assignment of a :class:`BoxMesh` onto a 3-D processor grid."""
+
+    mesh: BoxMesh
+    proc_shape: Coord
+
+    def __post_init__(self) -> None:
+        for e, p in zip(self.mesh.shape, self.proc_shape):
+            if p < 1:
+                raise ValueError(f"bad processor grid {self.proc_shape}")
+            if e % p != 0:
+                raise ValueError(
+                    f"element grid {self.mesh.shape} not divisible by "
+                    f"processor grid {self.proc_shape}"
+                )
+
+    @staticmethod
+    def auto(mesh: BoxMesh, nranks: int) -> "Partition":
+        """Partition with an automatically factored processor grid."""
+        return Partition(mesh=mesh, proc_shape=factor3(nranks))
+
+    # -- processor grid ----------------------------------------------------
+
+    @property
+    def nranks(self) -> int:
+        px, py, pz = self.proc_shape
+        return px * py * pz
+
+    def rank_coords(self, rank: int) -> Coord:
+        """Rank -> (cx, cy, cz) on the processor grid, x fastest."""
+        px, py, pz = self.proc_shape
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} outside grid {self.proc_shape}")
+        return rank % px, (rank // px) % py, rank // (px * py)
+
+    def coords_rank(self, coords: Coord) -> int:
+        px, py, pz = self.proc_shape
+        cx, cy, cz = coords
+        if not (0 <= cx < px and 0 <= cy < py and 0 <= cz < pz):
+            raise ValueError(f"coords {coords} outside grid {self.proc_shape}")
+        return cx + px * (cy + py * cz)
+
+    # -- element distribution ------------------------------------------------
+
+    @property
+    def local_shape(self) -> Coord:
+        """Local element brick per rank (Fig. 7's 'Local Element Distribution')."""
+        return tuple(
+            e // p for e, p in zip(self.mesh.shape, self.proc_shape)
+        )  # type: ignore[return-value]
+
+    @property
+    def nel_local(self) -> int:
+        lx, ly, lz = self.local_shape
+        return lx * ly * lz
+
+    def owner_of(self, ecoords: Coord) -> int:
+        """Rank owning the element at global coords ``ecoords``."""
+        lx, ly, lz = self.local_shape
+        return self.coords_rank(
+            (ecoords[0] // lx, ecoords[1] // ly, ecoords[2] // lz)
+        )
+
+    def local_elements(self, rank: int) -> List[Coord]:
+        """Global coords of this rank's elements, local-lex order."""
+        cx, cy, cz = self.rank_coords(rank)
+        lx, ly, lz = self.local_shape
+        out = []
+        for kz in range(lz):
+            for ky in range(ly):
+                for kx in range(lx):
+                    out.append((cx * lx + kx, cy * ly + ky, cz * lz + kz))
+        return out
+
+    def local_index(self, rank: int, ecoords: Coord) -> int:
+        """Global element coords -> this rank's local element index."""
+        cx, cy, cz = self.rank_coords(rank)
+        lx, ly, lz = self.local_shape
+        kx = ecoords[0] - cx * lx
+        ky = ecoords[1] - cy * ly
+        kz = ecoords[2] - cz * lz
+        if not (0 <= kx < lx and 0 <= ky < ly and 0 <= kz < lz):
+            raise ValueError(
+                f"element {ecoords} not owned by rank {rank}"
+            )
+        return kx + lx * (ky + ly * kz)
+
+    def describe(self) -> str:
+        """Fig. 7-style setup block."""
+        lx, ly, lz = self.local_shape
+        ex, ey, ez = self.mesh.shape
+        px, py, pz = self.proc_shape
+        return (
+            f"Number of processors: {self.nranks}\n"
+            f"Number of elements per process = {self.nel_local}\n"
+            f"Total elements = {self.mesh.nelgt}\n"
+            f"Number of gridpoints per element = {self.mesh.n}\n"
+            f"Dimensions = 3\n"
+            f"Processor Distribution (x,y,z) = {px}, {py}, {pz}\n"
+            f"Element Distribution (x,y,z) = {ex}, {ey}, {ez}\n"
+            f"Local Element Distribution (x,y,z) = {lx}, {ly}, {lz}"
+        )

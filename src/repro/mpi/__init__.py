@@ -1,0 +1,88 @@
+"""``repro.mpi`` — a from-scratch simulated MPI for mini-app studies.
+
+This package provides the message-passing substrate the CMT-bone
+reproduction runs on.  Each simulated rank is a Python thread with a
+private mailbox and a *virtual clock*; communication costs come from a
+LogGP-style latency/bandwidth model, so runs are deterministic and the
+paper's communication figures (gather-scatter method comparison, MPI
+time fractions, top call sites, message sizes) can be regenerated
+without cluster hardware.
+
+Public surface:
+
+* :class:`Runtime`, :func:`spmd` — launch SPMD jobs.
+* :class:`Comm` — the per-rank communicator handle.
+* Reduction ops ``SUM``/``PROD``/``MIN``/``MAX``/... and the wildcards
+  ``ANY_SOURCE``/``ANY_TAG``.
+* :class:`TimePolicy` — modelled vs. measured compute timing.
+* Profiling types: :class:`JobProfile`, :class:`SiteAggregate`.
+"""
+
+from .clock import ClockStats, TimePolicy, VirtualClock
+from .communicator import Comm
+from .datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    BAND,
+    BOR,
+    BUILTIN_OPS,
+    LAND,
+    LOR,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    ReduceOp,
+    payload_nbytes,
+)
+from .errors import (
+    AbortError,
+    CommunicatorError,
+    DeadlockError,
+    MPIError,
+    RankError,
+)
+from .profiler import CallRecord, JobProfile, RankProfile, SiteAggregate
+from .request import RecvRequest, Request, SendRequest, waitall, waitany
+from .runtime import Runtime, spmd
+from .status import Status
+from .trace import MessageTrace, TraceEvent
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "AbortError",
+    "BAND",
+    "BOR",
+    "BUILTIN_OPS",
+    "CallRecord",
+    "ClockStats",
+    "Comm",
+    "CommunicatorError",
+    "DeadlockError",
+    "JobProfile",
+    "LAND",
+    "LOR",
+    "MAX",
+    "MIN",
+    "MPIError",
+    "MessageTrace",
+    "PROD",
+    "RankError",
+    "RankProfile",
+    "RecvRequest",
+    "ReduceOp",
+    "Request",
+    "Runtime",
+    "SUM",
+    "SendRequest",
+    "SiteAggregate",
+    "Status",
+    "TraceEvent",
+    "TimePolicy",
+    "VirtualClock",
+    "payload_nbytes",
+    "spmd",
+    "waitall",
+    "waitany",
+]

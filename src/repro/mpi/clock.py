@@ -1,0 +1,126 @@
+"""Per-rank virtual clocks.
+
+The CLUSTER'15 CMT-bone paper reports *performance* results (kernel
+runtimes, gather-scatter exchange times, per-rank MPI fractions).  A
+pure-Python reproduction cannot match wall-clock numbers from a Fortran
+mini-app on Infiniband hardware, so instead every simulated rank carries
+a :class:`VirtualClock`: a deterministic, monotonically non-decreasing
+count of *modelled* seconds.
+
+Compute kernels advance the clock through the machine model (a roofline
+cost in flops/bytes) or, optionally, by scaled measured wall time.  The
+communication layer advances it with a LogGP-style latency/bandwidth
+model.  All figures in the paper's evaluation are regenerated in this
+virtual time base.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class TimePolicy(Enum):
+    """How compute regions convert work into virtual seconds.
+
+    MODELED
+        Use the analytic machine model (flops / memory roofline).  Fully
+        deterministic; the default for all benchmark harnesses.
+    MEASURED
+        Measure real wall time of the enclosed numpy work and scale it
+        by ``wall_scale``.  Useful for single-node kernel studies where
+        the actual numpy performance is the object of interest.
+    """
+
+    MODELED = "modeled"
+    MEASURED = "measured"
+
+
+@dataclass
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock for one rank.
+
+    Attributes
+    ----------
+    now:
+        Current virtual time in seconds.
+    compute_time:
+        Total virtual seconds attributed to computation.
+    comm_time:
+        Total virtual seconds attributed to communication (including
+        blocked wait time).
+    """
+
+    now: float = 0.0
+    compute_time: float = 0.0
+    comm_time: float = 0.0
+
+    def advance(self, dt: float, *, kind: str = "compute") -> None:
+        """Advance the clock by ``dt >= 0`` virtual seconds.
+
+        ``kind`` is either ``"compute"`` or ``"comm"`` and controls which
+        accumulator the interval is attributed to.
+        """
+        if dt < 0:
+            raise ValueError(f"negative clock advance: {dt!r}")
+        self.now += dt
+        if kind == "compute":
+            self.compute_time += dt
+        elif kind == "comm":
+            self.comm_time += dt
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown advance kind: {kind!r}")
+
+    def synchronize(self, t: float, *, kind: str = "comm") -> float:
+        """Move the clock forward to virtual time ``t`` if ``t`` is ahead.
+
+        Returns the (non-negative) wait interval.  Used when a receive
+        completes: the receiver's clock jumps to the message arrival
+        time and the jump is the modelled ``MPI_Wait`` time.
+        """
+        dt = t - self.now
+        if dt > 0:
+            self.advance(dt, kind=kind)
+            return dt
+        return 0.0
+
+
+class StopwatchRegion:
+    """Context manager measuring wall time and crediting a clock.
+
+    Only used under :data:`TimePolicy.MEASURED`; see
+    :meth:`repro.mpi.communicator.Comm.compute_region`.
+    """
+
+    def __init__(self, clock: VirtualClock, wall_scale: float = 1.0):
+        self._clock = clock
+        self._scale = wall_scale
+        self._t0 = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "StopwatchRegion":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        self._clock.advance(self.elapsed * self._scale, kind="compute")
+
+
+@dataclass
+class ClockStats:
+    """Immutable snapshot of one rank's clock, used in reports."""
+
+    rank: int
+    total: float
+    compute: float
+    comm: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of total virtual time spent in communication."""
+        if self.total <= 0.0:
+            return 0.0
+        return self.comm / self.total

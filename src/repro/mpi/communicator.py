@@ -1,0 +1,707 @@
+"""The simulated communicator: point-to-point + collective operations.
+
+:class:`Comm` mirrors the slice of MPI that Nek5000-family codes use:
+``send/recv/isend/irecv/sendrecv``, ``barrier``, ``bcast``, ``reduce``,
+``allreduce``, ``gather``, ``scatter``, ``allgather``, ``alltoall`` and
+communicator ``split``/``dup``.  Collectives are implemented *on top of*
+the point-to-point layer with the textbook algorithms (dissemination
+barrier, binomial bcast/reduce, recursive-doubling allreduce, ring
+allgather, rotation alltoall), so their virtual-time cost emerges from
+the same latency/bandwidth model as everything else instead of being a
+hand-tuned constant.
+
+Every public operation accepts an optional ``site=`` label.  The
+profiler aggregates ``(operation, site)`` pairs, which is what the
+mpiP-style reports in Figs. 8-10 of the paper group by.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from . import datatypes
+from .clock import StopwatchRegion, TimePolicy, VirtualClock
+from .datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    ReduceOp,
+    SUM,
+    copy_payload,
+    payload_nbytes,
+)
+from .errors import CommunicatorError, RankError
+from .profiler import RankProfile
+from .request import RecvRequest, Request, SendRequest
+from .status import Status
+from .transport import Envelope, PendingRecv, wait_event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Runtime
+
+
+class Comm:
+    """A communicator bound to one simulated rank.
+
+    Unlike real MPI (where a communicator handle is shared and the rank
+    is implicit in the process), each rank thread holds its *own*
+    ``Comm`` instance; ``group`` lists the world ranks that are members.
+    """
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        cid: int,
+        group: Sequence[int],
+        world_rank: int,
+        clock: VirtualClock,
+        profile: RankProfile,
+        parent_path: str = "world",
+    ):
+        self._runtime = runtime
+        self.cid = cid
+        self.group = list(group)
+        self.world_rank = world_rank
+        self.rank = self.group.index(world_rank)
+        self.size = len(self.group)
+        self.clock = clock
+        self._prof = profile
+        self._world_to_local: Dict[int, int] = {
+            w: i for i, w in enumerate(self.group)
+        }
+        self._path = parent_path
+        self._derive_seq = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Comm {self._path} cid={self.cid} rank={self.rank}/{self.size}>"
+        )
+
+    def _default_site(self, op: str) -> str:
+        return op
+
+    def _check_rank(self, r: int, what: str) -> None:
+        if not (0 <= r < self.size):
+            raise RankError(
+                f"{what}={r} out of range for communicator of size {self.size}"
+            )
+
+    @property
+    def machine(self):
+        """The machine/network model the job runs on."""
+        return self._runtime.machine
+
+    def time(self) -> float:
+        """Current virtual time on this rank (``MPI_Wtime`` analogue)."""
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # compute-side clock advancement
+    # ------------------------------------------------------------------
+
+    def compute(
+        self,
+        *,
+        flops: float = 0.0,
+        mem_bytes: float = 0.0,
+        seconds: Optional[float] = None,
+        efficiency: float = 1.0,
+    ) -> float:
+        """Charge a compute interval to this rank's virtual clock.
+
+        Either pass ``seconds`` directly, or pass work counts
+        (``flops``, ``mem_bytes``) to be priced by the machine model's
+        roofline with an ``efficiency`` factor in (0, 1].  Returns the
+        charged interval.
+        """
+        if seconds is None:
+            seconds = self.machine.compute_seconds(
+                flops=flops, mem_bytes=mem_bytes, efficiency=efficiency
+            )
+        self.clock.advance(seconds, kind="compute")
+        return seconds
+
+    def measured_region(self) -> StopwatchRegion:
+        """Wall-clock-measured compute region (``TimePolicy.MEASURED``).
+
+        Usage::
+
+            with comm.measured_region():
+                y = kernel(x)   # real numpy work; wall time is charged
+        """
+        return StopwatchRegion(self.clock, self.machine.wall_scale)
+
+    @property
+    def time_policy(self) -> TimePolicy:
+        return self._runtime.time_policy
+
+    def shadow(self):
+        """Uncharged, unprofiled communication (modelling primitive).
+
+        Inside the context, operations move real data with real
+        blocking semantics but advance a scratch clock and record to a
+        scratch profile — both discarded on exit.  Used when a
+        component's *cost* is modelled separately from its *data path*
+        (e.g. the gather-scatter allreduce method at scales where
+        materializing the global vector would need the memory of a real
+        cluster; see ``repro.gs.allreduce_method``).  Collective
+        discipline still applies: every rank of the communicator must
+        enter and leave the shadow region together.
+        """
+        return _ShadowRegion(self)
+
+    # ------------------------------------------------------------------
+    # point-to-point: raw layer (no profiling; used by collectives too)
+    # ------------------------------------------------------------------
+
+    def _send_raw(
+        self, payload: Any, dest: int, tag: int, internal: bool = False
+    ) -> int:
+        """Eager send; charges sender overhead; returns wire bytes.
+
+        ``internal=True`` routes the message through a shadow context id
+        so collective-internal traffic can never match user receives
+        (real MPI keeps a separate context for collectives too).
+        """
+        self._check_rank(dest, "dest")
+        nbytes = payload_nbytes(payload)
+        net = self.machine.network
+        ovh = net.send_overhead(nbytes)
+        self.clock.advance(ovh, kind="comm")
+        dst_world = self.group[dest]
+        env = Envelope(
+            src=self.world_rank,
+            dst=dst_world,
+            cid=self.cid + (_INTERNAL_CID if internal else 0),
+            tag=tag,
+            payload=copy_payload(payload),
+            nbytes=nbytes,
+            wire_vtime=self.clock.now,
+            seq=self._runtime.seq.next(self.world_rank, dst_world),
+        )
+        trace = self._runtime.trace
+        if trace is not None:
+            trace.record(
+                src=self.world_rank, dst=dst_world, cid=env.cid,
+                tag=tag, nbytes=nbytes, wire_vtime=env.wire_vtime,
+                seq=env.seq,
+            )
+        self._runtime.mailbox(dst_world).deliver(env)
+        self._runtime.tracker.bump()
+        return nbytes
+
+    def _post_recv_raw(
+        self, source: int, tag: int, internal: bool = False
+    ) -> PendingRecv:
+        if source != ANY_SOURCE:
+            self._check_rank(source, "source")
+            src_world = self.group[source]
+        else:
+            src_world = ANY_SOURCE
+        return self._runtime.mailbox(self.world_rank).post_recv(
+            self.cid + (_INTERNAL_CID if internal else 0), src_world, tag
+        )
+
+    def _complete_recv(self, env: Envelope, t0: float) -> Tuple[Any, Status]:
+        """Charge virtual arrival/wait time for a matched envelope."""
+        net = self.machine.network
+        arrival = env.wire_vtime + net.transit(
+            env.src, self.world_rank, env.nbytes
+        )
+        wait_dt = max(0.0, arrival - t0)
+        end = max(t0, arrival) + net.recv_overhead(env.nbytes)
+        self.clock.synchronize(end, kind="comm")
+        status = Status(
+            source=self._world_to_local.get(env.src, env.src),
+            tag=env.tag,
+            nbytes=env.nbytes,
+            arrival_vtime=arrival,
+            wait_vtime=wait_dt,
+        )
+        return env.payload, status
+
+    def _recv_raw(
+        self, source: int, tag: int, internal: bool = False
+    ) -> Tuple[Any, Status]:
+        pending = self._post_recv_raw(source, tag, internal=internal)
+        t0 = self.clock.now
+        wait_event(
+            pending.event,
+            self._runtime.tracker,
+            self._runtime.abort_event,
+            what=f"recv(src={source}, tag={tag})",
+        )
+        env = pending.envelope
+        assert env is not None
+        return self._complete_recv(env, t0)
+
+    # ------------------------------------------------------------------
+    # point-to-point: public, profiled layer
+    # ------------------------------------------------------------------
+
+    def send(
+        self, payload: Any, dest: int, tag: int = 0, site: Optional[str] = None
+    ) -> None:
+        """Blocking (eager) standard-mode send."""
+        t0 = self.clock.now
+        nbytes = self._send_raw(payload, dest, tag)
+        self._prof.record(
+            "MPI_Send", site or self._default_site("MPI_Send"),
+            self.clock.now - t0, nbytes,
+        )
+
+    def isend(
+        self, payload: Any, dest: int, tag: int = 0, site: Optional[str] = None
+    ) -> Request:
+        """Nonblocking send.  Eager: the returned request is complete."""
+        t0 = self.clock.now
+        nbytes = self._send_raw(payload, dest, tag)
+        self._prof.record(
+            "MPI_Isend", site or self._default_site("MPI_Isend"),
+            self.clock.now - t0, nbytes,
+        )
+        return SendRequest(nbytes)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        site: Optional[str] = None,
+        return_status: bool = False,
+    ) -> Any:
+        """Blocking receive; returns the payload (and optionally status)."""
+        t0 = self.clock.now
+        payload, status = self._recv_raw(source, tag)
+        self._prof.record(
+            "MPI_Recv", site or self._default_site("MPI_Recv"),
+            self.clock.now - t0, status.nbytes,
+        )
+        if return_status:
+            return payload, status
+        return payload
+
+    def irecv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        site: Optional[str] = None,
+    ) -> RecvRequest:
+        """Nonblocking receive; completion charged at ``wait`` time."""
+        pending = self._post_recv_raw(source, tag)
+        self._prof.record(
+            "MPI_Irecv", site or self._default_site("MPI_Irecv"), 0.0, 0
+        )
+        return RecvRequest(self, pending)
+
+    def sendrecv(
+        self,
+        payload: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        site: Optional[str] = None,
+    ) -> Any:
+        """Combined send+receive (deadlock-free with eager sends)."""
+        t0 = self.clock.now
+        nbytes = self._send_raw(payload, dest, sendtag)
+        recv_payload, status = self._recv_raw(source, recvtag)
+        self._prof.record(
+            "MPI_Sendrecv", site or self._default_site("MPI_Sendrecv"),
+            self.clock.now - t0, nbytes + status.nbytes,
+        )
+        return recv_payload
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Nonblocking probe for a matching unexpected message."""
+        src_world = self.group[source] if source != ANY_SOURCE else ANY_SOURCE
+        env = self._runtime.mailbox(self.world_rank).probe(
+            self.cid, src_world, tag
+        )
+        return env is not None
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+
+    def barrier(self, site: Optional[str] = None) -> None:
+        """Dissemination barrier: ceil(log2 P) zero-byte rounds."""
+        t0 = self.clock.now
+        k = 1
+        while k < self.size:
+            dest = (self.rank + k) % self.size
+            src = (self.rank - k) % self.size
+            self._send_raw(None, dest, _TAG_BARRIER + k, internal=True)
+            self._recv_raw(src, _TAG_BARRIER + k, internal=True)
+            k <<= 1
+        self._prof.record(
+            "MPI_Barrier", site or self._default_site("MPI_Barrier"),
+            self.clock.now - t0, 0,
+        )
+
+    def bcast(
+        self, payload: Any = None, root: int = 0, site: Optional[str] = None
+    ) -> Any:
+        """Binomial-tree broadcast (MPICH algorithm, any P)."""
+        self._check_rank(root, "root")
+        t0 = self.clock.now
+        size, rank = self.size, self.rank
+        relative = (rank - root) % size
+        buf = payload
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                src = (relative - mask + root) % size
+                buf, _ = self._recv_raw(src, _TAG_BCAST, internal=True)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if relative + mask < size:
+                dst = (relative + mask + root) % size
+                self._send_raw(buf, dst, _TAG_BCAST, internal=True)
+            mask >>= 1
+        self._prof.record(
+            "MPI_Bcast", site or self._default_site("MPI_Bcast"),
+            self.clock.now - t0, payload_nbytes(buf),
+        )
+        return buf
+
+    def reduce(
+        self,
+        payload: Any,
+        op: ReduceOp = SUM,
+        root: int = 0,
+        site: Optional[str] = None,
+    ) -> Any:
+        """Binomial-tree reduction to ``root`` (returns None elsewhere)."""
+        self._check_rank(root, "root")
+        t0 = self.clock.now
+        size, rank = self.size, self.rank
+        relative = (rank - root) % size
+        result = payload
+        mask = 1
+        while mask < size:
+            if relative & mask == 0:
+                partner = relative | mask
+                if partner < size:
+                    other, _ = self._recv_raw(
+                        (partner + root) % size, _TAG_REDUCE, internal=True
+                    )
+                    result = op(result, other)
+            else:
+                dst = ((relative & ~mask) + root) % size
+                self._send_raw(result, dst, _TAG_REDUCE, internal=True)
+                result = None
+                break
+            mask <<= 1
+        self._prof.record(
+            "MPI_Reduce", site or self._default_site("MPI_Reduce"),
+            self.clock.now - t0, payload_nbytes(payload),
+        )
+        return result if rank == root else None
+
+    def allreduce(
+        self, payload: Any, op: ReduceOp = SUM, site: Optional[str] = None
+    ) -> Any:
+        """Recursive-doubling allreduce with non-power-of-two fold."""
+        t0 = self.clock.now
+        result = self._allreduce_raw(payload, op)
+        self._prof.record(
+            "MPI_Allreduce", site or self._default_site("MPI_Allreduce"),
+            self.clock.now - t0, payload_nbytes(payload),
+        )
+        return result
+
+    def _allreduce_raw(self, payload: Any, op: ReduceOp) -> Any:
+        size, rank = self.size, self.rank
+        if size == 1:
+            return copy_payload(payload)
+        pof2 = 1
+        while pof2 * 2 <= size:
+            pof2 *= 2
+        rem = size - pof2
+        result = copy_payload(payload)
+        # Fold phase: the first 2*rem ranks pair up so pof2 ranks remain.
+        if rank < 2 * rem:
+            if rank % 2 == 0:
+                self._send_raw(result, rank + 1, _TAG_ALLREDUCE, internal=True)
+                newrank = -1
+            else:
+                other, _ = self._recv_raw(rank - 1, _TAG_ALLREDUCE, internal=True)
+                result = op(result, other)
+                newrank = rank // 2
+        else:
+            newrank = rank - rem
+        # Recursive doubling among the pof2 survivors.
+        if newrank != -1:
+            mask = 1
+            while mask < pof2:
+                partner_new = newrank ^ mask
+                partner = (
+                    partner_new * 2 + 1
+                    if partner_new < rem
+                    else partner_new + rem
+                )
+                self._send_raw(result, partner, _TAG_ALLREDUCE + 1, internal=True)
+                other, _ = self._recv_raw(partner, _TAG_ALLREDUCE + 1, internal=True)
+                result = op(result, other)
+                mask <<= 1
+        # Unfold phase: survivors push the result back to idle partners.
+        if rank < 2 * rem:
+            if rank % 2 == 0:
+                result, _ = self._recv_raw(rank + 1, _TAG_ALLREDUCE + 2, internal=True)
+            else:
+                self._send_raw(result, rank - 1, _TAG_ALLREDUCE + 2, internal=True)
+        return result
+
+    def allgather(self, payload: Any, site: Optional[str] = None) -> List[Any]:
+        """Ring allgather; returns a list indexed by rank."""
+        t0 = self.clock.now
+        size, rank = self.size, self.rank
+        blocks: List[Any] = [None] * size
+        blocks[rank] = copy_payload(payload)
+        right = (rank + 1) % size
+        left = (rank - 1) % size
+        send_idx = rank
+        for _ in range(size - 1):
+            self._send_raw(blocks[send_idx], right, _TAG_ALLGATHER, internal=True)
+            recv_idx = (send_idx - 1) % size
+            blocks[recv_idx], _ = self._recv_raw(left, _TAG_ALLGATHER, internal=True)
+            send_idx = recv_idx
+        self._prof.record(
+            "MPI_Allgather", site or self._default_site("MPI_Allgather"),
+            self.clock.now - t0, payload_nbytes(payload),
+        )
+        return blocks
+
+    def gather(
+        self, payload: Any, root: int = 0, site: Optional[str] = None
+    ) -> Optional[List[Any]]:
+        """Linear gather to ``root``; returns list at root, None elsewhere."""
+        self._check_rank(root, "root")
+        t0 = self.clock.now
+        out: Optional[List[Any]] = None
+        if self.rank == root:
+            out = [None] * self.size
+            out[root] = copy_payload(payload)
+            for r in range(self.size):
+                if r == root:
+                    continue
+                out[r], _ = self._recv_raw(r, _TAG_GATHER, internal=True)
+        else:
+            self._send_raw(payload, root, _TAG_GATHER, internal=True)
+        self._prof.record(
+            "MPI_Gather", site or self._default_site("MPI_Gather"),
+            self.clock.now - t0, payload_nbytes(payload),
+        )
+        return out
+
+    def scatter(
+        self,
+        payloads: Optional[Sequence[Any]] = None,
+        root: int = 0,
+        site: Optional[str] = None,
+    ) -> Any:
+        """Linear scatter from ``root``; each rank gets its element."""
+        self._check_rank(root, "root")
+        t0 = self.clock.now
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise CommunicatorError(
+                    "scatter at root needs one payload per rank"
+                )
+            for r in range(self.size):
+                if r == root:
+                    continue
+                self._send_raw(payloads[r], r, _TAG_SCATTER, internal=True)
+            mine = copy_payload(payloads[root])
+            nbytes = sum(payload_nbytes(p) for p in payloads)
+        else:
+            mine, status = self._recv_raw(root, _TAG_SCATTER, internal=True)
+            nbytes = status.nbytes
+        self._prof.record(
+            "MPI_Scatter", site or self._default_site("MPI_Scatter"),
+            self.clock.now - t0, nbytes,
+        )
+        return mine
+
+    def alltoall(
+        self, payloads: Sequence[Any], site: Optional[str] = None
+    ) -> List[Any]:
+        """Rotation (pairwise) all-to-all personalized exchange.
+
+        ``payloads[d]`` goes to rank ``d``; returns the list received,
+        indexed by source rank.  This is the pattern the paper's
+        ``gs_setup`` discovery phase uses.
+        """
+        if len(payloads) != self.size:
+            raise CommunicatorError(
+                f"alltoall needs {self.size} payloads, got {len(payloads)}"
+            )
+        t0 = self.clock.now
+        size, rank = self.size, self.rank
+        out: List[Any] = [None] * size
+        out[rank] = copy_payload(payloads[rank])
+        nbytes = 0
+        for i in range(1, size):
+            dst = (rank + i) % size
+            src = (rank - i) % size
+            nbytes += self._send_raw(payloads[dst], dst, _TAG_ALLTOALL + i, internal=True)
+            out[src], _ = self._recv_raw(src, _TAG_ALLTOALL + i, internal=True)
+        self._prof.record(
+            "MPI_Alltoall", site or self._default_site("MPI_Alltoall"),
+            self.clock.now - t0, nbytes,
+        )
+        return out
+
+    def scan(
+        self, payload: Any, op: ReduceOp = SUM, site: Optional[str] = None
+    ) -> Any:
+        """Inclusive prefix reduction (``MPI_Scan``), hypercube algorithm.
+
+        Rank r receives ``op(x_0, ..., x_r)``.  Used by Nek-style codes
+        for global numbering offsets.
+        """
+        t0 = self.clock.now
+        size, rank = self.size, self.rank
+        result = copy_payload(payload)      # inclusive prefix so far
+        partial = copy_payload(payload)     # combined value of my block
+        mask = 1
+        while mask < size:
+            partner = rank ^ mask
+            if partner < size:
+                self._send_raw(partial, partner, _TAG_SCAN, internal=True)
+                other, _ = self._recv_raw(partner, _TAG_SCAN, internal=True)
+                # Keep operand order: the lower-rank block goes first,
+                # so non-commutative (merely associative) ops work.
+                if partner < rank:
+                    result = op(other, result)
+                    partial = op(other, partial)
+                else:
+                    partial = op(partial, other)
+            mask <<= 1
+        self._prof.record(
+            "MPI_Scan", site or self._default_site("MPI_Scan"),
+            self.clock.now - t0, payload_nbytes(payload),
+        )
+        return result
+
+    def exscan(
+        self, payload: Any, op: ReduceOp = SUM, site: Optional[str] = None
+    ) -> Any:
+        """Exclusive prefix reduction (``MPI_Exscan``).
+
+        Rank 0 receives ``None``; rank r > 0 receives
+        ``op(x_0, ..., x_{r-1})``.
+        """
+        t0 = self.clock.now
+        size, rank = self.size, self.rank
+        result: Any = None                  # exclusive prefix so far
+        partial = copy_payload(payload)
+        mask = 1
+        while mask < size:
+            partner = rank ^ mask
+            if partner < size:
+                self._send_raw(partial, partner, _TAG_SCAN + 1,
+                               internal=True)
+                other, _ = self._recv_raw(partner, _TAG_SCAN + 1,
+                                          internal=True)
+                if partner < rank:
+                    result = other if result is None else op(other, result)
+                    partial = op(other, partial)
+                else:
+                    partial = op(partial, other)
+            mask <<= 1
+        self._prof.record(
+            "MPI_Exscan", site or self._default_site("MPI_Exscan"),
+            self.clock.now - t0, payload_nbytes(payload),
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+
+    def dup(self) -> "Comm":
+        """Duplicate this communicator with a fresh context id."""
+        return self._derive(self.group, tag="dup")
+
+    def split(self, color: int, key: int = 0) -> Optional["Comm"]:
+        """Split into sub-communicators by ``color``, ordered by ``key``.
+
+        Collective over this communicator.  Returns ``None`` for
+        ``color < 0`` (MPI_UNDEFINED semantics).
+        """
+        triples = self.allgather(
+            (int(color), int(key), self.rank), site="comm_split"
+        )
+        if color < 0:
+            self._derive_seq += 1  # keep derivation counters aligned
+            return None
+        members = sorted(
+            (k, r) for (c, k, r) in triples if c == color
+        )
+        group = [self.group[r] for _, r in members]
+        return self._derive(group, tag=f"split.{color}")
+
+    def _derive(self, group: Sequence[int], tag: str) -> "Comm":
+        self._derive_seq += 1
+        key = (self.cid, self._derive_seq, tag)
+        cid = self._runtime.context_id(key)
+        return Comm(
+            runtime=self._runtime,
+            cid=cid,
+            group=group,
+            world_rank=self.world_rank,
+            clock=self.clock,
+            profile=self._prof,
+            parent_path=f"{self._path}/{tag}",
+        )
+
+
+# Tag bases reserved for internal collective traffic.  User tags share
+# the space, but collectives always execute in lockstep on all members,
+# so a disjoint high range avoids accidental matches with user p2p.
+class _ShadowRegion:
+    """Context manager backing :meth:`Comm.shadow`."""
+
+    def __init__(self, comm: Comm):
+        self._comm = comm
+        self._saved_clock: Optional[VirtualClock] = None
+        self._saved_prof: Optional[RankProfile] = None
+
+    def __enter__(self) -> Comm:
+        comm = self._comm
+        self._saved_clock = comm.clock
+        self._saved_prof = comm._prof
+        scratch = VirtualClock()
+        scratch.now = comm.clock.now  # keep message ordering plausible
+        comm.clock = scratch
+        comm._prof = RankProfile(comm.world_rank)
+        return comm
+
+    def __exit__(self, *exc) -> None:
+        comm = self._comm
+        assert self._saved_clock is not None
+        comm.clock = self._saved_clock
+        comm._prof = self._saved_prof
+
+
+#: Context-id offset for collective-internal traffic (keeps it from
+#: ever matching user point-to-point receives, even with wildcards).
+_INTERNAL_CID = 1 << 30
+
+_TAG_BARRIER = 1 << 24
+_TAG_BCAST = (1 << 24) + 64
+_TAG_REDUCE = (1 << 24) + 128
+_TAG_ALLREDUCE = (1 << 24) + 192
+_TAG_ALLGATHER = (1 << 24) + 256
+_TAG_GATHER = (1 << 24) + 320
+_TAG_SCATTER = (1 << 24) + 384
+_TAG_ALLTOALL = (1 << 24) + 448
+_TAG_SCAN = (1 << 24) + 1024

@@ -1,0 +1,150 @@
+"""Reduction operations and payload size accounting.
+
+The simulated communicator transports numpy arrays and plain Python
+objects.  Reduction collectives need an associative operation; this
+module provides the standard MPI set (SUM, PROD, MIN, MAX, LAND, LOR,
+BAND, BOR) as small singleton objects that work element-wise on numpy
+arrays and on Python scalars.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable
+
+import numpy as np
+
+
+class ReduceOp:
+    """An associative, commutative reduction operation.
+
+    Parameters
+    ----------
+    name:
+        MPI-style name, e.g. ``"MPI_SUM"``.
+    fn:
+        Binary function combining two payloads element-wise.
+    identity_for:
+        Given a numpy dtype, return the identity element (used by the
+        "allreduce onto a big vector" gather-scatter method, which must
+        fill slots a rank does not contribute to).
+    """
+
+    __slots__ = ("name", "fn", "_identity_for", "ufunc")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Any, Any], Any],
+        identity_for: Callable[[np.dtype], Any],
+        ufunc: Any = None,
+    ):
+        self.name = name
+        self.fn = fn
+        self._identity_for = identity_for
+        #: Matching numpy ufunc (``np.add`` for SUM, ...) used by the
+        #: gather-scatter library for vectorized segment reduction;
+        #: ``None`` for custom ops without one.
+        self.ufunc = ufunc
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def identity(self, dtype: np.dtype) -> Any:
+        """Identity element of the operation for ``dtype``."""
+        return self._identity_for(np.dtype(dtype))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ReduceOp {self.name}>"
+
+
+def _min_identity(dt: np.dtype) -> Any:
+    if np.issubdtype(dt, np.floating):
+        return np.array(np.inf, dtype=dt)[()]
+    if np.issubdtype(dt, np.integer):
+        return np.iinfo(dt).max
+    raise TypeError(f"MIN identity undefined for dtype {dt}")
+
+
+def _max_identity(dt: np.dtype) -> Any:
+    if np.issubdtype(dt, np.floating):
+        return np.array(-np.inf, dtype=dt)[()]
+    if np.issubdtype(dt, np.integer):
+        return np.iinfo(dt).min
+    raise TypeError(f"MAX identity undefined for dtype {dt}")
+
+
+SUM = ReduceOp("MPI_SUM", lambda a, b: a + b, lambda dt: dt.type(0), np.add)
+PROD = ReduceOp(
+    "MPI_PROD", lambda a, b: a * b, lambda dt: dt.type(1), np.multiply
+)
+MIN = ReduceOp("MPI_MIN", np.minimum, _min_identity, np.minimum)
+MAX = ReduceOp("MPI_MAX", np.maximum, _max_identity, np.maximum)
+LAND = ReduceOp("MPI_LAND", np.logical_and, lambda dt: True, np.logical_and)
+LOR = ReduceOp("MPI_LOR", np.logical_or, lambda dt: False, np.logical_or)
+BAND = ReduceOp(
+    "MPI_BAND", np.bitwise_and, lambda dt: dt.type(-1), np.bitwise_and
+)
+BOR = ReduceOp("MPI_BOR", np.bitwise_or, lambda dt: dt.type(0), np.bitwise_or)
+
+#: All built-in reduction operations, keyed by MPI name.
+BUILTIN_OPS = {
+    op.name: op for op in (SUM, PROD, MIN, MAX, LAND, LOR, BAND, BOR)
+}
+
+#: Wildcard constants mirroring MPI semantics.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Wire size of a message payload in bytes.
+
+    Numpy arrays report their buffer size; scalars their itemsize;
+    anything else is costed as its pickle length (the runtime ships
+    Python objects by reference, but the *network model* must charge a
+    realistic byte count).
+    """
+    wire = getattr(payload, "__wire_nbytes__", None)
+    if wire is not None:
+        return int(wire)
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (np.generic,)):
+        return payload.nbytes
+    if isinstance(payload, (int, float, complex, bool)):
+        return 8
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, (list, tuple)) and all(
+        isinstance(p, np.ndarray) for p in payload
+    ):
+        return sum(p.nbytes for p in payload)
+    try:
+        return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # pragma: no cover - unpicklable exotic object
+        return 64
+
+
+def copy_payload(payload: Any) -> Any:
+    """Snapshot a payload at send time.
+
+    MPI semantics let the sender reuse its buffer as soon as the send
+    returns, so the transport must not alias sender memory.  Arrays are
+    copied; immutable scalars/bytes pass through; other objects are
+    deep-copied via pickle round-trip only when mutable containers are
+    involved (cheap common cases avoid the round-trip).
+    """
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, (int, float, complex, bool, str, bytes, np.generic)):
+        return payload
+    if payload is None:
+        return None
+    if isinstance(payload, tuple) and all(
+        isinstance(p, (int, float, complex, bool, str, bytes)) for p in payload
+    ):
+        return payload
+    return pickle.loads(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))

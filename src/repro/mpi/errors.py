@@ -1,0 +1,41 @@
+"""Exception hierarchy for the simulated MPI runtime.
+
+The runtime executes one Python thread per simulated rank.  Errors can
+originate inside a single rank (bad arguments, truncation) or from the
+collective state of the job (deadlock, a peer rank crashing).  All of
+them derive from :class:`MPIError` so callers can catch the whole
+family with one clause.
+"""
+
+from __future__ import annotations
+
+
+class MPIError(Exception):
+    """Base class for all errors raised by the simulated MPI runtime."""
+
+
+class DeadlockError(MPIError):
+    """Every rank is blocked and no message can make progress.
+
+    Raised in *all* blocked ranks by the runtime watchdog.  The message
+    includes a snapshot of what each rank was blocked on, which makes
+    classic mismatched send/recv bugs easy to diagnose.
+    """
+
+
+class AbortError(MPIError):
+    """The job was aborted because another rank raised an exception.
+
+    Ranks that were blocked in communication when a peer died receive
+    this error instead of hanging forever.  The original traceback is
+    re-raised from :meth:`repro.mpi.runtime.Runtime.run` on the caller's
+    thread.
+    """
+
+
+class CommunicatorError(MPIError):
+    """Invalid communicator usage (bad rank, mismatched collective...)."""
+
+
+class RankError(CommunicatorError):
+    """A rank index is out of range for the communicator."""

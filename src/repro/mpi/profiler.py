@@ -1,0 +1,170 @@
+"""mpiP-style per-rank, per-callsite MPI profiling.
+
+The paper instruments CMT-bone with mpiP [Vetter & Chambreau 2004] and
+reports (Figs. 8-10):
+
+* the percentage of total execution time each rank spends in MPI,
+* the twenty most expensive MPI call *sites* aggregated over ranks, and
+* the total and average message size per call site.
+
+This module reproduces that bookkeeping inside the simulated runtime.
+Every communicator operation records ``(op name, call site)`` together
+with the virtual seconds spent and bytes moved.  Each rank writes to its
+own :class:`RankProfile` without locking; the runtime merges them into
+a :class:`JobProfile` after the job completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class CallRecord:
+    """Aggregate statistics for one (op, site) pair on one rank."""
+
+    op: str
+    site: str
+    count: int = 0
+    vtime: float = 0.0
+    bytes_total: int = 0
+    vtime_max: float = 0.0
+
+    def add(self, vtime: float, nbytes: int) -> None:
+        self.count += 1
+        self.vtime += vtime
+        self.bytes_total += nbytes
+        if vtime > self.vtime_max:
+            self.vtime_max = vtime
+
+    @property
+    def bytes_avg(self) -> float:
+        return self.bytes_total / self.count if self.count else 0.0
+
+
+class RankProfile:
+    """MPI profile for a single rank (no locking: single-writer)."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.records: Dict[Tuple[str, str], CallRecord] = {}
+        self.mpi_time = 0.0
+
+    def record(self, op: str, site: str, vtime: float, nbytes: int) -> None:
+        key = (op, site)
+        rec = self.records.get(key)
+        if rec is None:
+            rec = CallRecord(op=op, site=site)
+            self.records[key] = rec
+        rec.add(vtime, nbytes)
+        self.mpi_time += vtime
+
+
+@dataclass
+class SiteAggregate:
+    """One row of the mpiP 'Aggregate Time of Callsites' report."""
+
+    op: str
+    site: str
+    count: int
+    vtime: float
+    vtime_mean: float
+    vtime_max: float
+    bytes_total: int
+    bytes_avg: float
+    app_pct: float
+    mpi_pct: float
+
+
+@dataclass
+class JobProfile:
+    """Merged MPI profile for the whole job.
+
+    ``rank_totals`` maps rank -> (app virtual time, mpi virtual time)
+    and backs the Fig. 8 per-rank MPI-fraction plot; ``aggregates()``
+    backs Figs. 9 and 10.
+    """
+
+    nranks: int
+    rank_totals: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    rank_profiles: List[RankProfile] = field(default_factory=list)
+
+    @property
+    def app_time(self) -> float:
+        """Total virtual app time summed over ranks."""
+        return sum(t for t, _ in self.rank_totals.values())
+
+    @property
+    def mpi_time(self) -> float:
+        """Total virtual MPI time summed over ranks."""
+        return sum(m for _, m in self.rank_totals.values())
+
+    def mpi_fraction(self, rank: int) -> float:
+        """Fraction of rank's virtual time spent inside MPI calls."""
+        app, mpi = self.rank_totals[rank]
+        return mpi / app if app > 0 else 0.0
+
+    def mpi_fractions(self) -> List[float]:
+        """Per-rank MPI fractions in rank order (Fig. 8 series)."""
+        return [self.mpi_fraction(r) for r in sorted(self.rank_totals)]
+
+    def aggregates(self) -> List[SiteAggregate]:
+        """Merge per-rank records by (op, site); sort by total time."""
+        merged: Dict[Tuple[str, str], CallRecord] = {}
+        for rp in self.rank_profiles:
+            for key, rec in rp.records.items():
+                agg = merged.get(key)
+                if agg is None:
+                    agg = CallRecord(op=rec.op, site=rec.site)
+                    merged[key] = agg
+                agg.count += rec.count
+                agg.vtime += rec.vtime
+                agg.bytes_total += rec.bytes_total
+                agg.vtime_max = max(agg.vtime_max, rec.vtime_max)
+        app = self.app_time or 1.0
+        mpi = self.mpi_time or 1.0
+        rows = [
+            SiteAggregate(
+                op=rec.op,
+                site=rec.site,
+                count=rec.count,
+                vtime=rec.vtime,
+                vtime_mean=rec.vtime / rec.count if rec.count else 0.0,
+                vtime_max=rec.vtime_max,
+                bytes_total=rec.bytes_total,
+                bytes_avg=rec.bytes_avg,
+                app_pct=100.0 * rec.vtime / app,
+                mpi_pct=100.0 * rec.vtime / mpi,
+            )
+            for rec in merged.values()
+        ]
+        rows.sort(key=lambda r: r.vtime, reverse=True)
+        return rows
+
+    def top_sites(self, n: int = 20) -> List[SiteAggregate]:
+        """The ``n`` most expensive call sites (Fig. 9)."""
+        return self.aggregates()[:n]
+
+    def by_op(self) -> Dict[str, float]:
+        """Total virtual time per MPI operation name."""
+        out: Dict[str, float] = {}
+        for row in self.aggregates():
+            out[row.op] = out.get(row.op, 0.0) + row.vtime
+        return out
+
+    def message_size_rows(
+        self, n: int = 20, ops: Optional[Iterable[str]] = None
+    ) -> List[SiteAggregate]:
+        """Rows for the message-size report (Fig. 10).
+
+        Sorted by call count (the paper plots the *most frequently
+        called* sites); collective/wait rows with zero bytes are
+        dropped.
+        """
+        rows = [r for r in self.aggregates() if r.bytes_total > 0]
+        if ops is not None:
+            allow = set(ops)
+            rows = [r for r in rows if r.op in allow]
+        rows.sort(key=lambda r: r.count, reverse=True)
+        return rows[:n]

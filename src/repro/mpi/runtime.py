@@ -1,0 +1,277 @@
+"""SPMD job runtime: one Python thread per simulated rank.
+
+:class:`Runtime` launches ``nranks`` threads, each executing the user's
+``main(comm)`` function against its own :class:`~repro.mpi.communicator.Comm`.
+A watchdog thread detects deadlock (every live rank blocked with no
+matching progress) and aborts the job with a diagnostic snapshot instead
+of hanging the test suite.
+
+Typical use::
+
+    from repro.mpi import Runtime
+    from repro.perfmodel import MachineModel
+
+    def main(comm):
+        part = comm.allreduce(comm.rank)
+        return part
+
+    rt = Runtime(nranks=8, machine=MachineModel.preset("compton"))
+    results = rt.run(main)        # list of per-rank return values
+    profile = rt.job_profile()    # mpiP-style statistics
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .clock import ClockStats, TimePolicy, VirtualClock
+from .communicator import Comm
+from .errors import AbortError, DeadlockError, MPIError
+from .profiler import JobProfile, RankProfile
+from .transport import BlockTracker, ChannelSeq, Mailbox
+
+#: Watchdog polling period (wall seconds).
+_WATCHDOG_PERIOD = 0.5
+#: Number of consecutive no-progress all-blocked observations before the
+#: watchdog declares deadlock (guards against sampling races).
+_WATCHDOG_STRIKES = 3
+
+_WORLD_CID = 1
+
+
+class Runtime:
+    """Executes an SPMD function over ``nranks`` simulated ranks."""
+
+    def __init__(
+        self,
+        nranks: int,
+        machine: Optional[Any] = None,
+        time_policy: TimePolicy = TimePolicy.MODELED,
+        deadlock_detection: bool = True,
+        trace_messages: bool = False,
+    ):
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        # Imported here to avoid a hard cycle at module import time.
+        from ..perfmodel.machine import MachineModel
+
+        self.nranks = nranks
+        self.machine = machine if machine is not None else MachineModel.default()
+        self.time_policy = time_policy
+        self.deadlock_detection = deadlock_detection
+        #: Message trace for external network-simulation export, or
+        #: ``None`` when tracing is off (see ``repro.mpi.trace``).
+        self.trace = None
+        if trace_messages:
+            from .trace import MessageTrace
+
+            self.trace = MessageTrace(nranks)
+
+        self.tracker = BlockTracker()
+        self.seq = ChannelSeq()
+        self.abort_event = threading.Event()
+        self._mailboxes = [Mailbox(r) for r in range(nranks)]
+        self._clocks = [VirtualClock() for _ in range(nranks)]
+        self._profiles = [RankProfile(r) for r in range(nranks)]
+        self._cid_lock = threading.Lock()
+        self._cid_registry: Dict[Tuple, int] = {}
+        self._next_cid = _WORLD_CID + 1
+        self._finished = [False] * nranks
+        self._finished_lock = threading.Lock()
+        self._ran = False
+
+    # -- wiring --------------------------------------------------------
+
+    def mailbox(self, world_rank: int) -> Mailbox:
+        return self._mailboxes[world_rank]
+
+    def context_id(self, key: Tuple) -> int:
+        """Deterministically map a derivation key to a context id.
+
+        Every member of a ``split``/``dup`` computes the same ``key``,
+        so the first caller allocates the id and the rest look it up.
+        """
+        with self._cid_lock:
+            cid = self._cid_registry.get(key)
+            if cid is None:
+                cid = self._next_cid
+                self._next_cid += 1
+                self._cid_registry[key] = cid
+            return cid
+
+    def world_comm(self, rank: int) -> Comm:
+        """Build the COMM_WORLD handle for ``rank``."""
+        return Comm(
+            runtime=self,
+            cid=_WORLD_CID,
+            group=range(self.nranks),
+            world_rank=rank,
+            clock=self._clocks[rank],
+            profile=self._profiles[rank],
+        )
+
+    # -- execution -----------------------------------------------------
+
+    def run(
+        self,
+        main: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: Optional[dict] = None,
+    ) -> List[Any]:
+        """Run ``main(comm, *args, **kwargs)`` on every rank.
+
+        Returns the per-rank return values in rank order.  If any rank
+        raises, the job is aborted and the first error is re-raised on
+        the calling thread (other ranks receive :class:`AbortError`).
+        A :class:`Runtime` is single-shot: build a new one per job.
+        """
+        if self._ran:
+            raise MPIError("Runtime is single-shot; create a new instance")
+        self._ran = True
+        kwargs = kwargs or {}
+        results: List[Any] = [None] * self.nranks
+        errors: List[Optional[BaseException]] = [None] * self.nranks
+        tracebacks: List[str] = [""] * self.nranks
+
+        def worker(rank: int) -> None:
+            comm = self.world_comm(rank)
+            try:
+                results[rank] = main(comm, *args, **kwargs)
+            except AbortError as exc:
+                errors[rank] = exc
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors[rank] = exc
+                tracebacks[rank] = traceback.format_exc()
+                self.abort_event.set()
+            finally:
+                with self._finished_lock:
+                    self._finished[rank] = True
+
+        if self.nranks == 1:
+            worker(0)
+        else:
+            threads = [
+                threading.Thread(
+                    target=worker, args=(r,), name=f"rank-{r}", daemon=True
+                )
+                for r in range(self.nranks)
+            ]
+            watchdog = None
+            if self.deadlock_detection:
+                watchdog = threading.Thread(
+                    target=self._watch, name="watchdog", daemon=True
+                )
+                watchdog.start()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            self.abort_event.set()  # stop the watchdog
+            if watchdog is not None:
+                watchdog.join()
+
+        if self.deadlock_report is not None:
+            raise DeadlockError(self.deadlock_report)
+        primary = self._select_error(errors)
+        if primary is not None:
+            rank = errors.index(primary)
+            tb = tracebacks[rank]
+            if tb:
+                raise MPIError(
+                    f"rank {rank} failed:\n{tb}"
+                ) from primary
+            raise primary
+        return results
+
+    def _select_error(
+        self, errors: Sequence[Optional[BaseException]]
+    ) -> Optional[BaseException]:
+        """Prefer a real error over secondary AbortErrors."""
+        primary = None
+        for e in errors:
+            if e is None:
+                continue
+            if not isinstance(e, AbortError):
+                return e
+            primary = primary or e
+        return primary
+
+    def _live_count(self) -> int:
+        with self._finished_lock:
+            return self.nranks - sum(self._finished)
+
+    def _watch(self) -> None:
+        """Deadlock watchdog: abort when nothing can ever progress."""
+        strikes = 0
+        last_progress = -1
+        while not self.abort_event.wait(_WATCHDOG_PERIOD):
+            live = self._live_count()
+            if live == 0:
+                return
+            blocked = self.tracker.blocked
+            progress = self.tracker.progress_value
+            if blocked >= live and progress == last_progress:
+                strikes += 1
+                if strikes >= _WATCHDOG_STRIKES:
+                    self._abort_deadlock()
+                    return
+            else:
+                strikes = 0
+            last_progress = progress
+
+    def _abort_deadlock(self) -> None:
+        snap = {
+            r: self._mailboxes[r].snapshot() for r in range(self.nranks)
+        }
+        lines = ["deadlock detected; per-rank pending state:"]
+        for r, s in snap.items():
+            if s["posted"] or s["unexpected"]:
+                lines.append(
+                    f"  rank {r}: waiting_on={s['posted']} "
+                    f"unmatched_inbox={s['unexpected']}"
+                )
+        self._deadlock_report = "\n".join(lines)
+        self.abort_event.set()
+
+    @property
+    def deadlock_report(self) -> Optional[str]:
+        """Diagnostic text if the watchdog fired, else ``None``."""
+        return getattr(self, "_deadlock_report", None)
+
+    # -- post-run reporting --------------------------------------------
+
+    def clock_stats(self) -> List[ClockStats]:
+        """Per-rank virtual clock snapshots."""
+        return [
+            ClockStats(
+                rank=r,
+                total=c.now,
+                compute=c.compute_time,
+                comm=c.comm_time,
+            )
+            for r, c in enumerate(self._clocks)
+        ]
+
+    def job_profile(self) -> JobProfile:
+        """Merged mpiP-style profile for the completed job."""
+        prof = JobProfile(nranks=self.nranks)
+        for r in range(self.nranks):
+            clock = self._clocks[r]
+            prof.rank_totals[r] = (clock.now, self._profiles[r].mpi_time)
+            prof.rank_profiles.append(self._profiles[r])
+        return prof
+
+
+def spmd(
+    nranks: int,
+    main: Callable[..., Any],
+    *args: Any,
+    machine: Optional[Any] = None,
+    time_policy: TimePolicy = TimePolicy.MODELED,
+    **kwargs: Any,
+) -> List[Any]:
+    """One-line helper: run ``main`` over ``nranks`` and return results."""
+    rt = Runtime(nranks=nranks, machine=machine, time_policy=time_policy)
+    return rt.run(main, args=args, kwargs=kwargs)

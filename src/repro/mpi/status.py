@@ -1,0 +1,45 @@
+"""Receive status objects, mirroring ``MPI_Status``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Status:
+    """Metadata about a completed receive.
+
+    Attributes
+    ----------
+    source:
+        Rank of the sender within the communicator the receive was
+        posted on.
+    tag:
+        Tag carried by the matched message.
+    nbytes:
+        Modelled wire size of the message payload.
+    arrival_vtime:
+        Virtual time at which the message arrived at the receiver's NIC
+        (before the receiver-side overhead was charged).
+    wait_vtime:
+        Virtual seconds the receiving rank spent blocked for this
+        message (zero when the message was already waiting).
+    """
+
+    source: int
+    tag: int
+    nbytes: int
+    arrival_vtime: float
+    wait_vtime: float
+
+    def Get_source(self) -> int:
+        """MPI-style accessor for :attr:`source`."""
+        return self.source
+
+    def Get_tag(self) -> int:
+        """MPI-style accessor for :attr:`tag`."""
+        return self.tag
+
+    def Get_count(self) -> int:
+        """MPI-style accessor: payload size in bytes."""
+        return self.nbytes

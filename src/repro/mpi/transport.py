@@ -1,0 +1,200 @@
+"""In-process message transport: envelopes, mailboxes, matching.
+
+Each simulated rank owns one :class:`Mailbox`.  A send deposits an
+:class:`Envelope` in the destination mailbox; matching follows the MPI
+two-queue scheme:
+
+* a queue of *posted receives* not yet matched, and
+* a queue of *unexpected messages* not yet matched.
+
+A send first scans the posted-receive queue in posting order; a receive
+first scans the unexpected queue in arrival order.  Per source, arrival
+order equals the sender's program order, so the MPI non-overtaking
+guarantee holds for each ``(source, dest, comm, tag)`` channel.
+
+Wall-clock thread scheduling never influences *virtual* message timing:
+an envelope carries the sender's virtual injection time, and the
+receiver computes arrival from the network model when the match
+completes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .datatypes import ANY_SOURCE, ANY_TAG
+from .errors import AbortError
+
+#: Polling granularity (wall seconds) for blocked waits.  Blocked
+#: threads wake at this cadence only to check for job abort; normal
+#: completion signals the event directly.
+_WAIT_POLL = 0.1
+
+
+@dataclass
+class Envelope:
+    """One message in flight.
+
+    ``wire_vtime`` is the sender's virtual clock when the message hit
+    the wire (i.e. after the sender-side overhead was charged).
+    """
+
+    src: int
+    dst: int
+    cid: int
+    tag: int
+    payload: Any
+    nbytes: int
+    wire_vtime: float
+    seq: int
+
+
+class PendingRecv:
+    """A posted receive waiting for a matching envelope."""
+
+    __slots__ = ("cid", "source", "tag", "event", "envelope")
+
+    def __init__(self, cid: int, source: int, tag: int):
+        self.cid = cid
+        self.source = source
+        self.tag = tag
+        self.event = threading.Event()
+        self.envelope: Optional[Envelope] = None
+
+    def matches(self, env: Envelope) -> bool:
+        """Does ``env`` satisfy this posted receive?"""
+        if env.cid != self.cid:
+            return False
+        if self.source != ANY_SOURCE and env.src != self.source:
+            return False
+        if self.tag != ANY_TAG and env.tag != self.tag:
+            return False
+        return True
+
+
+class Mailbox:
+    """Per-rank matching engine (posted receives + unexpected queue)."""
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.lock = threading.Lock()
+        self.unexpected: deque[Envelope] = deque()
+        self.posted: deque[PendingRecv] = deque()
+
+    def deliver(self, env: Envelope) -> None:
+        """Called on the *sender's* thread to deposit ``env`` here."""
+        with self.lock:
+            for pr in self.posted:
+                if pr.envelope is None and pr.matches(env):
+                    pr.envelope = env
+                    self.posted.remove(pr)
+                    pr.event.set()
+                    return
+            self.unexpected.append(env)
+
+    def post_recv(self, cid: int, source: int, tag: int) -> PendingRecv:
+        """Post a receive; match immediately if a message is waiting."""
+        pr = PendingRecv(cid, source, tag)
+        with self.lock:
+            for env in self.unexpected:
+                if pr.matches(env):
+                    self.unexpected.remove(env)
+                    pr.envelope = env
+                    pr.event.set()
+                    return pr
+            self.posted.append(pr)
+        return pr
+
+    def probe(self, cid: int, source: int, tag: int) -> Optional[Envelope]:
+        """Non-destructively look for a matching unexpected message."""
+        probe_pr = PendingRecv(cid, source, tag)
+        with self.lock:
+            for env in self.unexpected:
+                if probe_pr.matches(env):
+                    return env
+        return None
+
+    def snapshot(self) -> dict:
+        """Debug snapshot used in deadlock reports."""
+        with self.lock:
+            return {
+                "unexpected": [
+                    (e.src, e.tag, e.cid, e.nbytes) for e in self.unexpected
+                ],
+                "posted": [
+                    (p.source, p.tag, p.cid)
+                    for p in self.posted
+                    if p.envelope is None
+                ],
+            }
+
+
+class BlockTracker:
+    """Counts blocked ranks and overall matching progress.
+
+    The runtime watchdog declares deadlock when every live rank is
+    blocked and the progress counter has not moved between two checks.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.blocked = 0
+        self.progress = itertools.count()
+        self._progress_value = 0
+
+    def bump(self) -> None:
+        """Record that a match or delivery happened."""
+        with self._lock:
+            self._progress_value = next(self.progress)
+
+    @property
+    def progress_value(self) -> int:
+        return self._progress_value
+
+    def enter_blocked(self) -> None:
+        with self._lock:
+            self.blocked += 1
+
+    def exit_blocked(self) -> None:
+        with self._lock:
+            self.blocked -= 1
+
+
+def wait_event(
+    event: threading.Event,
+    tracker: BlockTracker,
+    abort_event: threading.Event,
+    what: str = "recv",
+) -> None:
+    """Block on ``event``, remaining responsive to job abort.
+
+    Raises :class:`AbortError` if the runtime aborts while we wait.
+    """
+    if event.is_set():
+        return
+    tracker.enter_blocked()
+    try:
+        while not event.wait(_WAIT_POLL):
+            if abort_event.is_set():
+                raise AbortError(f"job aborted while blocked in {what}")
+    finally:
+        tracker.exit_blocked()
+
+
+@dataclass
+class ChannelSeq:
+    """Monotone per-(src, dst) sequence numbers for debugging/tracing."""
+
+    _counters: dict = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def next(self, src: int, dst: int) -> int:
+        key = (src, dst)
+        with self._lock:
+            n = self._counters.get(key, 0)
+            self._counters[key] = n + 1
+            return n

@@ -1,0 +1,134 @@
+"""Interconnect topologies: hop counts between ranks.
+
+The paper's communication study (Section VI) motivates "appropriate
+latency and bandwidth models for the machines"; message latency in a
+real cluster depends on how many switch/link hops separate two ranks.
+This module provides hop-count models for the three shapes that matter
+for Nek-family codes:
+
+* :class:`FlatTopology` — every pair one hop (a single crossbar); the
+  simplest useful model.
+* :class:`FatTreeTopology` — ranks packed ``ranks_per_node`` to a node,
+  nodes packed ``nodes_per_switch`` to a leaf switch, leaf switches
+  joined by a core level.  Matches Compton (42 dual-socket nodes on
+  Mellanox Infiniscale IV QDR).
+* :class:`TorusTopology` — a 3-D torus with dimension-ordered routing,
+  the BG/Q-style network Nek5000 scaling studies ran on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+class Topology:
+    """Base class: maps a pair of world ranks to a hop count."""
+
+    def hops(self, src: int, dst: int) -> int:
+        raise NotImplementedError
+
+    def max_hops(self) -> int:
+        """Upper bound on :meth:`hops`; used in cost summaries."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FlatTopology(Topology):
+    """Uniform network: one hop between any two distinct ranks."""
+
+    def hops(self, src: int, dst: int) -> int:
+        return 0 if src == dst else 1
+
+    def max_hops(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class FatTreeTopology(Topology):
+    """Two-level fat tree.
+
+    Hop counts: 0 within a rank (self), 1 within a node (shared
+    memory), 2 within a leaf switch, 4 across the core level.
+    """
+
+    ranks_per_node: int = 16
+    nodes_per_switch: int = 18
+
+    def __post_init__(self) -> None:
+        if self.ranks_per_node < 1 or self.nodes_per_switch < 1:
+            raise ValueError("fat-tree parameters must be >= 1")
+
+    def hops(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        node_s, node_d = src // self.ranks_per_node, dst // self.ranks_per_node
+        if node_s == node_d:
+            return 1
+        sw_s = node_s // self.nodes_per_switch
+        sw_d = node_d // self.nodes_per_switch
+        return 2 if sw_s == sw_d else 4
+
+    def max_hops(self) -> int:
+        return 4
+
+    def same_node(self, src: int, dst: int) -> bool:
+        """True when both ranks live on the same physical node."""
+        return src // self.ranks_per_node == dst // self.ranks_per_node
+
+
+@dataclass(frozen=True)
+class TorusTopology(Topology):
+    """3-D torus with dimension-ordered (Manhattan, wrap-around) routing.
+
+    Ranks are laid out lexicographically on ``shape = (px, py, pz)``
+    with x fastest, matching :mod:`repro.mesh.partition`.
+    """
+
+    shape: Tuple[int, int, int] = (8, 8, 4)
+
+    def __post_init__(self) -> None:
+        if any(s < 1 for s in self.shape):
+            raise ValueError(f"bad torus shape {self.shape}")
+
+    @property
+    def nranks(self) -> int:
+        px, py, pz = self.shape
+        return px * py * pz
+
+    def coords(self, rank: int) -> Tuple[int, int, int]:
+        """Rank -> (x, y, z) coordinates, x fastest."""
+        px, py, pz = self.shape
+        if not (0 <= rank < self.nranks):
+            raise ValueError(f"rank {rank} outside torus {self.shape}")
+        return rank % px, (rank // px) % py, rank // (px * py)
+
+    @staticmethod
+    def _ring_dist(a: int, b: int, n: int) -> int:
+        d = abs(a - b)
+        return min(d, n - d)
+
+    def hops(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        cs, cd = self.coords(src), self.coords(dst)
+        return sum(
+            self._ring_dist(a, b, n) for a, b, n in zip(cs, cd, self.shape)
+        )
+
+    def max_hops(self) -> int:
+        return sum(n // 2 for n in self.shape)
+
+
+def mean_hops(topo: Topology, ranks: Sequence[int]) -> float:
+    """Average pairwise hop count over a set of ranks (diagnostics)."""
+    ranks = list(ranks)
+    if len(ranks) < 2:
+        return 0.0
+    total = 0
+    count = 0
+    for i, a in enumerate(ranks):
+        for b in ranks[i + 1 :]:
+            total += topo.hops(a, b)
+            count += 1
+    return total / count

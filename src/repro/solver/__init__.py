@@ -1,0 +1,167 @@
+"""``repro.solver`` — the conceptual CMT-nek: a parallel DG Euler solver.
+
+Implements the paper's conceptual model (Section III-B): the
+conservation law for ``U = (rho, momentum, energy)`` discretized with
+discontinuous-Galerkin spectral elements — volume flux divergence via
+the derivative kernels, ``full2face`` trace extraction, gather-scatter
+face exchange, numerical flux, and explicit SSP-RK time stepping.
+"""
+
+from .boundary import (
+    BoundaryHandler,
+    BoundarySpec,
+    outflow_everywhere,
+    walls_everywhere,
+)
+from .riemann import (
+    PrimitiveState,
+    RiemannSolution,
+    SOD_LEFT,
+    SOD_RIGHT,
+    exact_riemann,
+)
+from .checkpoint import (
+    CheckpointInfo,
+    load_checkpoint,
+    read_manifest,
+    save_checkpoint,
+)
+from .divergence import (
+    divergence_flops,
+    flux_divergence,
+    flux_divergence_multi,
+    gradient_physical,
+)
+from .driver import CMTSolver, SolverConfig, StepStats
+from .eos import IdealGas, StiffenedGas
+from .flux import euler_flux, euler_fluxes, flux_flops, wavespeed
+from .multiphase import (
+    InertialCloud,
+    TwoWayCoupling,
+    deposit_at,
+    deposit_uniform,
+    seed_inertial,
+)
+from .numflux import SCHEMES, central, get_scheme, lax_friedrichs
+from .particles import (
+    ParticleCloud,
+    ParticleTracker,
+    interpolate_at,
+    seed_particles,
+)
+from .shock import (
+    ShockFilter,
+    exponential_sigma,
+    modal_to_nodal,
+    nodal_to_modal,
+    smoothness_sensor,
+)
+from .sources import (
+    combine_sources,
+    gaussian_bed,
+    make_body_force,
+    make_nozzling_source,
+)
+from .rk import cfl_dt, get_stepper, step_euler, step_ssprk2, step_ssprk3
+from .state import (
+    COMPONENT_NAMES,
+    ENERGY,
+    MX,
+    MY,
+    MZ,
+    NEQ,
+    RHO,
+    FlowState,
+    from_primitives,
+    uniform_state,
+)
+from .viscous import (
+    ViscousModel,
+    velocity_and_temperature,
+    viscous_dt_limit,
+    viscous_fluxes,
+)
+from .surface import (
+    FACE_NORMAL_AXIS,
+    FACE_NORMAL_SIGN,
+    face2full_add,
+    face_bytes,
+    full2face,
+    full2face_multi,
+)
+
+__all__ = [
+    "BoundaryHandler",
+    "BoundarySpec",
+    "CMTSolver",
+    "CheckpointInfo",
+    "COMPONENT_NAMES",
+    "ENERGY",
+    "FACE_NORMAL_AXIS",
+    "FACE_NORMAL_SIGN",
+    "FlowState",
+    "IdealGas",
+    "InertialCloud",
+    "MX",
+    "MY",
+    "MZ",
+    "NEQ",
+    "ParticleCloud",
+    "PrimitiveState",
+    "ParticleTracker",
+    "RHO",
+    "RiemannSolution",
+    "SOD_LEFT",
+    "SOD_RIGHT",
+    "SCHEMES",
+    "ShockFilter",
+    "SolverConfig",
+    "StiffenedGas",
+    "ViscousModel",
+    "StepStats",
+    "TwoWayCoupling",
+    "central",
+    "cfl_dt",
+    "deposit_at",
+    "deposit_uniform",
+    "combine_sources",
+    "divergence_flops",
+    "euler_flux",
+    "exact_riemann",
+    "exponential_sigma",
+    "euler_fluxes",
+    "face2full_add",
+    "face_bytes",
+    "flux_divergence",
+    "flux_divergence_multi",
+    "flux_flops",
+    "from_primitives",
+    "full2face",
+    "full2face_multi",
+    "gaussian_bed",
+    "get_scheme",
+    "get_stepper",
+    "gradient_physical",
+    "interpolate_at",
+    "lax_friedrichs",
+    "load_checkpoint",
+    "make_body_force",
+    "make_nozzling_source",
+    "modal_to_nodal",
+    "nodal_to_modal",
+    "outflow_everywhere",
+    "read_manifest",
+    "save_checkpoint",
+    "seed_inertial",
+    "seed_particles",
+    "smoothness_sensor",
+    "step_euler",
+    "step_ssprk2",
+    "step_ssprk3",
+    "uniform_state",
+    "velocity_and_temperature",
+    "viscous_dt_limit",
+    "viscous_fluxes",
+    "walls_everywhere",
+    "wavespeed",
+]

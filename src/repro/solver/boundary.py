@@ -1,0 +1,154 @@
+"""Physical boundary conditions for non-periodic box directions.
+
+The mini-app snapshot runs periodic boxes, but CMT-nek's target
+problems (explosive particle dispersal, shock-particle interaction)
+live in walled and open domains.  The DG face machinery extends
+naturally: a boundary face has no gs partner (its ids are unshared, so
+the exchanged sum equals the local trace), and the numerical flux is
+evaluated against a synthesized *ghost state* instead:
+
+``wall``
+    Inviscid slip wall: ghost = interior with the normal momentum
+    reflected.  The resulting interface mass/energy fluxes vanish
+    identically, so a closed box conserves mass and energy exactly
+    while walls exert (physical) pressure forces.
+``outflow``
+    Transmissive/zero-gradient: ghost = interior; waves leave.  Only
+    well-posed for supersonic exit; in long subsonic runs nothing
+    anchors the exterior state and the box slowly drains (the classic
+    extrapolation-BC "suck-out") — use a ``dirichlet`` ambient far
+    field when long-time absorption is needed.
+``dirichlet``
+    Fixed exterior state (farfield/inflow): ghost = a prescribed
+    constant state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..mesh import Partition, RankTopology
+from ..mesh.topology import FACE_AXIS_SIDE, NFACES
+from .flux import euler_flux
+from .state import ENERGY, MX, NEQ, RHO
+
+#: Supported boundary kinds.
+KINDS = ("wall", "outflow", "dirichlet")
+
+
+@dataclass(frozen=True)
+class BoundarySpec:
+    """Boundary condition for one side of one axis."""
+
+    kind: str
+    #: For ``dirichlet``: the exterior state as a 5-vector of conserved
+    #: variables (rho, mx, my, mz, E).
+    state: Optional[Tuple[float, float, float, float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown boundary kind {self.kind!r}; choose from {KINDS}"
+            )
+        if self.kind == "dirichlet":
+            if self.state is None or len(self.state) != NEQ:
+                raise ValueError(
+                    "dirichlet boundaries need a 5-component state"
+                )
+        elif self.state is not None:
+            raise ValueError(f"{self.kind} boundaries take no state")
+
+
+#: Per-face boundary table: face index (0..5) -> BoundarySpec.
+BoundaryTable = Dict[int, BoundarySpec]
+
+
+def walls_everywhere() -> BoundaryTable:
+    """Closed box: slip walls on every non-periodic face."""
+    return {f: BoundarySpec("wall") for f in range(NFACES)}
+
+
+def outflow_everywhere() -> BoundaryTable:
+    """Open box: transmissive on every non-periodic face."""
+    return {f: BoundarySpec("outflow") for f in range(NFACES)}
+
+
+class BoundaryHandler:
+    """Applies ghost-state corrections to exchanged face traces."""
+
+    def __init__(
+        self,
+        partition: Partition,
+        rank: int,
+        table: BoundaryTable,
+    ):
+        mesh = partition.mesh
+        self.table = dict(table)
+        topo = RankTopology(partition, rank)
+        nel = partition.nel_local
+        n = mesh.n
+        #: (nel, 6) — True where the face is a physical boundary.
+        self.mask = np.zeros((nel, NFACES), dtype=bool)
+        for link in topo.boundary_links():
+            self.mask[link.local_element, link.face] = True
+        for f in range(NFACES):
+            axis, _side = FACE_AXIS_SIDE[f]
+            if np.any(self.mask[:, f]) and f not in self.table:
+                raise ValueError(
+                    f"mesh has physical boundaries on face {f} "
+                    f"(axis {axis}) but no boundary condition was given"
+                )
+        self.n = n
+        self.has_boundaries = bool(self.mask.any())
+
+    def ghost_traces(
+        self,
+        uf: np.ndarray,
+        ff: np.ndarray,
+        lam: np.ndarray,
+        eos,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Exchanged-sum corrections for boundary faces.
+
+        Inputs are the local traces ``uf``/``ff`` (5, nel, 6, N, N) and
+        ``lam`` (nel, 6, N, N).  Returns (usum, fsum, lam_max)
+        *increments*: arrays shaped like the exchanged sums containing
+        the ghost contribution on boundary entries and zero elsewhere,
+        to be added to the gs results (which, for unshared boundary
+        ids, already equal the local trace).
+        """
+        du = np.zeros_like(uf)
+        df = np.zeros_like(ff)
+        dlam = np.zeros_like(lam)
+        if not self.has_boundaries:
+            return du, df, dlam
+        for f, spec in self.table.items():
+            sel = self.mask[:, f]
+            if not np.any(sel):
+                continue
+            axis, _side = FACE_AXIS_SIDE[f]
+            u_in = uf[:, sel, f]          # (5, nb, N, N)
+            if spec.kind == "outflow":
+                ghost = u_in
+            elif spec.kind == "wall":
+                ghost = u_in.copy()
+                ghost[MX + axis] = -ghost[MX + axis]
+            else:  # dirichlet
+                ghost = np.empty_like(u_in)
+                for c in range(NEQ):
+                    ghost[c] = spec.state[c]
+            gflux = euler_flux(ghost, eos, axis)
+            # Ghost wavespeed along the face's axis.
+            rho = ghost[RHO]
+            p = eos.pressure(rho, ghost[MX : MX + 3], ghost[ENERGY])
+            glam = np.abs(ghost[MX + axis] / rho) + eos.sound_speed(rho, p)
+            du[:, sel, f] = ghost
+            df[:, sel, f] = gflux
+            # lam exchange is MAX; emulate with an increment that lifts
+            # the local value where the ghost is faster.
+            local = lam[sel, f]
+            dlam[sel, f] = np.maximum(glam, local) - local
+        return du, df, dlam

@@ -1,0 +1,181 @@
+"""Checkpoint / restart for distributed solver state.
+
+Nek-family production runs live and die by restart files; a mini-app
+ecosystem needs the same plumbing for long campaigns.  Checkpoints are
+one ``.npz`` per rank plus a small JSON manifest that pins the mesh,
+partition, and step metadata so restarts onto mismatched setups fail
+loudly instead of silently corrupting physics.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..mesh import BoxMesh, Partition
+from ..mpi import Comm
+from .eos import IdealGas, StiffenedGas
+from .state import FlowState
+
+#: Manifest schema version.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Metadata stored in (and read back from) a checkpoint manifest."""
+
+    step: int
+    time: float
+    nranks: int
+    mesh_shape: Tuple[int, int, int]
+    n: int
+    proc_shape: Tuple[int, int, int]
+    eos: dict
+
+
+def _eos_to_dict(eos) -> dict:
+    if isinstance(eos, IdealGas):
+        return {"kind": "ideal", "gamma": eos.gamma, "r_gas": eos.r_gas}
+    if isinstance(eos, StiffenedGas):
+        return {
+            "kind": "stiffened", "gamma": eos.gamma,
+            "p_inf": eos.p_inf, "r_gas": eos.r_gas,
+        }
+    raise TypeError(f"cannot serialize EOS of type {type(eos).__name__}")
+
+
+def _eos_from_dict(d: dict):
+    kind = d.get("kind")
+    if kind == "ideal":
+        return IdealGas(gamma=d["gamma"], r_gas=d["r_gas"])
+    if kind == "stiffened":
+        return StiffenedGas(
+            gamma=d["gamma"], p_inf=d["p_inf"], r_gas=d["r_gas"]
+        )
+    raise ValueError(f"unknown EOS kind {kind!r} in checkpoint")
+
+
+def _rank_file(directory: pathlib.Path, rank: int) -> pathlib.Path:
+    return directory / f"state.{rank:05d}.npz"
+
+
+def _manifest_file(directory: pathlib.Path) -> pathlib.Path:
+    return directory / "manifest.json"
+
+
+def save_checkpoint(
+    directory,
+    comm: Comm,
+    partition: Partition,
+    state: FlowState,
+    step: int = 0,
+    time: float = 0.0,
+) -> CheckpointInfo:
+    """Collectively write one checkpoint (rank files + manifest).
+
+    Rank 0 writes the manifest; every rank writes its own state file.
+    Returns the manifest metadata.
+    """
+    directory = pathlib.Path(directory)
+    if comm.rank == 0:
+        directory.mkdir(parents=True, exist_ok=True)
+    comm.barrier(site="checkpoint")
+    np.savez_compressed(
+        _rank_file(directory, comm.rank),
+        u=state.u,
+        rank=comm.rank,
+        step=step,
+        time=time,
+    )
+    info = CheckpointInfo(
+        step=step,
+        time=time,
+        nranks=comm.size,
+        mesh_shape=tuple(partition.mesh.shape),
+        n=partition.mesh.n,
+        proc_shape=tuple(partition.proc_shape),
+        eos=_eos_to_dict(state.eos),
+    )
+    if comm.rank == 0:
+        manifest = {
+            "format_version": FORMAT_VERSION,
+            "step": info.step,
+            "time": info.time,
+            "nranks": info.nranks,
+            "mesh_shape": list(info.mesh_shape),
+            "n": info.n,
+            "proc_shape": list(info.proc_shape),
+            "eos": info.eos,
+        }
+        _manifest_file(directory).write_text(
+            json.dumps(manifest, indent=2)
+        )
+    comm.barrier(site="checkpoint")
+    return info
+
+
+def read_manifest(directory) -> CheckpointInfo:
+    """Read and validate a checkpoint manifest."""
+    directory = pathlib.Path(directory)
+    path = _manifest_file(directory)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint manifest at {path}")
+    m = json.loads(path.read_text())
+    if m.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"checkpoint format {m.get('format_version')} != "
+            f"{FORMAT_VERSION}"
+        )
+    return CheckpointInfo(
+        step=m["step"],
+        time=m["time"],
+        nranks=m["nranks"],
+        mesh_shape=tuple(m["mesh_shape"]),
+        n=m["n"],
+        proc_shape=tuple(m["proc_shape"]),
+        eos=m["eos"],
+    )
+
+
+def load_checkpoint(
+    directory,
+    comm: Comm,
+    partition: Partition,
+) -> Tuple[FlowState, CheckpointInfo]:
+    """Collectively restore a checkpoint written by :func:`save_checkpoint`.
+
+    The partition must match the one the checkpoint was written with
+    (same mesh, same processor grid, same rank count) — restart onto a
+    different decomposition is refused explicitly.
+    """
+    directory = pathlib.Path(directory)
+    info = read_manifest(directory)
+    if info.nranks != comm.size:
+        raise ValueError(
+            f"checkpoint has {info.nranks} ranks, communicator has "
+            f"{comm.size}"
+        )
+    if info.mesh_shape != tuple(partition.mesh.shape) or info.n != (
+        partition.mesh.n
+    ):
+        raise ValueError(
+            f"checkpoint mesh {info.mesh_shape}/N={info.n} does not match "
+            f"partition mesh {partition.mesh.shape}/N={partition.mesh.n}"
+        )
+    if info.proc_shape != tuple(partition.proc_shape):
+        raise ValueError(
+            f"checkpoint processor grid {info.proc_shape} != "
+            f"{partition.proc_shape}"
+        )
+    with np.load(_rank_file(directory, comm.rank)) as data:
+        if int(data["rank"]) != comm.rank:
+            raise ValueError("rank file does not belong to this rank")
+        u = np.array(data["u"])
+    state = FlowState(u=u, eos=_eos_from_dict(info.eos))
+    comm.barrier(site="checkpoint")
+    return state, info

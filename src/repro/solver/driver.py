@@ -1,0 +1,388 @@
+"""The parallel DG compressible-flow solver (conceptual CMT-nek).
+
+Assembles every substrate into the timestep the paper's conceptual
+model describes: per Runge-Kutta stage,
+
+1. evaluate the Euler fluxes pointwise (volume work),
+2. flux divergence via the derivative kernels (the ``ax_`` hot spot),
+3. ``full2face`` extraction of state/flux/wavespeed traces,
+4. nearest-neighbour exchange of the traces through the gather-scatter
+   library (``gs_op`` over the DG face numbering),
+5. numerical flux + SAT surface correction,
+6. the RK update,
+
+with source terms "set to zero" exactly as the current CMT-nek version
+does (a hook is provided for the nozzling term that will follow).
+
+The solver runs on the simulated MPI: physics arrays are computed for
+real in numpy; virtual time is charged per phase through the machine
+model so the communication/computation balance matches the modelled
+platform rather than Python's own speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..gs import choose_method, gs_op, gs_setup
+from ..kernels import derivative_matrix, gll_weights
+from ..kernels import derivatives as dkernels
+from ..mesh import Partition, dg_face_numbering
+from ..mpi import MAX, SUM, Comm
+from .divergence import divergence_flops, flux_divergence_multi
+from .eos import IdealGas
+from .flux import euler_fluxes, flux_flops
+from .numflux import get_scheme
+from .rk import cfl_dt, get_stepper
+from .state import ENERGY, MX, NEQ, RHO, FlowState
+from .surface import (
+    FACE_NORMAL_AXIS,
+    FACE_NORMAL_SIGN,
+    face2full_add,
+    full2face_multi,
+    full2face_flops,
+)
+
+#: Profiler call-site label for the face exchange.
+SITE_FACE_EXCHANGE = "cmt:face_exchange"
+
+
+@dataclass
+class SolverConfig:
+    """Tunable knobs of :class:`CMTSolver`."""
+
+    flux_scheme: str = "lax_friedrichs"
+    time_stepper: str = "ssprk3"
+    kernel_variant: str = "fused"
+    gs_method: Optional[str] = None     # None -> autotune at setup
+    autotune_trials: int = 2
+    cfl: float = 0.4
+    #: Evaluate the nonlinear fluxes on a 3/2-rule fine grid and
+    #: project back (over-integration dealiasing) — the second use of
+    #: the small-matrix kernel named in the paper's Section V.
+    dealias: bool = False
+    #: Adaptive modal shock filter (a :class:`repro.solver.shock.ShockFilter`);
+    #: ``None`` disables capturing.  Applied after every full RK step.
+    shock_filter: Optional[object] = None
+    #: Viscous model (a :class:`repro.solver.viscous.ViscousModel`);
+    #: ``None`` solves the Euler equations, as the mini-app snapshot
+    #: does; set to get the full compressible Navier-Stokes of Eq. (1).
+    viscosity: Optional[object] = None
+    #: Boundary-condition table (face index -> BoundarySpec) for
+    #: non-periodic mesh directions; see :mod:`repro.solver.boundary`.
+    boundaries: Optional[dict] = None
+    charge_model_time: bool = True
+    #: Optional source-term hook S(u) -> (5, nel, N, N, N); the current
+    #: CMT-nek sets sources to zero (paper, Section IV).
+    source: Optional[Callable[[np.ndarray], np.ndarray]] = None
+
+
+@dataclass
+class StepStats:
+    """Per-run diagnostics collected by :meth:`CMTSolver.run`."""
+
+    steps: int = 0
+    dt_history: List[float] = field(default_factory=list)
+    mass_history: List[float] = field(default_factory=list)
+    energy_history: List[float] = field(default_factory=list)
+
+
+class CMTSolver:
+    """Distributed explicit DG Euler solver on a periodic box."""
+
+    def __init__(
+        self,
+        comm: Comm,
+        partition: Partition,
+        eos: Optional[IdealGas] = None,
+        config: Optional[SolverConfig] = None,
+    ):
+        mesh = partition.mesh
+        self.config = config or SolverConfig()
+        if not all(mesh.periodic) and self.config.boundaries is None:
+            raise ValueError(
+                "mesh has non-periodic directions: pass "
+                "SolverConfig(boundaries=...) with a boundary table "
+                "(see repro.solver.boundary)"
+            )
+        if partition.nranks != comm.size:
+            raise ValueError(
+                f"partition has {partition.nranks} ranks but communicator "
+                f"has {comm.size}"
+            )
+        self.comm = comm
+        self.partition = partition
+        self.mesh = mesh
+        self.eos = eos or IdealGas()
+        self.n = mesh.n
+        self.nel = partition.nel_local
+        self.dmat = np.asarray(derivative_matrix(self.n))
+        self.weights = np.asarray(gll_weights(self.n))
+        self.jac = mesh.jacobian
+        self._numflux = get_scheme(self.config.flux_scheme)
+        self._stepper = get_stepper(self.config.time_stepper)
+
+        # Gather-scatter handle over the DG face-pair numbering.
+        gids = dg_face_numbering(partition, comm.rank)
+        self.face_handle = gs_setup(gids, comm)
+        if self.config.gs_method is not None:
+            self.face_handle.method = self.config.gs_method
+        elif comm.size > 1:
+            choose_method(
+                self.face_handle, trials=self.config.autotune_trials
+            )
+        else:
+            self.face_handle.method = "pairwise"
+        self.stats = StepStats()
+        # Physical boundary handler (None on fully periodic boxes).
+        self.boundary = None
+        if self.config.boundaries is not None:
+            from .boundary import BoundaryHandler
+
+            self.boundary = BoundaryHandler(
+                partition, comm.rank, self.config.boundaries
+            )
+        #: Optional phase profiler (e.g. a CallGraphProfiler); when
+        #: set, rhs/step bracket their phases with the taxonomy names
+        #: "derivative", "surface", "exchange", "update" — the same
+        #: taxonomy the validation methodology maps CMT-bone onto.
+        self.profiler = None
+
+        # Constant per-face SAT scale: -sign * jac_axis / w_endpoint.
+        w_end = float(self.weights[0])  # == weights[-1] by symmetry
+        self._sat_scale = np.array(
+            [
+                -FACE_NORMAL_SIGN[f] * self.jac[FACE_NORMAL_AXIS[f]] / w_end
+                for f in range(6)
+            ]
+        )
+
+    # -- cost charging ---------------------------------------------------
+
+    def _charge(self, flops: float, mem_bytes: float = 0.0,
+                efficiency: float = 0.7) -> None:
+        if self.config.charge_model_time:
+            self.comm.compute(
+                flops=flops, mem_bytes=mem_bytes, efficiency=efficiency
+            )
+
+    def _region(self, name: str):
+        """Phase bracket: profiler region when attached, else no-op."""
+        if self.profiler is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self.profiler.region(name)
+
+    # -- spatial operator ---------------------------------------------------
+
+    def rhs(self, u: np.ndarray) -> np.ndarray:
+        """Semi-discrete right-hand side ``du/dt = L(u)``."""
+        # (1)+(2) volume terms: pointwise fluxes, then flux divergence.
+        # With dealiasing on, the nonlinear products are evaluated on
+        # the 3/2-rule fine grid and projected back ("an element is
+        # first mapped to a finer mesh and later mapped back", Sec. V).
+        with self._region("derivative"):
+            fx, fy, fz, div = self._volume_terms(u)
+
+        # (3) full2face_cmt: state, normal flux, and wavespeed traces.
+        with self._region("surface"):
+            uf, ff, lam = self._surface_traces(u, fx, fy, fz)
+
+        # (4) nearest-neighbour exchange via the gs library.
+        with self._region("exchange"):
+            usum, fsum, lam_max = self._exchange_traces(uf, ff, lam)
+
+        # (5) numerical flux + SAT correction.
+        with self._region("surface"):
+            rhs = self._surface_correction(
+                div, uf, ff, usum, fsum, lam_max
+            )
+
+        if self.config.source is not None:
+            rhs = rhs + self.config.source(u)
+        return rhs
+
+    def _volume_terms(self, u: np.ndarray):
+        n, nel = self.n, self.nel
+        eos = self.eos
+        if self.config.dealias:
+            from ..kernels.dealias import dealias_flops, to_coarse, to_fine
+
+            uf_fine = np.stack([to_fine(u[c], n) for c in range(NEQ)])
+            ffx, ffy, ffz = euler_fluxes(uf_fine, eos)
+            m = uf_fine.shape[2]
+            fx = np.stack([to_coarse(ffx[c], n, m) for c in range(NEQ)])
+            fy = np.stack([to_coarse(ffy[c], n, m) for c in range(NEQ)])
+            fz = np.stack([to_coarse(ffz[c], n, m) for c in range(NEQ)])
+            # NEQ fields up + 3*NEQ flux components down = 2*NEQ
+            # roundtrip-pair equivalents.
+            self._charge(
+                flux_flops(m, nel) + 2 * NEQ * dealias_flops(n, nel=nel)
+            )
+        else:
+            fx, fy, fz = euler_fluxes(u, eos)
+            self._charge(flux_flops(n, nel))
+        if self.config.viscosity is not None:
+            from .viscous import viscous_flops, viscous_fluxes
+
+            fvx, fvy, fvz = viscous_fluxes(
+                u, eos, self.config.viscosity, self.dmat, self.jac,
+                variant=self.config.kernel_variant,
+            )
+            fx = fx - fvx
+            fy = fy - fvy
+            fz = fz - fvz
+            self._charge(viscous_flops(n, nel))
+        div = flux_divergence_multi(
+            fx, fy, fz, self.dmat, self.jac, variant=self.config.kernel_variant
+        )
+        self._charge(
+            divergence_flops(n, nel, NEQ),
+            mem_bytes=NEQ * dkernels.mem_bytes(n, nel, 3),
+        )
+        return fx, fy, fz, div
+
+    def _surface_traces(self, u, fx, fy, fz):
+        """full2face_cmt: state, normal-flux, and wavespeed traces."""
+        n, nel = self.n, self.nel
+        uf = full2face_multi(u)
+        fxf = full2face_multi(fx)
+        fyf = full2face_multi(fy)
+        fzf = full2face_multi(fz)
+        ff = np.empty_like(uf)
+        ff[:, :, 0:2] = fxf[:, :, 0:2]
+        ff[:, :, 2:4] = fyf[:, :, 2:4]
+        ff[:, :, 4:6] = fzf[:, :, 4:6]
+        lam = self._face_wavespeed(uf)
+        self._charge(full2face_flops(n, nel, ncomp=4 * NEQ + 1))
+        return uf, ff, lam
+
+    def _exchange_traces(self, uf, ff, lam):
+        """Nearest-neighbour trace exchange via the gs library."""
+        h = self.face_handle
+        usum = np.empty_like(uf)
+        fsum = np.empty_like(ff)
+        for c in range(NEQ):
+            usum[c] = gs_op(h, uf[c], op=SUM, site=SITE_FACE_EXCHANGE)
+            fsum[c] = gs_op(h, ff[c], op=SUM, site=SITE_FACE_EXCHANGE)
+        lam_max = gs_op(h, lam, op=MAX, site=SITE_FACE_EXCHANGE)
+        if self.boundary is not None and self.boundary.has_boundaries:
+            du, df, dlam = self.boundary.ghost_traces(uf, ff, lam, self.eos)
+            usum = usum + du
+            fsum = fsum + df
+            lam_max = lam_max + dlam
+        return usum, fsum, lam_max
+
+    def _surface_correction(self, div, uf, ff, usum, fsum, lam_max):
+        """Numerical flux + SAT correction.  Neighbour traces are
+        (sum - mine); the dissipation sign folds the face orientation."""
+        n, nel = self.n, self.nel
+        sign = np.array(FACE_NORMAL_SIGN).reshape(1, 6, 1, 1)
+        fstar = self._numflux(
+            u_minus=uf,
+            u_plus=usum - uf,
+            f_minus=ff,
+            f_plus=fsum - ff,
+            lam=sign[None] * lam_max[None],
+        )
+        sat_faces = self._sat_scale.reshape(1, 1, 6, 1, 1) * (fstar - ff)
+        rhs = -div
+        for c in range(NEQ):
+            face2full_add(rhs[c], sat_faces[c])
+        self._charge(30.0 * NEQ * nel * 6 * n * n)
+        return rhs
+
+    def _face_wavespeed(self, uf: np.ndarray) -> np.ndarray:
+        """Pointwise |v_n| + a on every face trace: (nel, 6, N, N)."""
+        rho = uf[RHO]
+        mom = uf[MX : MX + 3]
+        p = self.eos.pressure(rho, mom, uf[ENERGY])
+        a = self.eos.sound_speed(rho, p)
+        axis_pick = np.array(FACE_NORMAL_AXIS)
+        vn = np.take_along_axis(
+            mom, axis_pick.reshape(1, 1, 6, 1, 1), axis=0
+        )[0] / rho
+        return np.abs(vn) + a
+
+    # -- time stepping -------------------------------------------------------
+
+    def stable_dt(self, state: FlowState) -> float:
+        """Globally CFL-limited timestep (one allreduce)."""
+        local = state.max_wavespeed()
+        speed = self.comm.allreduce(local, op=MAX, site="cmt:cfl")
+        dx = min(self.mesh.element_lengths)
+        return cfl_dt(speed, dx, self.n, cfl=self.config.cfl)
+
+    def step(self, state: FlowState, dt: float) -> FlowState:
+        """Advance one explicit RK step (+ adaptive shock filter)."""
+        with self._region("update"):
+            unew = self._stepper(state.u, self.rhs, dt)
+            # RK axpy arithmetic: ~2 flops and one read-modify-write
+            # per point per stage.
+            from .rk import STAGES
+
+            stages = STAGES.get(self.config.time_stepper, 3)
+            self._charge(
+                2.0 * stages * float(unew.size),
+                mem_bytes=32.0 * stages * float(unew.size),
+            )
+        filt = self.config.shock_filter
+        if filt is not None:
+            unew = filt.apply_state(unew)
+            self._charge(
+                10.0 * float(unew.size)  # three tensor transforms-ish
+            )
+        return FlowState(u=unew, eos=state.eos)
+
+    def run(
+        self,
+        state: FlowState,
+        nsteps: int,
+        dt: Optional[float] = None,
+        monitor_every: int = 0,
+        callback: Optional[Callable[[int, FlowState], None]] = None,
+    ) -> FlowState:
+        """Advance ``nsteps``; optionally re-evaluate dt and conservation.
+
+        ``monitor_every > 0`` triggers a conserved-integral reduction
+        every so many steps (the vector-reduction traffic the paper
+        lists among CMT-bone's communication operations).
+        """
+        for istep in range(nsteps):
+            step_dt = dt if dt is not None else self.stable_dt(state)
+            state = self.step(state, step_dt)
+            self.stats.steps += 1
+            self.stats.dt_history.append(step_dt)
+            if monitor_every and (istep + 1) % monitor_every == 0:
+                mass = self.integrate(state.u[RHO])
+                energy = self.integrate(state.u[ENERGY])
+                self.stats.mass_history.append(mass)
+                self.stats.energy_history.append(energy)
+            if callback is not None:
+                callback(istep, state)
+        return state
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def integrate(self, field_: np.ndarray) -> float:
+        """Global integral of a scalar field (quadrature + allreduce)."""
+        w = self.weights
+        wx = w.reshape(1, -1, 1, 1)
+        wy = w.reshape(1, 1, -1, 1)
+        wz = w.reshape(1, 1, 1, -1)
+        jx, jy, jz = self.jac
+        local = float(np.sum(field_ * wx * wy * wz) / (jx * jy * jz))
+        return self.comm.allreduce(local, op=SUM, site="cmt:integrate")
+
+    def conserved_totals(self, state: FlowState) -> Dict[str, float]:
+        """Global integrals of all five conserved components."""
+        from .state import COMPONENT_NAMES
+
+        return {
+            name: self.integrate(state.u[c])
+            for c, name in enumerate(COMPONENT_NAMES)
+        }

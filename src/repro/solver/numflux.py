@@ -1,0 +1,59 @@
+"""Numerical (interface) fluxes for the DG surface term.
+
+The variational formulation (paper Eq. 2) carries a surface integral of
+``(f - f*) . n`` where ``f*`` is "the numerical flux which is informed
+by the physics of compressible flow".  Two standard choices are
+provided; both are *symmetric* in the two trace states, which is what
+makes the scheme conservative (the two elements sharing a face agree on
+``f*`` exactly, including floating-point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Available interface flux schemes.
+SCHEMES = ("lax_friedrichs", "central")
+
+
+def central(
+    u_minus: np.ndarray,
+    u_plus: np.ndarray,
+    f_minus: np.ndarray,
+    f_plus: np.ndarray,
+    lam: np.ndarray | None = None,
+) -> np.ndarray:
+    """Central (average) flux: f* = (f- + f+) / 2.
+
+    Energy-neutral but dispersive; used in tests as the zero-dissipation
+    reference.
+    """
+    return 0.5 * (f_minus + f_plus)
+
+
+def lax_friedrichs(
+    u_minus: np.ndarray,
+    u_plus: np.ndarray,
+    f_minus: np.ndarray,
+    f_plus: np.ndarray,
+    lam: np.ndarray,
+) -> np.ndarray:
+    """Local Lax-Friedrichs (Rusanov) flux.
+
+    ``f* = (f- + f+)/2 - lam/2 * (u+ - u-)`` with ``lam`` the pointwise
+    maximum signal speed of the two traces.  ``u±``/``f±`` are ordered
+    along the *axis* direction (not outward normals), so both sides
+    compute identical values.
+    """
+    return 0.5 * (f_minus + f_plus) - 0.5 * lam * (u_plus - u_minus)
+
+
+def get_scheme(name: str):
+    """Look up a numerical flux by name."""
+    table = {"lax_friedrichs": lax_friedrichs, "central": central}
+    try:
+        return table[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown numerical flux {name!r}; choose from {SCHEMES}"
+        ) from None

@@ -1,0 +1,72 @@
+"""Explicit time integration: SSP Runge-Kutta 3 (Shu-Osher).
+
+CMT-nek's current release is "an explicit solver for compressible
+Navier-Stokes equations" (Section III-A); the standard explicit choice
+in the Nek DG branch is the three-stage strong-stability-preserving
+scheme of Shu & Osher::
+
+    u1 = u  + dt L(u)
+    u2 = 3/4 u + 1/4 (u1 + dt L(u1))
+    u  = 1/3 u + 2/3 (u2 + dt L(u2))
+
+plus forward Euler as a one-stage reference for convergence tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+RhsFn = Callable[[np.ndarray], np.ndarray]
+
+#: Stage counts per scheme.
+STAGES = {"euler": 1, "ssprk2": 2, "ssprk3": 3}
+
+
+def step_euler(u: np.ndarray, rhs: RhsFn, dt: float) -> np.ndarray:
+    """Forward Euler step."""
+    return u + dt * rhs(u)
+
+
+def step_ssprk2(u: np.ndarray, rhs: RhsFn, dt: float) -> np.ndarray:
+    """Two-stage, second-order SSP RK (Heun)."""
+    u1 = u + dt * rhs(u)
+    return 0.5 * u + 0.5 * (u1 + dt * rhs(u1))
+
+
+def step_ssprk3(u: np.ndarray, rhs: RhsFn, dt: float) -> np.ndarray:
+    """Three-stage, third-order SSP RK (Shu-Osher)."""
+    u1 = u + dt * rhs(u)
+    u2 = 0.75 * u + 0.25 * (u1 + dt * rhs(u1))
+    return (u + 2.0 * (u2 + dt * rhs(u2))) / 3.0
+
+
+_STEPPERS = {
+    "euler": step_euler,
+    "ssprk2": step_ssprk2,
+    "ssprk3": step_ssprk3,
+}
+
+
+def get_stepper(name: str) -> Callable[[np.ndarray, RhsFn, float], np.ndarray]:
+    """Look up a time stepper by name."""
+    try:
+        return _STEPPERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown time stepper {name!r}; choose from {sorted(_STEPPERS)}"
+        ) from None
+
+
+def cfl_dt(
+    max_speed: float, dx_min: float, n: int, cfl: float = 0.5
+) -> float:
+    """CFL-limited step for an N-point spectral element.
+
+    The smallest GLL spacing scales like ``dx * / N^2``; the classic DG
+    estimate is ``dt = cfl * dx / (speed * N^2)``.
+    """
+    if max_speed <= 0:
+        raise ValueError(f"max_speed must be positive, got {max_speed}")
+    return cfl * dx_min / (max_speed * n * n)

@@ -1,0 +1,81 @@
+"""``full2face_cmt`` / ``face2full`` — volume/surface data movement.
+
+The paper names ``full2face_cmt`` as one of CMT-bone's key kernels:
+"creates an array of surface data, that needs to be transferred to the
+neighbors, from the volume data for each element".  Face ordering and
+face-local coordinates follow :mod:`repro.mesh.topology` exactly, so
+the extracted arrays line up with the DG face numbering and gs handle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mesh.topology import FACE_AXIS_SIDE, NFACES
+
+#: For each face, the axis of its outward normal (0=x, 1=y, 2=z).
+FACE_NORMAL_AXIS = tuple(axis for axis, _ in FACE_AXIS_SIDE)
+#: Outward-normal sign per face (-1 for low faces, +1 for high faces).
+FACE_NORMAL_SIGN = tuple(-1.0 if side == 0 else 1.0 for _, side in FACE_AXIS_SIDE)
+
+
+def full2face(u: np.ndarray) -> np.ndarray:
+    """Extract all six face traces of element volume data.
+
+    ``u`` is ``(nel, N, N, N)``; the result is ``(nel, 6, N, N)`` with
+    the face-local coordinates of the topology table (so both elements
+    adjacent to a geometric face index its points identically).
+    """
+    if u.ndim != 4:
+        raise ValueError(f"expected (nel, N, N, N), got {u.shape}")
+    nel, n = u.shape[0], u.shape[1]
+    out = np.empty((nel, NFACES, n, n), dtype=u.dtype)
+    out[:, 0] = u[:, 0, :, :]
+    out[:, 1] = u[:, -1, :, :]
+    out[:, 2] = u[:, :, 0, :]
+    out[:, 3] = u[:, :, -1, :]
+    out[:, 4] = u[:, :, :, 0]
+    out[:, 5] = u[:, :, :, -1]
+    return out
+
+
+def face2full_add(resid: np.ndarray, faces: np.ndarray) -> None:
+    """Accumulate per-face values back onto the volume boundary nodes.
+
+    In-place: ``resid`` is ``(nel, N, N, N)``, ``faces`` is
+    ``(nel, 6, N, N)``.  Edge/corner volume nodes belong to several
+    faces and receive every contribution (+=), which is exactly what
+    the tensor-product SAT correction requires.
+    """
+    if resid.ndim != 4 or faces.shape != (
+        resid.shape[0], NFACES, resid.shape[1], resid.shape[1]
+    ):
+        raise ValueError(
+            f"shape mismatch: resid {resid.shape}, faces {faces.shape}"
+        )
+    resid[:, 0, :, :] += faces[:, 0]
+    resid[:, -1, :, :] += faces[:, 1]
+    resid[:, :, 0, :] += faces[:, 2]
+    resid[:, :, -1, :] += faces[:, 3]
+    resid[:, :, :, 0] += faces[:, 4]
+    resid[:, :, :, -1] += faces[:, 5]
+
+
+def full2face_multi(u: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`full2face` over a leading component axis.
+
+    ``u`` is ``(ncomp, nel, N, N, N)`` -> ``(ncomp, nel, 6, N, N)``.
+    """
+    if u.ndim != 5:
+        raise ValueError(f"expected (ncomp, nel, N, N, N), got {u.shape}")
+    return np.stack([full2face(u[c]) for c in range(u.shape[0])], axis=0)
+
+
+def face_bytes(nel: int, n: int, ncomp: int = 1, itemsize: int = 8) -> int:
+    """Size of one rank's full face data set (all six faces)."""
+    return ncomp * nel * NFACES * n * n * itemsize
+
+
+def full2face_flops(n: int, nel: int, ncomp: int = 1) -> float:
+    """Cost model: pure data movement, ~1 'flop-equivalent' per point."""
+    return float(ncomp * nel * NFACES * n * n)

@@ -1,0 +1,27 @@
+"""``repro.validation`` — mini-app vs parent-application validation.
+
+Implements the paper's declared next step (Section VII): quantify how
+well CMT-bone's performance signature matches the application it
+proxies, using the Barrett et al. mini-app validation methodology the
+paper cites (Section II, refs [8]/[9]).
+"""
+
+from .compare import (
+    AppSignature,
+    CMTBONE_PHASE_MAP,
+    PHASES,
+    cmtbone_signature,
+    solver_signature,
+)
+from .report import ValidationScore, score, validation_report
+
+__all__ = [
+    "AppSignature",
+    "CMTBONE_PHASE_MAP",
+    "PHASES",
+    "ValidationScore",
+    "cmtbone_signature",
+    "score",
+    "solver_signature",
+    "validation_report",
+]

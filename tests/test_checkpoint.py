@@ -1,0 +1,146 @@
+"""Checkpoint / restart of distributed solver state."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import BoxMesh, Partition
+from repro.mpi import Runtime
+from repro.solver import (
+    CMTSolver,
+    SolverConfig,
+    StiffenedGas,
+    from_primitives,
+    uniform_state,
+)
+from repro.solver.checkpoint import (
+    load_checkpoint,
+    read_manifest,
+    save_checkpoint,
+)
+
+MESH = BoxMesh(shape=(4, 2, 2), n=4)
+PART = Partition(MESH, proc_shape=(2, 1, 1))
+
+
+def make_state(rank, eos=None):
+    rng = np.random.default_rng(100 + rank)
+    rho = 1.0 + 0.05 * rng.random((PART.nel_local,) + (MESH.n,) * 3)
+    vel = 0.1 * rng.standard_normal((3,) + rho.shape)
+    p = 1.0 + 0.05 * rng.random(rho.shape)
+    return from_primitives(rho, vel, p, eos=eos)
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, tmp_path):
+        def main(comm):
+            st = make_state(comm.rank)
+            save_checkpoint(tmp_path, comm, PART, st, step=7, time=0.35)
+            back, info = load_checkpoint(tmp_path, comm, PART)
+            return (
+                float(np.max(np.abs(back.u - st.u))),
+                info.step,
+                info.time,
+                type(back.eos).__name__,
+            )
+
+        res = Runtime(nranks=2).run(main)
+        for err, step, time, eos_name in res:
+            assert err == 0.0
+            assert step == 7 and time == 0.35
+            assert eos_name == "IdealGas"
+
+    def test_stiffened_eos_round_trips(self, tmp_path):
+        eos = StiffenedGas(gamma=4.0, p_inf=1.25)
+
+        def main(comm):
+            st = make_state(comm.rank, eos=eos)
+            save_checkpoint(tmp_path, comm, PART, st)
+            back, _ = load_checkpoint(tmp_path, comm, PART)
+            return back.eos
+
+        res = Runtime(nranks=2).run(main)
+        assert all(e == eos for e in res)
+
+    def test_manifest_contents(self, tmp_path):
+        def main(comm):
+            save_checkpoint(tmp_path, comm, PART, make_state(comm.rank),
+                            step=3)
+
+        Runtime(nranks=2).run(main)
+        info = read_manifest(tmp_path)
+        assert info.mesh_shape == (4, 2, 2)
+        assert info.n == 4
+        assert info.proc_shape == (2, 1, 1)
+        assert info.nranks == 2
+        assert info.step == 3
+
+
+class TestValidation:
+    def _write(self, tmp_path):
+        def main(comm):
+            save_checkpoint(tmp_path, comm, PART, make_state(comm.rank))
+
+        Runtime(nranks=2).run(main)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_manifest(tmp_path)
+
+    def test_rank_count_mismatch(self, tmp_path):
+        self._write(tmp_path)
+        part4 = Partition(MESH, proc_shape=(2, 2, 1))
+
+        def main(comm):
+            load_checkpoint(tmp_path, comm, part4)
+
+        with pytest.raises(Exception, match="ranks"):
+            Runtime(nranks=4).run(main)
+
+    def test_mesh_mismatch(self, tmp_path):
+        self._write(tmp_path)
+        other = Partition(BoxMesh(shape=(4, 2, 2), n=5),
+                          proc_shape=(2, 1, 1))
+
+        def main(comm):
+            load_checkpoint(tmp_path, comm, other)
+
+        with pytest.raises(Exception, match="mesh"):
+            Runtime(nranks=2).run(main)
+
+
+class TestRestartContinuity:
+    def test_restart_continues_bitwise(self, tmp_path):
+        """Run 6 steps straight vs 3 + checkpoint + restart + 3."""
+
+        def straight(comm):
+            solver = CMTSolver(
+                comm, PART, config=SolverConfig(gs_method="pairwise")
+            )
+            st = uniform_state(PART.nel_local, MESH.n, vel=(0.2, 0.0, 0.0))
+            st.u[0] += 1e-3 * np.sin(
+                np.arange(st.u[0].size)
+            ).reshape(st.u[0].shape)
+            st = solver.run(st, nsteps=6, dt=1e-3)
+            return st.u
+
+        def restarted(comm):
+            solver = CMTSolver(
+                comm, PART, config=SolverConfig(gs_method="pairwise")
+            )
+            st = uniform_state(PART.nel_local, MESH.n, vel=(0.2, 0.0, 0.0))
+            st.u[0] += 1e-3 * np.sin(
+                np.arange(st.u[0].size)
+            ).reshape(st.u[0].shape)
+            st = solver.run(st, nsteps=3, dt=1e-3)
+            save_checkpoint(tmp_path, comm, PART, st, step=3)
+            st2, info = load_checkpoint(tmp_path, comm, PART)
+            solver2 = CMTSolver(
+                comm, PART, config=SolverConfig(gs_method="pairwise")
+            )
+            st2 = solver2.run(st2, nsteps=3, dt=1e-3)
+            return st2.u
+
+        u_straight = Runtime(nranks=2).run(straight)
+        u_restart = Runtime(nranks=2).run(restarted)
+        for a, b in zip(u_straight, u_restart):
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,103 @@
+"""The command-line mini-app runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_coord_single_and_triple(self):
+        args = build_parser().parse_args(
+            ["cmtbone", "--local", "8", "--proc", "2,2,1"]
+        )
+        assert args.local == 8
+        assert args.proc == (2, 2, 1)
+
+    def test_bad_coord(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cmtbone", "--local", "1,2"])
+
+    def test_machine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cmtbone", "--machine", "cray-1"])
+
+
+class TestCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "compton" in out
+        assert "opteron6378" in out
+
+    def test_cmtbone_small(self, capsys):
+        rc = main([
+            "cmtbone", "--ranks", "4", "-N", "5", "--local", "2,1,1",
+            "--steps", "2", "--gs-method", "pairwise", "--proxy",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chosen gs method: pairwise" in out
+        assert "ax_" in out
+        assert "MPI profile" in out
+
+    def test_cmtbone_autotune_and_pack(self, capsys):
+        rc = main([
+            "cmtbone", "--ranks", "4", "-N", "5", "--local", "2,1,1",
+            "--steps", "1", "--proxy", "--pack",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gs auto-tune:" in out
+        assert "pairwise exchange" in out
+
+    def test_nekbone_small(self, capsys):
+        rc = main([
+            "nekbone", "--ranks", "2", "-N", "5", "--local", "2,1,1",
+            "--iterations", "30", "--gs-method", "pairwise",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CG iterations:" in out
+        assert "residual:" in out
+
+    def test_fig7_small(self, capsys):
+        rc = main([
+            "fig7", "--ranks", "4", "-N", "5", "--local", "2,1,1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CMT-bone" in out and "Nekbone" in out
+        assert "crystal router" in out
+
+
+class TestValidateCommand:
+    def test_validate_runs(self, capsys):
+        rc = main([
+            "validate", "--ranks", "4", "-N", "5", "--local", "2,1,1",
+            "--steps", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OVERALL" in out
+        assert "uncalibrated" in out
+
+    def test_validate_calibrated(self, capsys):
+        rc = main([
+            "validate", "--ranks", "4", "-N", "5", "--local", "2,1,1",
+            "--steps", "2", "--calibrated",
+        ])
+        assert rc == 0
+        assert "calibrated" in capsys.readouterr().out
+
+
+class TestKernelsCommand:
+    def test_kernels_table(self, capsys):
+        rc = main(["kernels"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dudt" in out
+        assert "2.31x" in out or "speedups" in out

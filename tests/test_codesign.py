@@ -1,0 +1,151 @@
+"""Design-space exploration over candidate architectures."""
+
+import pytest
+
+from repro.codesign import (
+    Candidate,
+    Explorer,
+    bottleneck,
+    candidate_grid,
+    notional_exascale_candidates,
+    pareto_front,
+    rank_by_speed,
+    scale_machine,
+    speedup_table,
+)
+from repro.core import CMTBoneConfig
+from repro.perfmodel import MachineModel, TorusTopology
+
+CONFIG = CMTBoneConfig(
+    n=8,
+    local_shape=(2, 2, 2),
+    proc_shape=(2, 2, 2),
+    nsteps=3,
+    work_mode="proxy",
+    gs_method="pairwise",
+)
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return Explorer(config=CONFIG, nranks=8)
+
+
+class TestScaleMachine:
+    def test_cpu_scaling(self):
+        base = MachineModel.preset("compton")
+        fast = scale_machine(base, cpu_speed=2.0)
+        assert fast.cpu.ghz == pytest.approx(2 * base.cpu.ghz)
+        assert fast.network.latency == base.network.latency
+
+    def test_network_scaling(self):
+        base = MachineModel.preset("compton")
+        slow = scale_machine(base, net_latency=3.0, net_bandwidth=0.5)
+        assert slow.network.latency == pytest.approx(3 * base.network.latency)
+        assert slow.network.o_send == pytest.approx(3 * base.network.o_send)
+        assert slow.network.bandwidth == pytest.approx(
+            base.network.bandwidth / 2
+        )
+
+    def test_topology_swap(self):
+        base = MachineModel.preset("compton")
+        torus = scale_machine(base, topology=TorusTopology(shape=(2, 2, 2)))
+        assert isinstance(torus.network.topology, TorusTopology)
+
+    def test_validation(self):
+        base = MachineModel.preset("compton")
+        with pytest.raises(ValueError):
+            scale_machine(base, cpu_speed=0.0)
+
+
+class TestCandidates:
+    def test_grid_size_and_names_unique(self):
+        grid = candidate_grid()
+        assert len(grid) == 16
+        assert len({c.name for c in grid}) == 16
+
+    def test_costs_monotone_in_cpu_speed(self):
+        grid = candidate_grid(
+            cpu_speeds=(1.0, 4.0),
+            mem_bandwidths=(1.0,),
+            net_latencies=(1.0,),
+            net_bandwidths=(1.0,),
+        )
+        slow, fast = sorted(grid, key=lambda c: c.knobs["cpu_speed"])
+        assert fast.cost > slow.cost
+
+    def test_notional_candidates(self):
+        cands = notional_exascale_candidates()
+        names = {c.name for c in cands}
+        assert "fat-cores" in names and "low-latency-fabric" in names
+
+
+class TestExplorer:
+    def test_faster_cpu_gives_faster_steps(self, explorer):
+        base = MachineModel.preset("compton")
+        slow = Candidate("slow", scale_machine(base, cpu_speed=1.0))
+        fast = Candidate("fast", scale_machine(base, cpu_speed=4.0))
+        evals = explorer.sweep([slow, fast])
+        by = {e.name: e for e in evals}
+        assert by["fast"].step_time < by["slow"].step_time
+        # CPU speedup shifts the balance toward communication.
+        assert by["fast"].comm_fraction > by["slow"].comm_fraction
+
+    def test_evaluation_fields(self, explorer):
+        base = MachineModel.preset("compton")
+        e = explorer.evaluate(Candidate("base", base))
+        assert e.step_time > 0
+        assert e.compute_time > 0
+        assert e.comm_time > 0
+        assert e.step_time == pytest.approx(
+            e.compute_time + e.comm_time, rel=0.01
+        )
+        assert e.chosen_gs_method == "pairwise"
+        assert 0 < e.mpi_pct_mean < 100
+
+    def test_rank_and_speedup_table(self, explorer):
+        base = MachineModel.preset("compton")
+        cands = [
+            Candidate("base", base, cost=1.0),
+            Candidate("fast", scale_machine(base, cpu_speed=2.0), cost=3.0),
+        ]
+        evals = explorer.sweep(cands)
+        ranked = rank_by_speed(evals)
+        assert ranked[0].name == "fast"
+        table = speedup_table(evals, baseline_name="base")
+        by = {row[0]: row for row in table}
+        assert by["base"][2] == pytest.approx(1.0)
+        assert by["fast"][2] > 1.0
+
+    def test_speedup_table_unknown_baseline(self, explorer):
+        base = MachineModel.preset("compton")
+        evals = explorer.sweep([Candidate("only", base)])
+        with pytest.raises(KeyError):
+            speedup_table(evals, baseline_name="missing")
+
+
+class TestPareto:
+    def _fake_eval(self, name, cost, t):
+        cand = Candidate(name, MachineModel.preset("generic"), cost=cost)
+        from repro.codesign.explorer import Evaluation
+
+        return Evaluation(
+            candidate=cand, step_time=t, compute_time=t * 0.7,
+            comm_time=t * 0.3, mpi_pct_mean=10.0,
+            chosen_gs_method="pairwise",
+        )
+
+    def test_front_excludes_dominated(self):
+        a = self._fake_eval("cheap-slow", 1.0, 10.0)
+        b = self._fake_eval("dear-fast", 5.0, 2.0)
+        c = self._fake_eval("dear-slow", 5.0, 12.0)   # dominated by both
+        front = pareto_front([a, b, c])
+        names = [e.name for e in front]
+        assert names == ["cheap-slow", "dear-fast"]
+
+    def test_bottleneck_labels(self):
+        assert bottleneck(self._fake_eval("x", 1, 1)) == "compute"
+        e = self._fake_eval("y", 1, 1)
+        object.__setattr__(e, "comm_time", 0.9)
+        object.__setattr__(e, "compute_time", 0.1)
+        assert bottleneck(e) == "communication"

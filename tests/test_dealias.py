@@ -1,0 +1,93 @@
+"""Dealiasing map/map-back between coarse and fine GLL grids."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.dealias import (
+    dealias_flops,
+    roundtrip,
+    shapes,
+    to_coarse,
+    to_fine,
+)
+from repro.kernels.gll import gll_points
+
+
+def poly_field(n, nel=2):
+    x = np.asarray(gll_points(n))
+    r = x[:, None, None]
+    s = x[None, :, None]
+    t = x[None, None, :]
+    u = 1.0 + r + r * s - t**2 + 0.5 * r * s * t
+    return np.broadcast_to(u, (nel, n, n, n)).copy()
+
+
+class TestToFine:
+    def test_shape(self):
+        u = np.zeros((3, 4, 4, 4))
+        v = to_fine(u, 4)
+        assert v.shape == (3, 6, 6, 6)
+
+    def test_explicit_fine_order(self):
+        u = np.zeros((1, 4, 4, 4))
+        assert to_fine(u, 4, m=10).shape == (1, 10, 10, 10)
+
+    def test_preserves_constants(self):
+        u = np.full((2, 5, 5, 5), 3.25)
+        np.testing.assert_allclose(to_fine(u, 5), 3.25, atol=1e-12)
+
+    def test_polynomial_values_exact(self):
+        """Interpolation of poly data reproduces it at fine nodes."""
+        n, m = 5, 8
+        u = poly_field(n)
+        v = to_fine(u, n, m)
+        xf = np.asarray(gll_points(m))
+        r = xf[:, None, None]
+        s = xf[None, :, None]
+        t = xf[None, None, :]
+        expect = 1.0 + r + r * s - t**2 + 0.5 * r * s * t
+        np.testing.assert_allclose(v[0], expect, atol=1e-11)
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            to_fine(np.zeros((1, 4, 4, 5)), 4)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_exact_on_polynomials(self, n):
+        u = poly_field(n) if n >= 4 else np.full((2, n, n, n), 2.0)
+        np.testing.assert_allclose(roundtrip(u, n), u, atol=1e-10)
+
+    def test_random_data_not_exact_but_close_in_norm(self):
+        """Non-polynomial-consistent data changes, but boundedly."""
+        rng = np.random.default_rng(0)
+        n = 6
+        u = rng.standard_normal((2, n, n, n))
+        v = roundtrip(u, n)
+        assert v.shape == u.shape
+        assert np.linalg.norm(v) < 10 * np.linalg.norm(u)
+
+    def test_coarse_then_fine_projection_idempotent(self):
+        """to_coarse(to_fine(.)) applied twice equals once (projection)."""
+        rng = np.random.default_rng(1)
+        n = 5
+        u = rng.standard_normal((1, n, n, n))
+        once = roundtrip(u, n)
+        twice = roundtrip(once, n)
+        np.testing.assert_allclose(twice, once, atol=1e-10)
+
+
+class TestHelpers:
+    def test_shapes(self):
+        assert shapes(4) == (4, 6)
+        assert shapes(4, 11) == (4, 11)
+
+    def test_flops_positive_and_scales(self):
+        assert dealias_flops(8, nel=2) == pytest.approx(
+            2 * dealias_flops(8, nel=1)
+        )
+
+    def test_to_coarse_shape(self):
+        v = np.zeros((2, 9, 9, 9))
+        assert to_coarse(v, 6, 9).shape == (2, 6, 6, 6)

@@ -1,0 +1,156 @@
+"""GLL quadrature machinery: points, weights, Legendre, Lagrange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.gll import (
+    MAX_N,
+    MIN_N,
+    barycentric_weights,
+    gll_points,
+    gll_weights,
+    lagrange_basis_at,
+    legendre_and_derivative,
+)
+
+NS = [2, 3, 4, 5, 8, 10, 16, 25]
+
+
+class TestLegendre:
+    def test_p0_p1(self):
+        x = np.linspace(-1, 1, 7)
+        p0, d0 = legendre_and_derivative(0, x)
+        np.testing.assert_allclose(p0, 1.0)
+        np.testing.assert_allclose(d0, 0.0)
+        p1, d1 = legendre_and_derivative(1, x)
+        np.testing.assert_allclose(p1, x)
+        np.testing.assert_allclose(d1, 1.0)
+
+    def test_p2(self):
+        x = np.linspace(-1, 1, 9)
+        p2, d2 = legendre_and_derivative(2, x)
+        np.testing.assert_allclose(p2, 1.5 * x**2 - 0.5, atol=1e-14)
+        np.testing.assert_allclose(d2, 3.0 * x, atol=1e-13)
+
+    @pytest.mark.parametrize("n", [1, 3, 6, 11])
+    def test_endpoint_values(self, n):
+        p, _ = legendre_and_derivative(n, np.array([1.0, -1.0]))
+        assert p[0] == pytest.approx(1.0)
+        assert p[1] == pytest.approx((-1.0) ** n)
+
+    @pytest.mark.parametrize("n", [2, 5, 9])
+    def test_endpoint_derivative_closed_form(self, n):
+        _, dp = legendre_and_derivative(n, np.array([1.0, -1.0]))
+        assert dp[0] == pytest.approx(n * (n + 1) / 2)
+        assert dp[1] == pytest.approx((-1.0) ** (n + 1) * n * (n + 1) / 2)
+
+    def test_orthogonality_via_quadrature(self):
+        """Integrate P_m P_n with a fine GLL rule: delta_mn 2/(2n+1)."""
+        n = 20
+        x, w = np.asarray(gll_points(n)), np.asarray(gll_weights(n))
+        for a in range(5):
+            for b in range(5):
+                pa, _ = legendre_and_derivative(a, x)
+                pb, _ = legendre_and_derivative(b, x)
+                val = np.sum(w * pa * pb)
+                expect = 2.0 / (2 * a + 1) if a == b else 0.0
+                assert val == pytest.approx(expect, abs=1e-12)
+
+
+class TestGLLPoints:
+    @pytest.mark.parametrize("n", NS)
+    def test_endpoints_and_order(self, n):
+        x = gll_points(n)
+        assert x[0] == -1.0 and x[-1] == 1.0
+        assert np.all(np.diff(x) > 0)
+
+    @pytest.mark.parametrize("n", NS)
+    def test_antisymmetric(self, n):
+        x = gll_points(n)
+        np.testing.assert_allclose(x, -x[::-1], atol=1e-15)
+
+    @pytest.mark.parametrize("n", NS)
+    def test_interior_points_are_extrema_of_legendre(self, n):
+        x = gll_points(n)
+        _, dp = legendre_and_derivative(n - 1, x[1:-1])
+        np.testing.assert_allclose(dp, 0.0, atol=1e-9)
+
+    def test_known_n3(self):
+        np.testing.assert_allclose(gll_points(3), [-1.0, 0.0, 1.0])
+
+    def test_known_n4(self):
+        np.testing.assert_allclose(
+            gll_points(4),
+            [-1.0, -np.sqrt(1 / 5), np.sqrt(1 / 5), 1.0],
+            atol=1e-14,
+        )
+
+    def test_known_n5(self):
+        np.testing.assert_allclose(
+            gll_points(5),
+            [-1.0, -np.sqrt(3 / 7), 0.0, np.sqrt(3 / 7), 1.0],
+            atol=1e-14,
+        )
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            gll_points(MIN_N - 1)
+        with pytest.raises(ValueError):
+            gll_points(MAX_N + 1)
+
+    def test_cached_and_readonly(self):
+        x = gll_points(6)
+        assert gll_points(6) is x
+        with pytest.raises(ValueError):
+            x[0] = 5.0
+
+
+class TestGLLWeights:
+    @pytest.mark.parametrize("n", NS)
+    def test_sum_is_interval_length(self, n):
+        assert np.sum(gll_weights(n)) == pytest.approx(2.0, abs=1e-13)
+
+    @pytest.mark.parametrize("n", NS)
+    def test_positive_and_symmetric(self, n):
+        w = gll_weights(n)
+        assert np.all(w > 0)
+        np.testing.assert_allclose(w, w[::-1], atol=1e-14)
+
+    def test_known_n3(self):
+        np.testing.assert_allclose(gll_weights(3), [1 / 3, 4 / 3, 1 / 3])
+
+    @pytest.mark.parametrize("n", [3, 5, 8, 12])
+    def test_exact_for_degree_2n_minus_3(self, n):
+        x, w = np.asarray(gll_points(n)), np.asarray(gll_weights(n))
+        for k in range(2 * n - 2):
+            exact = 2.0 / (k + 1) if k % 2 == 0 else 0.0
+            assert np.sum(w * x**k) == pytest.approx(exact, abs=1e-11), k
+
+
+class TestLagrangeBasis:
+    @pytest.mark.parametrize("n", [3, 6, 10])
+    def test_cardinal_at_nodes(self, n):
+        L = lagrange_basis_at(n, np.asarray(gll_points(n)))
+        np.testing.assert_allclose(L, np.eye(n), atol=1e-12)
+
+    @pytest.mark.parametrize("n", [3, 6, 10])
+    def test_partition_of_unity(self, n):
+        xq = np.linspace(-1, 1, 23)
+        L = lagrange_basis_at(n, xq)
+        np.testing.assert_allclose(L.sum(axis=1), 1.0, atol=1e-12)
+
+    @given(st.floats(-1.0, 1.0))
+    @settings(max_examples=30)
+    def test_interpolates_polynomials_exactly(self, xq):
+        n = 6
+        x = np.asarray(gll_points(n))
+        coeffs = np.array([1.0, -2.0, 0.5, 3.0, -1.0])  # degree 4 < n
+        vals = np.polyval(coeffs, x)
+        L = lagrange_basis_at(n, np.array([xq]))
+        assert L @ vals == pytest.approx(np.polyval(coeffs, xq), abs=1e-10)
+
+    def test_barycentric_weights_alternate_sign(self):
+        b = barycentric_weights(7)
+        signs = np.sign(b)
+        assert np.all(signs[1:] != signs[:-1])

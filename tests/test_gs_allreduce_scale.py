@@ -1,0 +1,121 @@
+"""The allreduce method's cost-faithful large-scale path.
+
+Above ``EXACT_MERGE_LIMIT`` the method stops materializing the global
+sparse union (cluster-scale memory) and splits cost from data: an
+empty-but-dense-sized allreduce carries the modelled time, a shadow
+pairwise exchange carries the values.  These tests force the switch
+with a tiny limit and check both halves.
+"""
+
+import numpy as np
+import pytest
+
+import repro.gs.allreduce_method as arm
+from repro.gs import gs_op, gs_setup
+from repro.mesh import BoxMesh, Partition, dg_face_numbering
+from repro.mpi import SUM, Runtime
+
+MESH = BoxMesh(shape=(4, 2, 2), n=4)
+PART = Partition(MESH, proc_shape=(2, 2, 1))
+
+
+def run_with_limit(limit, monkeypatch_target=None):
+    def main(comm):
+        h = gs_setup(dg_face_numbering(PART, comm.rank), comm)
+        rng = np.random.default_rng(11 + comm.rank)
+        u = rng.standard_normal(h.shape)
+        out = gs_op(h, u, op=SUM, method="allreduce")
+        ref = gs_op(h, u, op=SUM, method="pairwise")
+        t0 = comm.clock.now
+        gs_op(h, u, op=SUM, method="allreduce")
+        t_all = comm.clock.now - t0
+        t0 = comm.clock.now
+        gs_op(h, u, op=SUM, method="pairwise")
+        t_pw = comm.clock.now - t0
+        return (
+            float(np.max(np.abs(out - ref))),
+            h.global_shared,
+            t_all,
+            t_pw,
+        )
+
+    return Runtime(nranks=4).run(main)
+
+
+class TestShadowPath:
+    def test_values_exact_in_shadow_mode(self, monkeypatch):
+        monkeypatch.setattr(arm, "EXACT_MERGE_LIMIT", 0)
+        res = run_with_limit(0)
+        assert max(r[0] for r in res) < 1e-12
+        assert all(r[1] > 0 for r in res)  # switch actually triggered
+
+    def test_values_exact_in_exact_mode(self):
+        res = run_with_limit(None)
+        assert max(r[0] for r in res) < 1e-12
+
+    def test_shadow_and_exact_same_modelled_time(self, monkeypatch):
+        exact = run_with_limit(None)
+        monkeypatch.setattr(arm, "EXACT_MERGE_LIMIT", 0)
+        shadow = run_with_limit(0)
+        for e, s in zip(exact, shadow):
+            assert s[2] == pytest.approx(e[2], rel=1e-9)
+
+    def test_allreduce_costs_more_than_pairwise(self, monkeypatch):
+        monkeypatch.setattr(arm, "EXACT_MERGE_LIMIT", 0)
+        res = run_with_limit(0)
+        for _, _, t_all, t_pw in res:
+            assert t_all > t_pw
+
+    def test_shadow_traffic_not_profiled(self, monkeypatch):
+        monkeypatch.setattr(arm, "EXACT_MERGE_LIMIT", 0)
+
+        def main(comm):
+            h = gs_setup(dg_face_numbering(PART, comm.rank), comm)
+            gs_op(h, np.ones(h.shape), op=SUM, method="allreduce")
+
+        rt = Runtime(nranks=4)
+        rt.run(main)
+        rows = rt.job_profile().aggregates()
+        # The shadow pairwise isend/wait must NOT appear in the profile;
+        # the allreduce itself must.
+        sites = {(r.op, r.site) for r in rows}
+        assert not any(
+            op in ("MPI_Isend", "MPI_Wait") and "pairwise" in site
+            for op, site in sites
+        )
+        assert any(op == "MPI_Allreduce" for op, _ in sites)
+
+
+class TestShadowRegion:
+    def test_shadow_discards_time_and_profile(self):
+        def main(comm):
+            other = 1 - comm.rank
+            t0 = comm.clock.now
+            with comm.shadow():
+                req = comm.irecv(source=other, tag=1)
+                comm.send(np.zeros(1000), dest=other, tag=1)
+                req.wait()
+            return comm.clock.now - t0
+
+        res = Runtime(nranks=2).run(main)
+        assert res == [0.0, 0.0]
+
+    def test_shadow_preserves_data(self):
+        def main(comm):
+            other = 1 - comm.rank
+            with comm.shadow():
+                req = comm.irecv(source=other, tag=2)
+                comm.send(comm.rank * 11, dest=other, tag=2)
+                return req.wait()
+
+        assert Runtime(nranks=2).run(main) == [11, 0]
+
+    def test_clock_restored_after_shadow(self):
+        def main(comm):
+            comm.compute(seconds=1.0)
+            with comm.shadow():
+                comm.compute(seconds=99.0)
+            comm.compute(seconds=0.5)
+            return comm.clock.now
+
+        assert Runtime(nranks=1).run(main) == [1.5]

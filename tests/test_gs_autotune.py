@@ -1,0 +1,97 @@
+"""Setup-time auto-tuning of the exchange method (paper Section VI)."""
+
+import numpy as np
+import pytest
+
+from repro.gs import choose_method, gs_setup, time_method, timing_table
+from repro.mesh import BoxMesh, Partition, dg_face_numbering
+from repro.mpi import Runtime
+
+
+def tune(nranks, gids_fn, **kw):
+    def main(comm):
+        h = gs_setup(gids_fn(comm.rank), comm)
+        timings = choose_method(h, **kw)
+        return h.method, timings, h.setup_stats
+
+    return Runtime(nranks=nranks).run(main)
+
+
+class TestChooseMethod:
+    def test_winner_has_min_avg(self):
+        mesh = BoxMesh(shape=(4, 2, 2), n=4)
+        part = Partition(mesh, proc_shape=(2, 2, 1))
+        res = tune(4, lambda r: dg_face_numbering(part, r), trials=2)
+        method, timings, stats = res[0]
+        best = min(timings.values(), key=lambda t: t.avg)
+        assert method == best.method
+        assert stats["chosen_method"] == method
+        assert set(stats["autotune"]) == {"pairwise", "crystal", "allreduce"}
+
+    def test_all_ranks_agree(self):
+        mesh = BoxMesh(shape=(4, 2, 2), n=3)
+        part = Partition(mesh, proc_shape=(4, 1, 1))
+        res = tune(4, lambda r: dg_face_numbering(part, r), trials=1)
+        methods = {r[0] for r in res}
+        assert len(methods) == 1
+
+    def test_timing_stats_ordered(self):
+        mesh = BoxMesh(shape=(2, 2, 2), n=3)
+        part = Partition(mesh, proc_shape=(2, 1, 1))
+        res = tune(2, lambda r: dg_face_numbering(part, r), trials=2)
+        for t in res[0][1].values():
+            assert t.mn <= t.avg <= t.mx
+            assert t.avg > 0
+
+    def test_method_subset(self):
+        mesh = BoxMesh(shape=(2, 2, 2), n=3)
+        part = Partition(mesh, proc_shape=(2, 1, 1))
+        res = tune(
+            2, lambda r: dg_face_numbering(part, r),
+            methods=["pairwise", "crystal"], trials=1,
+        )
+        assert set(res[0][1]) == {"pairwise", "crystal"}
+
+    def test_unknown_method_rejected(self):
+        def main(comm):
+            h = gs_setup(np.array([1, 2]), comm)
+            choose_method(h, methods=["bogus"])
+
+        with pytest.raises(Exception, match="unknown gs method"):
+            Runtime(nranks=1).run(main)
+
+    def test_deterministic_across_runs(self):
+        """Virtual time makes autotune results exactly reproducible."""
+        mesh = BoxMesh(shape=(4, 2, 2), n=4)
+        part = Partition(mesh, proc_shape=(2, 2, 1))
+        r1 = tune(4, lambda r: dg_face_numbering(part, r), trials=2)
+        r2 = tune(4, lambda r: dg_face_numbering(part, r), trials=2)
+        for m in ("pairwise", "crystal", "allreduce"):
+            assert r1[0][1][m].avg == r2[0][1][m].avg
+
+
+class TestTimeMethod:
+    def test_single_method(self):
+        mesh = BoxMesh(shape=(2, 2, 2), n=3)
+        part = Partition(mesh, proc_shape=(2, 1, 1))
+
+        def main(comm):
+            h = gs_setup(dg_face_numbering(part, comm.rank), comm)
+            return time_method(h, "pairwise", trials=3)
+
+        t = Runtime(nranks=2).run(main)[0]
+        assert t.method == "pairwise"
+        assert t.label == "pairwise exchange"
+        assert "pairwise" in t.row()
+
+
+class TestTimingTable:
+    def test_render(self):
+        mesh = BoxMesh(shape=(2, 2, 2), n=3)
+        part = Partition(mesh, proc_shape=(2, 1, 1))
+        res = tune(2, lambda r: dg_face_numbering(part, r), trials=1)
+        text = timing_table(res[0][1], title="Setup")
+        assert "Setup" in text
+        assert "pairwise exchange" in text
+        assert "crystal router" in text
+        assert "Time (avg)" in text

@@ -1,0 +1,135 @@
+"""Packed multi-field gather-scatter (gs_op_many)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gs import gs_op, gs_op_many, gs_setup
+from repro.mesh import BoxMesh, Partition, dg_face_numbering
+from repro.mpi import MAX, SUM, Runtime
+
+MESH = BoxMesh(shape=(4, 2, 2), n=4)
+PART = Partition(MESH, proc_shape=(2, 2, 1))
+NF = 5
+
+
+def run_many(method, op=SUM, seed=0, nranks=4):
+    def main(comm):
+        h = gs_setup(dg_face_numbering(PART, comm.rank), comm)
+        rng = np.random.default_rng(seed + comm.rank)
+        fields = [rng.standard_normal(h.shape) for _ in range(NF)]
+        packed = gs_op_many(h, fields, op=op, method=method)
+        singles = [gs_op(h, f, op=op, method=method) for f in fields]
+        err = max(
+            float(np.max(np.abs(p - s))) for p, s in zip(packed, singles)
+        )
+        return err
+
+    return Runtime(nranks=nranks).run(main)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("method", ["pairwise", "crystal", "allreduce"])
+    def test_matches_per_field_gs(self, method):
+        errs = run_many(method)
+        assert max(errs) < 1e-12
+
+    @pytest.mark.parametrize("method", ["pairwise", "crystal"])
+    def test_max_op(self, method):
+        errs = run_many(method, op=MAX, seed=5)
+        assert max(errs) < 1e-12
+
+    def test_single_rank(self):
+        def main(comm):
+            h = gs_setup(dg_face_numbering(
+                Partition(MESH, proc_shape=(1, 1, 1)), 0), comm)
+            f = np.random.default_rng(0).standard_normal(h.shape)
+            packed = gs_op_many(h, [f, 2 * f])
+            single = gs_op(h, f)
+            return float(np.max(np.abs(packed[0] - single))), float(
+                np.max(np.abs(packed[1] - 2 * single))
+            )
+
+        e1, e2 = Runtime(nranks=1).run(main)[0]
+        assert e1 < 1e-12 and e2 < 1e-12
+
+    def test_empty_field_list(self):
+        def main(comm):
+            h = gs_setup(dg_face_numbering(PART, comm.rank), comm)
+            return gs_op_many(h, [])
+
+        assert Runtime(nranks=4).run(main)[0] == []
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=8, deadline=None)
+    def test_property_pairwise_vs_crystal(self, seed):
+        def main(comm):
+            h = gs_setup(dg_face_numbering(PART, comm.rank), comm)
+            rng = np.random.default_rng(seed + comm.rank)
+            fields = [rng.standard_normal(h.shape) for _ in range(3)]
+            a = gs_op_many(h, fields, method="pairwise")
+            b = gs_op_many(h, fields, method="crystal")
+            return max(
+                float(np.max(np.abs(x - y))) for x, y in zip(a, b)
+            )
+
+        assert max(Runtime(nranks=4).run(main)) < 1e-12
+
+
+class TestPacking:
+    def test_fewer_messages_than_per_field(self):
+        """Packing cuts pairwise message count by the field count."""
+
+        def main(comm, packed):
+            h = gs_setup(dg_face_numbering(PART, comm.rank), comm)
+            rng = np.random.default_rng(comm.rank)
+            fields = [rng.standard_normal(h.shape) for _ in range(NF)]
+            if packed:
+                gs_op_many(h, fields, method="pairwise", site="probe")
+            else:
+                for f in fields:
+                    gs_op(h, f, method="pairwise", site="probe")
+
+        counts = {}
+        for packed in (False, True):
+            rt = Runtime(nranks=4)
+            rt.run(main, args=(packed,))
+            counts[packed] = sum(
+                r.count for r in rt.job_profile().aggregates()
+                if r.op == "MPI_Isend" and r.site == "probe"
+            )
+        assert counts[True] * NF == counts[False]
+
+    def test_packed_is_faster_in_virtual_time(self):
+        def main(comm, packed):
+            h = gs_setup(dg_face_numbering(PART, comm.rank), comm)
+            rng = np.random.default_rng(comm.rank)
+            fields = [rng.standard_normal(h.shape) for _ in range(NF)]
+            comm.barrier()
+            t0 = comm.clock.now
+            if packed:
+                gs_op_many(h, fields, method="pairwise")
+            else:
+                for f in fields:
+                    gs_op(h, f, method="pairwise")
+            return comm.clock.now - t0
+
+        t_sep = max(Runtime(nranks=4).run(main, args=(False,)))
+        t_pack = max(Runtime(nranks=4).run(main, args=(True,)))
+        assert t_pack < t_sep
+
+    def test_shape_mismatch_rejected(self):
+        def main(comm):
+            h = gs_setup(dg_face_numbering(PART, comm.rank), comm)
+            gs_op_many(h, [np.zeros(h.shape), np.zeros((2, 2))])
+
+        with pytest.raises(Exception, match="shape"):
+            Runtime(nranks=4).run(main)
+
+    def test_unknown_method(self):
+        def main(comm):
+            h = gs_setup(dg_face_numbering(PART, comm.rank), comm)
+            gs_op_many(h, [np.zeros(h.shape)], method="psychic")
+
+        with pytest.raises(Exception, match="unknown gs method"):
+            Runtime(nranks=4).run(main)

@@ -1,0 +1,93 @@
+"""Integration: the Fig. 7 experiment at reduced scale.
+
+The full benchmark (256 ranks) lives in ``benchmarks/``; here a
+64-rank version checks the *shape* claims end-to-end:
+
+* pairwise exchange beats the crystal router for CMT-bone's 6-fat-
+  message face exchange;
+* the allreduce method is the most expensive of the three for both
+  mini-apps once the mesh is non-trivial;
+* both mini-apps pick their winner consistently across ranks.
+"""
+
+import pytest
+
+from repro.core import CMTBoneConfig, NekboneConfig, fig7_table
+from repro.core.cmtbone import CMTBone
+from repro.core.nekbone import Nekbone
+from repro.mpi import Runtime
+from repro.perfmodel import MachineModel
+
+P = 64
+PROC = (4, 4, 4)
+
+
+@pytest.fixture(scope="module")
+def fig7_small():
+    cmt_cfg = CMTBoneConfig(
+        n=6, local_shape=(2, 2, 2), proc_shape=PROC,
+        work_mode="proxy", nsteps=0,
+    )
+    nek_cfg = NekboneConfig(
+        n=6, local_shape=(2, 2, 2), proc_shape=PROC,
+        work_mode="proxy", cg_iterations=0,
+    )
+
+    def main(comm):
+        cmt = CMTBone(comm, cmt_cfg)
+        nek = Nekbone(comm, nek_cfg)
+        return {
+            "cmt_autotune": cmt.autotune,
+            "cmt_method": cmt.handle.method,
+            "nek_autotune": nek.autotune,
+            "nek_method": nek.handle.method,
+            "cmt_neighbors": len(cmt.handle.neighbors),
+            "nek_neighbors": len(nek.handle.neighbors),
+        }
+
+    rt = Runtime(nranks=P, machine=MachineModel.preset("compton"))
+    return rt.run(main)
+
+
+class TestFig7Shape:
+    def test_cmtbone_pairwise_beats_crystal(self, fig7_small):
+        t = fig7_small[0]["cmt_autotune"]
+        assert t["pairwise"].avg < t["crystal"].avg
+
+    def test_cmtbone_chooses_pairwise(self, fig7_small):
+        assert fig7_small[0]["cmt_method"] == "pairwise"
+
+    def test_allreduce_most_expensive_for_both(self, fig7_small):
+        for app in ("cmt_autotune", "nek_autotune"):
+            t = fig7_small[0][app]
+            assert t["allreduce"].avg > t["pairwise"].avg
+            assert t["allreduce"].avg > t["crystal"].avg
+
+    def test_nekbone_crystal_closer_than_for_cmtbone(self, fig7_small):
+        """Crystal's penalty vs pairwise is smaller for Nekbone (26
+        small messages) than for CMT-bone (6 large ones)."""
+        cmt = fig7_small[0]["cmt_autotune"]
+        nek = fig7_small[0]["nek_autotune"]
+        cmt_ratio = cmt["crystal"].avg / cmt["pairwise"].avg
+        nek_ratio = nek["crystal"].avg / nek["pairwise"].avg
+        assert nek_ratio < cmt_ratio
+
+    def test_neighbor_structure(self, fig7_small):
+        assert fig7_small[0]["cmt_neighbors"] == 6
+        assert fig7_small[0]["nek_neighbors"] == 26
+
+    def test_all_ranks_agree_on_winner(self, fig7_small):
+        assert len({r["cmt_method"] for r in fig7_small}) == 1
+        assert len({r["nek_method"] for r in fig7_small}) == 1
+
+    def test_table_renders(self, fig7_small):
+        text = fig7_table(
+            fig7_small[0]["cmt_autotune"], fig7_small[0]["nek_autotune"]
+        )
+        assert "CMT-bone" in text and "Nekbone" in text
+        assert "pairwise exchange" in text and "crystal router" in text
+
+    def test_timings_positive_and_ordered(self, fig7_small):
+        for app in ("cmt_autotune", "nek_autotune"):
+            for t in fig7_small[0][app].values():
+                assert 0 < t.mn <= t.avg <= t.mx

@@ -1,0 +1,100 @@
+"""Domain decomposition onto 3-D processor grids."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mesh import BoxMesh, Partition, factor3
+
+
+class TestFactor3:
+    @given(st.integers(1, 4096))
+    def test_product_and_order(self, p):
+        fx, fy, fz = factor3(p)
+        assert fx * fy * fz == p
+        assert fx >= fy >= fz >= 1
+
+    def test_known_values(self):
+        assert factor3(256) == (8, 8, 4)   # the Fig. 7 grid
+        assert factor3(8) == (2, 2, 2)
+        assert factor3(1) == (1, 1, 1)
+        assert factor3(7) == (7, 1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factor3(0)
+
+
+class TestPartition:
+    def test_fig7_exact_setup(self):
+        mesh = BoxMesh(shape=(40, 40, 16), n=10)
+        part = Partition(mesh, proc_shape=(8, 8, 4))
+        assert part.nranks == 256
+        assert part.local_shape == (5, 5, 4)
+        assert part.nel_local == 100
+        assert mesh.nelgt == 25600
+
+    def test_describe_matches_fig7_text(self):
+        mesh = BoxMesh(shape=(40, 40, 16), n=10)
+        text = Partition(mesh, proc_shape=(8, 8, 4)).describe()
+        assert "Number of processors: 256" in text
+        assert "elements per process = 100" in text
+        assert "Total elements = 25600" in text
+        assert "Processor Distribution (x,y,z) = 8, 8, 4" in text
+        assert "Element Distribution (x,y,z) = 40, 40, 16" in text
+        assert "Local Element Distribution (x,y,z) = 5, 5, 4" in text
+
+    def test_indivisible_rejected(self):
+        mesh = BoxMesh(shape=(5, 4, 4), n=3)
+        with pytest.raises(ValueError, match="not divisible"):
+            Partition(mesh, proc_shape=(2, 2, 2))
+
+    def test_auto(self):
+        mesh = BoxMesh(shape=(8, 8, 4), n=3)
+        part = Partition.auto(mesh, 8)
+        assert part.nranks == 8
+
+    def test_rank_coords_roundtrip(self):
+        mesh = BoxMesh(shape=(4, 4, 4), n=3)
+        part = Partition(mesh, proc_shape=(2, 2, 2))
+        for rank in range(8):
+            assert part.coords_rank(part.rank_coords(rank)) == rank
+
+    def test_every_element_owned_once(self):
+        mesh = BoxMesh(shape=(4, 6, 2), n=3)
+        part = Partition(mesh, proc_shape=(2, 3, 1))
+        owners = {}
+        for rank in range(part.nranks):
+            for ec in part.local_elements(rank):
+                assert ec not in owners
+                owners[ec] = rank
+                assert part.owner_of(ec) == rank
+        assert len(owners) == mesh.nelgt
+
+    def test_local_index_roundtrip(self):
+        mesh = BoxMesh(shape=(4, 4, 2), n=3)
+        part = Partition(mesh, proc_shape=(2, 2, 1))
+        for rank in range(part.nranks):
+            for lidx, ec in enumerate(part.local_elements(rank)):
+                assert part.local_index(rank, ec) == lidx
+
+    def test_local_index_rejects_foreign_element(self):
+        mesh = BoxMesh(shape=(4, 4, 2), n=3)
+        part = Partition(mesh, proc_shape=(2, 2, 1))
+        foreign = part.local_elements(3)[0]
+        with pytest.raises(ValueError):
+            part.local_index(0, foreign)
+
+    def test_rank_coords_out_of_range(self):
+        mesh = BoxMesh(shape=(2, 2, 2), n=3)
+        part = Partition(mesh, proc_shape=(2, 1, 1))
+        with pytest.raises(ValueError):
+            part.rank_coords(2)
+
+    @given(st.sampled_from([1, 2, 3, 4, 6, 8, 12]))
+    def test_equal_load(self, p):
+        """Every rank owns exactly nelgt / P elements."""
+        fx, fy, fz = factor3(p)
+        mesh = BoxMesh(shape=(2 * fx, 2 * fy, 2 * fz), n=3)
+        part = Partition(mesh, proc_shape=(fx, fy, fz))
+        for rank in range(p):
+            assert len(part.local_elements(rank)) == mesh.nelgt // p

@@ -1,0 +1,110 @@
+"""Face topology: neighbours, boundary handling, rank adjacency."""
+
+import pytest
+
+from repro.mesh import (
+    BoxMesh,
+    FACE_AXIS_SIDE,
+    NFACES,
+    OPPOSITE_FACE,
+    Partition,
+    RankTopology,
+    neighbor_coords,
+)
+
+
+class TestFaceConstants:
+    def test_six_faces(self):
+        assert NFACES == 6
+        assert len(FACE_AXIS_SIDE) == 6
+        assert len(OPPOSITE_FACE) == 6
+
+    def test_opposite_is_involution(self):
+        for f in range(6):
+            assert OPPOSITE_FACE[OPPOSITE_FACE[f]] == f
+            # Opposite face is on the same axis, other side.
+            assert FACE_AXIS_SIDE[f][0] == FACE_AXIS_SIDE[OPPOSITE_FACE[f]][0]
+            assert FACE_AXIS_SIDE[f][1] != FACE_AXIS_SIDE[OPPOSITE_FACE[f]][1]
+
+
+class TestNeighborCoords:
+    def test_interior(self):
+        mesh = BoxMesh(shape=(3, 3, 3), n=3)
+        assert neighbor_coords(mesh, (1, 1, 1), 0) == (0, 1, 1)
+        assert neighbor_coords(mesh, (1, 1, 1), 1) == (2, 1, 1)
+        assert neighbor_coords(mesh, (1, 1, 1), 2) == (1, 0, 1)
+        assert neighbor_coords(mesh, (1, 1, 1), 5) == (1, 1, 2)
+
+    def test_periodic_wrap(self):
+        mesh = BoxMesh(shape=(3, 3, 3), n=3, periodic=(True,) * 3)
+        assert neighbor_coords(mesh, (0, 0, 0), 0) == (2, 0, 0)
+        assert neighbor_coords(mesh, (2, 0, 0), 1) == (0, 0, 0)
+
+    def test_nonperiodic_boundary_is_none(self):
+        mesh = BoxMesh(shape=(3, 3, 3), n=3, periodic=(False,) * 3)
+        assert neighbor_coords(mesh, (0, 0, 0), 0) is None
+        assert neighbor_coords(mesh, (2, 2, 2), 5) is None
+        assert neighbor_coords(mesh, (0, 0, 0), 1) == (1, 0, 0)
+
+    def test_reciprocal(self):
+        mesh = BoxMesh(shape=(4, 3, 2), n=3)
+        for ec in mesh.iter_elements():
+            for f in range(6):
+                nb = neighbor_coords(mesh, ec, f)
+                assert nb is not None  # periodic: all interior
+                back = neighbor_coords(mesh, nb, OPPOSITE_FACE[f])
+                assert back == ec
+
+
+class TestRankTopology:
+    def test_periodic_box_has_no_boundary(self):
+        mesh = BoxMesh(shape=(4, 4, 4), n=3)
+        part = Partition(mesh, proc_shape=(2, 2, 2))
+        topo = RankTopology(part, rank=0)
+        assert topo.boundary_links() == []
+        assert len(topo.links) == part.nel_local * 6
+
+    def test_nonperiodic_corner_rank_has_boundary(self):
+        mesh = BoxMesh(shape=(4, 4, 4), n=3, periodic=(False,) * 3)
+        part = Partition(mesh, proc_shape=(2, 2, 2))
+        topo = RankTopology(part, rank=0)
+        # Rank 0 brick is 2x2x2 at the corner: 3 exposed faces of 4 el.
+        assert len(topo.boundary_links()) == 3 * 4
+
+    def test_face_neighbor_ranks_2x2x2(self):
+        mesh = BoxMesh(shape=(4, 4, 4), n=3)
+        part = Partition(mesh, proc_shape=(2, 2, 2))
+        topo = RankTopology(part, rank=0)
+        # With a periodic 2-rank extent, +x and -x are the same rank.
+        assert topo.neighbor_ranks == [1, 2, 4]
+
+    def test_fig7_neighbor_ranks(self):
+        mesh = BoxMesh(shape=(40, 40, 16), n=10)
+        part = Partition(mesh, proc_shape=(8, 8, 4))
+        topo = RankTopology(part, rank=0)
+        # 6 distinct face neighbours on the periodic processor torus.
+        assert len(topo.neighbor_ranks) == 6
+        assert topo.neighbor_ranks == [1, 7, 8, 56, 64, 192]
+
+    def test_remote_links_to_rank_grouping(self):
+        mesh = BoxMesh(shape=(4, 2, 2), n=3)
+        part = Partition(mesh, proc_shape=(2, 1, 1))
+        topo = RankTopology(part, rank=0)
+        groups = topo.faces_to_rank()
+        assert set(groups) == {1}
+        # 2x2 elements face rank 1 on +x and (periodic wrap) on -x.
+        assert len(groups[1]) == 8
+
+    def test_surface_bytes(self):
+        mesh = BoxMesh(shape=(4, 2, 2), n=5)
+        part = Partition(mesh, proc_shape=(2, 1, 1))
+        topo = RankTopology(part, rank=0)
+        assert topo.surface_bytes_per_exchange() == 8 * 25 * 8
+
+    def test_self_links_not_remote(self):
+        """Links between a rank's own elements are not 'remote'."""
+        mesh = BoxMesh(shape=(4, 4, 4), n=3)
+        part = Partition(mesh, proc_shape=(2, 2, 2))
+        topo = RankTopology(part, rank=0)
+        for link in topo.remote_links():
+            assert link.neighbor_rank != 0

@@ -1,0 +1,129 @@
+"""Unit tests for reduction ops and payload accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi.datatypes import (
+    BAND,
+    BOR,
+    BUILTIN_OPS,
+    LAND,
+    LOR,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    copy_payload,
+    payload_nbytes,
+)
+
+
+class TestReduceOps:
+    def test_builtin_registry(self):
+        assert set(BUILTIN_OPS) == {
+            "MPI_SUM", "MPI_PROD", "MPI_MIN", "MPI_MAX",
+            "MPI_LAND", "MPI_LOR", "MPI_BAND", "MPI_BOR",
+        }
+
+    def test_sum_arrays(self):
+        a, b = np.arange(4.0), np.ones(4)
+        np.testing.assert_allclose(SUM(a, b), a + b)
+
+    def test_min_max_scalars(self):
+        assert MIN(3, 5) == 3
+        assert MAX(3, 5) == 5
+
+    def test_prod(self):
+        np.testing.assert_allclose(PROD(np.full(3, 2.0), np.full(3, 4.0)), 8.0)
+
+    def test_logical(self):
+        assert LAND(True, False) == False  # noqa: E712
+        assert LOR(True, False) == True  # noqa: E712
+
+    def test_bitwise(self):
+        assert BAND(np.int64(0b1100), np.int64(0b1010)) == 0b1000
+        assert BOR(np.int64(0b1100), np.int64(0b1010)) == 0b1110
+
+    @pytest.mark.parametrize(
+        "op,dtype,expected",
+        [
+            (SUM, np.float64, 0.0),
+            (PROD, np.float64, 1.0),
+            (MIN, np.float64, np.inf),
+            (MAX, np.float64, -np.inf),
+            (MIN, np.int32, np.iinfo(np.int32).max),
+            (MAX, np.int32, np.iinfo(np.int32).min),
+        ],
+    )
+    def test_identities(self, op, dtype, expected):
+        assert op.identity(np.dtype(dtype)) == expected
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=20))
+    def test_sum_identity_is_neutral(self, xs):
+        arr = np.array(xs)
+        ident = SUM.identity(arr.dtype)
+        np.testing.assert_array_equal(SUM(arr, ident), arr)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=20))
+    def test_min_identity_is_neutral(self, xs):
+        arr = np.array(xs)
+        np.testing.assert_array_equal(MIN(arr, MIN.identity(arr.dtype)), arr)
+
+    def test_ufunc_attached(self):
+        assert SUM.ufunc is np.add
+        assert MIN.ufunc is np.minimum
+
+
+class TestPayloadNbytes:
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(10)) == 80
+        assert payload_nbytes(np.zeros(10, dtype=np.float32)) == 40
+
+    def test_scalars(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(3.14) == 8
+
+    def test_none_is_empty(self):
+        assert payload_nbytes(None) == 0
+
+    def test_bytes(self):
+        assert payload_nbytes(b"abcd") == 4
+
+    def test_list_of_arrays(self):
+        assert payload_nbytes([np.zeros(2), np.zeros(3)]) == 40
+
+    def test_generic_object_uses_pickle_length(self):
+        n = payload_nbytes({"a": 1, "b": [1, 2, 3]})
+        assert n > 0
+
+    def test_wire_nbytes_protocol(self):
+        class Fake:
+            __wire_nbytes__ = 12345
+
+        assert payload_nbytes(Fake()) == 12345
+
+
+class TestCopyPayload:
+    def test_array_is_copied(self):
+        a = np.arange(5.0)
+        b = copy_payload(a)
+        b[0] = 99
+        assert a[0] == 0.0
+
+    def test_scalar_passthrough(self):
+        assert copy_payload(7) == 7
+        assert copy_payload("x") == "x"
+        assert copy_payload(None) is None
+
+    def test_mutable_container_deep_copied(self):
+        d = {"k": [1, 2]}
+        c = copy_payload(d)
+        c["k"].append(3)
+        assert d["k"] == [1, 2]
+
+    def test_dict_of_arrays_copied(self):
+        d = {0: np.arange(3.0)}
+        c = copy_payload(d)
+        c[0][0] = -1
+        assert d[0][0] == 0.0

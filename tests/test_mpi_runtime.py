@@ -1,0 +1,194 @@
+"""Runtime lifecycle: errors, deadlock detection, comm management."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (
+    AbortError,
+    DeadlockError,
+    MPIError,
+    Runtime,
+    TimePolicy,
+    spmd,
+)
+
+
+class TestLifecycle:
+    def test_single_rank_inline(self):
+        res = Runtime(nranks=1).run(lambda comm: comm.rank)
+        assert res == [0]
+
+    def test_results_in_rank_order(self):
+        res = Runtime(nranks=5).run(lambda comm: comm.rank * 10)
+        assert res == [0, 10, 20, 30, 40]
+
+    def test_args_kwargs_forwarded(self):
+        def main(comm, a, b=0):
+            return a + b + comm.rank
+
+        res = Runtime(nranks=2).run(main, args=(5,), kwargs={"b": 7})
+        assert res == [12, 13]
+
+    def test_single_shot(self):
+        rt = Runtime(nranks=2)
+        rt.run(lambda comm: None)
+        with pytest.raises(MPIError):
+            rt.run(lambda comm: None)
+
+    def test_bad_nranks(self):
+        with pytest.raises(ValueError):
+            Runtime(nranks=0)
+
+    def test_spmd_helper(self):
+        assert spmd(3, lambda comm: comm.size) == [3, 3, 3]
+
+
+class TestErrorPropagation:
+    def test_exception_reraised_with_rank(self):
+        def main(comm):
+            if comm.rank == 2:
+                raise RuntimeError("boom on 2")
+            comm.barrier()
+
+        with pytest.raises(MPIError, match="rank 2"):
+            Runtime(nranks=4).run(main)
+
+    def test_blocked_peers_released_on_error(self):
+        """Ranks blocked in recv when a peer dies must not hang."""
+
+        def main(comm):
+            if comm.rank == 0:
+                raise ValueError("dead")
+            comm.recv(source=0)
+
+        with pytest.raises(MPIError):
+            Runtime(nranks=3).run(main)
+
+    def test_abort_error_not_primary(self):
+        """The user's exception wins over secondary AbortErrors."""
+
+        def main(comm):
+            if comm.rank == 1:
+                raise KeyError("the real bug")
+            comm.recv(source=1 - comm.rank if comm.size == 2 else 1)
+
+        with pytest.raises(MPIError, match="the real bug"):
+            Runtime(nranks=2).run(main)
+
+
+class TestDeadlockDetection:
+    def test_recv_from_silent_peer(self):
+        def main(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size, tag=1)
+
+        rt = Runtime(nranks=3)
+        with pytest.raises(DeadlockError):
+            rt.run(main)
+        assert rt.deadlock_report is not None
+        assert "rank" in rt.deadlock_report
+
+    def test_mismatched_tags_deadlock(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, dest=1, tag=5)
+                comm.recv(source=1, tag=5)
+            else:
+                comm.recv(source=0, tag=6)  # wrong tag: never matches
+
+        with pytest.raises(DeadlockError):
+            Runtime(nranks=2).run(main)
+
+    def test_detection_can_be_disabled(self):
+        """With detection off, a correct program still runs normally."""
+        rt = Runtime(nranks=2, deadlock_detection=False)
+        res = rt.run(lambda comm: comm.allreduce(1))
+        assert res == [2, 2]
+
+
+class TestCommManagement:
+    def test_dup_isolates_traffic(self):
+        def main(comm):
+            dup = comm.dup()
+            # Same-signature message on each comm; must not cross.
+            other = 1 - comm.rank
+            r1 = comm.irecv(source=other, tag=1)
+            r2 = dup.irecv(source=other, tag=1)
+            dup.send("dup", dest=other, tag=1)
+            comm.send("world", dest=other, tag=1)
+            return r1.wait(), r2.wait()
+
+        res = Runtime(nranks=2).run(main)
+        assert res == [("world", "dup")] * 2
+
+    def test_split_groups_and_ranks(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            return sub.rank, sub.size, sub.allreduce(comm.rank)
+
+        res = Runtime(nranks=6).run(main)
+        evens = sum(r for r in range(6) if r % 2 == 0)
+        odds = sum(r for r in range(6) if r % 2 == 1)
+        for r, (sub_rank, sub_size, total) in enumerate(res):
+            assert sub_size == 3
+            assert sub_rank == r // 2
+            assert total == (evens if r % 2 == 0 else odds)
+
+    def test_split_key_reorders(self):
+        def main(comm):
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        res = Runtime(nranks=4).run(main)
+        assert res == [3, 2, 1, 0]
+
+    def test_split_negative_color_returns_none(self):
+        def main(comm):
+            sub = comm.split(color=-1 if comm.rank == 0 else 0)
+            if sub is None:
+                return None
+            return sub.size
+
+        res = Runtime(nranks=3).run(main)
+        assert res == [None, 2, 2]
+
+
+class TestReporting:
+    def test_clock_stats(self):
+        def main(comm):
+            comm.compute(seconds=0.1 * (comm.rank + 1))
+            comm.barrier()
+
+        rt = Runtime(nranks=3)
+        rt.run(main)
+        stats = rt.clock_stats()
+        assert [s.rank for s in stats] == [0, 1, 2]
+        assert all(s.total >= 0.1 for s in stats)
+        assert all(s.comm > 0 for s in stats)  # barrier cost
+
+    def test_job_profile_populated(self):
+        def main(comm):
+            comm.allreduce(np.ones(10))
+            comm.barrier()
+
+        rt = Runtime(nranks=4)
+        rt.run(main)
+        prof = rt.job_profile()
+        assert prof.nranks == 4
+        ops = {r.op for r in prof.aggregates()}
+        assert "MPI_Allreduce" in ops
+        assert "MPI_Barrier" in ops
+        assert prof.mpi_time > 0
+
+    def test_time_policy_exposed(self):
+        rt = Runtime(nranks=1, time_policy=TimePolicy.MEASURED)
+        res = rt.run(lambda comm: comm.time_policy)
+        assert res == [TimePolicy.MEASURED]
+
+    def test_measured_region(self):
+        def main(comm):
+            with comm.measured_region():
+                np.linalg.norm(np.random.default_rng(0).random(1000))
+            return comm.clock.compute_time
+
+        res = Runtime(nranks=1, time_policy=TimePolicy.MEASURED).run(main)
+        assert res[0] > 0

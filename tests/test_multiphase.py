@@ -1,0 +1,206 @@
+"""Two-way coupled particles: drag, deposition, conservation."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.gll import gll_weights
+from repro.mesh import BoxMesh, Partition
+from repro.mpi import Runtime
+from repro.solver import (
+    CMTSolver,
+    MX,
+    SolverConfig,
+    uniform_state,
+)
+from repro.solver.multiphase import (
+    InertialCloud,
+    TwoWayCoupling,
+    deposit_at,
+    seed_inertial,
+)
+from repro.solver.particles import ParticleTracker
+
+MESH = BoxMesh(shape=(4, 2, 2), n=5)
+PART = Partition(MESH, proc_shape=(2, 1, 1))
+
+
+class TestDeposit:
+    def test_integral_exact(self):
+        """The quadrature integral of a deposit equals the value."""
+        n = 5
+        mesh = BoxMesh(shape=(2, 1, 1), n=n, lengths=(2.0, 1.0, 1.0))
+        w = np.asarray(gll_weights(n))
+        w3 = w[:, None, None] * w[None, :, None] * w[None, None, :]
+        jx, jy, jz = mesh.jacobian
+        jvol = 1.0 / (jx * jy * jz)
+        field = np.zeros((2, n, n, n))
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-1, 1, (10, 3))
+        els = rng.integers(0, 2, 10)
+        vals = rng.standard_normal(10)
+        deposit_at(field, vals, pts, els, w3, jvol)
+        integral = float(np.einsum("eijk,ijk->", field, w3) * jvol)
+        assert integral == pytest.approx(vals.sum(), rel=1e-12)
+
+    def test_point_at_node_hits_that_node(self):
+        n = 4
+        w = np.asarray(gll_weights(n))
+        w3 = w[:, None, None] * w[None, :, None] * w[None, None, :]
+        field = np.zeros((1, n, n, n))
+        from repro.kernels.gll import gll_points
+
+        x = np.asarray(gll_points(n))
+        pts = np.array([[x[1], x[2], x[0]]])
+        deposit_at(field, np.array([2.0]), pts, np.array([0]), w3, 1.0)
+        mask = np.zeros_like(field, dtype=bool)
+        mask[0, 1, 2, 0] = True
+        assert field[mask][0] != 0.0
+        np.testing.assert_allclose(field[~mask], 0.0, atol=1e-12)
+
+
+class TestInertialCloud:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InertialCloud(np.array([1]), np.zeros((1, 3)), np.zeros((2, 3)))
+
+    def test_seed(self):
+        def main(comm):
+            tr = ParticleTracker(comm, PART)
+            cloud = seed_inertial(tr, 50, vel=(0.1, 0.0, 0.0), seed=2)
+            return len(cloud), cloud.vel[:, 0].tolist() if len(cloud) else []
+
+        res = Runtime(nranks=2).run(main)
+        assert sum(n for n, _ in res) == 50
+        for _n, vels in res:
+            assert all(v == 0.1 for v in vels)
+
+
+class TestDragRelaxation:
+    def test_particle_relaxes_to_gas_velocity(self):
+        """Exact exponential relaxation in a uniform gas stream."""
+        tau = 0.05
+
+        def main(comm):
+            tr = ParticleTracker(comm, PART)
+            coupling = TwoWayCoupling(comm, tr, tau_p=tau,
+                                      particle_mass=1e-6)
+            st = uniform_state(PART.nel_local, MESH.n,
+                               vel=(0.2, 0.0, 0.0))
+            if comm.rank == 0:
+                cloud = InertialCloud(
+                    ids=[0], pos=np.array([[0.3, 0.3, 0.3]]),
+                    vel=np.array([[0.0, 0.0, 0.0]]),
+                )
+            else:
+                cloud = InertialCloud.empty()
+            cloud = coupling.migrate(cloud)
+            dt = 0.01
+            nsteps = 10
+            for _ in range(nsteps):
+                st, cloud, _ = coupling.step(st, cloud, dt)
+            if len(cloud):
+                return float(cloud.vel[0, 0]), nsteps * dt
+            return None
+
+        res = [r for r in Runtime(nranks=2).run(main) if r is not None]
+        assert len(res) == 1
+        v, t = res[0]
+        # Tiny particle mass: gas barely changes; exact relaxation.
+        assert v == pytest.approx(0.2 * (1 - np.exp(-t / tau)), rel=1e-3)
+
+    def test_validation(self):
+        def main(comm):
+            tr = ParticleTracker(comm, PART)
+            TwoWayCoupling(comm, tr, tau_p=0.0, particle_mass=1.0)
+
+        with pytest.raises(Exception, match="positive"):
+            Runtime(nranks=2).run(main)
+
+
+class TestTwoWayConservation:
+    def test_total_momentum_conserved(self):
+        """Gas + particle momentum is invariant under the coupling."""
+        def main(comm):
+            tr = ParticleTracker(comm, PART)
+            coupling = TwoWayCoupling(comm, tr, tau_p=0.02,
+                                      particle_mass=0.01)
+            solver = CMTSolver(
+                comm, PART, config=SolverConfig(gs_method="pairwise")
+            )
+            st = uniform_state(PART.nel_local, MESH.n)
+            cloud = seed_inertial(tr, 40, vel=(0.3, -0.1, 0.05), seed=4)
+            gas_p0 = np.array(
+                [solver.integrate(st.u[MX + c]) for c in range(3)]
+            )
+            part_p0 = coupling.total_particle_momentum(cloud)
+            dt = 5e-3
+            for _ in range(8):
+                st = solver.step(st, dt)
+                st, cloud, _ = coupling.step(st, cloud, dt)
+            gas_p1 = np.array(
+                [solver.integrate(st.u[MX + c]) for c in range(3)]
+            )
+            part_p1 = coupling.total_particle_momentum(cloud)
+            count = coupling.global_count(cloud)
+            return gas_p0 + part_p0, gas_p1 + part_p1, count, (
+                st.is_physical()
+            )
+
+        total0, total1, count, ok = Runtime(nranks=2).run(main)[0]
+        assert ok
+        assert count == 40
+        np.testing.assert_allclose(total1, total0, atol=1e-12)
+
+    def test_particles_drag_gas_into_motion(self):
+        """Heavy moving particles accelerate an initially still gas."""
+
+        def main(comm):
+            tr = ParticleTracker(comm, PART)
+            coupling = TwoWayCoupling(comm, tr, tau_p=0.05,
+                                      particle_mass=0.05)
+            solver = CMTSolver(
+                comm, PART, config=SolverConfig(gs_method="pairwise")
+            )
+            st = uniform_state(PART.nel_local, MESH.n)  # still gas
+            cloud = seed_inertial(tr, 30, vel=(0.5, 0.0, 0.0), seed=5)
+            dt = 5e-3
+            for _ in range(10):
+                st = solver.step(st, dt)
+                st, cloud, _ = coupling.step(st, cloud, dt)
+            gas_px = solver.integrate(st.u[MX])
+            part_v = coupling.total_particle_momentum(cloud)[0]
+            return gas_px, part_v, st.is_physical()
+
+        gas_px, part_px, ok = Runtime(nranks=2).run(main)[0]
+        assert ok
+        assert gas_px > 1e-4          # gas picked up momentum
+        assert part_px < 30 * 0.05 * 0.5   # particles slowed down
+
+    def test_migration_preserves_velocity_state(self):
+        def main(comm):
+            tr = ParticleTracker(comm, PART)
+            coupling = TwoWayCoupling(comm, tr, tau_p=1.0,
+                                      particle_mass=1e-3)
+            # Particle on rank 0's side, headed across the boundary
+            # at x = 0.5 (4 elements over length 1, split 2 ranks).
+            if comm.rank == 0:
+                cloud = InertialCloud(
+                    ids=[7], pos=np.array([[0.48, 0.25, 0.25]]),
+                    vel=np.array([[0.9, 0.1, -0.2]]),
+                )
+            else:
+                cloud = InertialCloud.empty()
+            st = uniform_state(PART.nel_local, MESH.n,
+                               vel=(0.9, 0.1, -0.2))
+            for _ in range(5):
+                st, cloud, _ = coupling.step(st, cloud, 0.02)
+            if len(cloud):
+                return comm.rank, cloud.ids.tolist(), cloud.vel[0].tolist()
+            return None
+
+        res = [r for r in Runtime(nranks=2).run(main) if r is not None]
+        assert len(res) == 1
+        rank, ids, vel = res[0]
+        assert ids == [7]
+        np.testing.assert_allclose(vel, [0.9, 0.1, -0.2], atol=1e-6)
+        assert rank == 1  # it crossed into rank 1's half (x > 0.5)

@@ -1,0 +1,233 @@
+"""Lagrangian particle tracking: interpolation, advection, migration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.gll import gll_points
+from repro.mesh import BoxMesh, Partition
+from repro.mpi import Runtime
+from repro.solver.particles import (
+    ParticleCloud,
+    ParticleTracker,
+    interpolate_at,
+    seed_particles,
+)
+
+MESH = BoxMesh(shape=(4, 2, 2), n=5, lengths=(2.0, 1.0, 1.0))
+PART = Partition(MESH, proc_shape=(2, 2, 1))
+
+
+class TestParticleCloud:
+    def test_len_and_validation(self):
+        c = ParticleCloud(ids=[1, 2], pos=np.zeros((2, 3)))
+        assert len(c) == 2
+        with pytest.raises(ValueError):
+            ParticleCloud(ids=[1], pos=np.zeros((2, 3)))
+
+    def test_concatenate_and_empty(self):
+        a = ParticleCloud(ids=[1], pos=np.ones((1, 3)))
+        b = ParticleCloud.empty()
+        c = ParticleCloud.concatenate([a, b])
+        assert len(c) == 1
+        assert len(ParticleCloud.concatenate([])) == 0
+
+    def test_select(self):
+        c = ParticleCloud(ids=[1, 2, 3], pos=np.zeros((3, 3)))
+        sub = c.select(np.array([True, False, True]))
+        assert sub.ids.tolist() == [1, 3]
+
+
+class TestInterpolation:
+    def test_exact_on_polynomial_field(self):
+        n = 5
+        x = np.asarray(gll_points(n))
+        r = x[:, None, None]
+        s = x[None, :, None]
+        t = x[None, None, :]
+        field = np.stack([(r**2 * s + t**3 + 1.0), (r * s * t)], axis=0)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-1, 1, size=(20, 3))
+        elements = rng.integers(0, 2, size=20)
+        vals = interpolate_at(field, pts, elements)
+        for i, (p, e) in enumerate(zip(pts, elements)):
+            if e == 0:
+                exact = p[0] ** 2 * p[1] + p[2] ** 3 + 1.0
+            else:
+                exact = p[0] * p[1] * p[2]
+            assert vals[i] == pytest.approx(exact, abs=1e-11)
+
+    def test_at_nodes_returns_nodal_values(self):
+        n = 4
+        field = np.random.default_rng(1).standard_normal((1, n, n, n))
+        x = np.asarray(gll_points(n))
+        pts = np.array([[x[1], x[2], x[3]]])
+        val = interpolate_at(field, pts, np.array([0]))
+        assert val[0] == pytest.approx(field[0, 1, 2, 3])
+
+
+class TestLocate:
+    def _tracker(self, comm):
+        return ParticleTracker(comm, PART)
+
+    def test_locate_center_of_elements(self):
+        def main(comm):
+            tr = self._tracker(comm)
+            hx, hy, hz = MESH.element_lengths
+            pos = np.array([[hx * 1.5, hy * 0.5, hz * 0.5]])
+            ec, ref = tr.locate(pos)
+            return ec.tolist(), ref.tolist()
+
+        ec, ref = Runtime(nranks=4).run(main)[0]
+        assert ec == [[1, 0, 0]]
+        np.testing.assert_allclose(ref, [[0.0, 0.0, 0.0]], atol=1e-12)
+
+    def test_wrap(self):
+        def main(comm):
+            tr = self._tracker(comm)
+            pos = np.array([[2.3, -0.2, 1.4]])
+            return tr.wrap(pos).tolist()
+
+        wrapped = Runtime(nranks=4).run(main)[0]
+        np.testing.assert_allclose(
+            wrapped, [[0.3, 0.8, 0.4]], atol=1e-12
+        )
+
+    def test_owner_ranks_match_partition(self):
+        def main(comm):
+            tr = self._tracker(comm)
+            coords = np.array(
+                [list(ec) for ec in MESH.iter_elements()], dtype=np.int64
+            )
+            mine = tr.owner_ranks(coords)
+            expect = [PART.owner_of(tuple(c)) for c in coords]
+            return mine.tolist(), expect
+
+        mine, expect = Runtime(nranks=4).run(main)[0]
+        assert mine == expect
+
+
+class TestSeedAndMigrate:
+    def test_seed_partitions_globally_unique(self):
+        def main(comm):
+            tr = ParticleTracker(comm, PART)
+            cloud = seed_particles(tr, 200, seed=3)
+            return cloud.ids.tolist()
+
+        res = Runtime(nranks=4).run(main)
+        all_ids = sorted(i for ids in res for i in ids)
+        assert all_ids == list(range(200))
+
+    def test_migrate_moves_to_owner(self):
+        def main(comm):
+            tr = ParticleTracker(comm, PART)
+            # Rank 0 creates particles everywhere; everyone else none.
+            if comm.rank == 0:
+                rng = np.random.default_rng(9)
+                pos = rng.random((50, 3)) * np.array(MESH.lengths)
+                cloud = ParticleCloud(np.arange(50), pos)
+            else:
+                cloud = ParticleCloud.empty()
+            cloud = tr.migrate(cloud)
+            # After migration every local particle is owned here.
+            if len(cloud):
+                ec, _ = tr.locate(cloud.pos)
+                owners = tr.owner_ranks(ec)
+                assert set(owners.tolist()) == {comm.rank}
+            return len(cloud), tr.global_count(cloud)
+
+        res = Runtime(nranks=4).run(main)
+        assert all(total == 50 for _, total in res)
+        assert sum(n for n, _ in res) == 50
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=5, deadline=None)
+    def test_property_migration_preserves_ids(self, seed):
+        def main(comm):
+            tr = ParticleTracker(comm, PART)
+            cloud = seed_particles(tr, 64, seed=seed)
+            for _ in range(2):
+                rng = np.random.default_rng(seed + comm.rank)
+                cloud = ParticleCloud(
+                    cloud.ids,
+                    tr.wrap(cloud.pos + rng.uniform(-0.3, 0.3,
+                                                    cloud.pos.shape)),
+                )
+                cloud = tr.migrate(cloud)
+            return cloud.ids.tolist()
+
+        res = Runtime(nranks=4).run(main)
+        all_ids = sorted(i for ids in res for i in ids)
+        assert all_ids == list(range(64))
+
+
+class TestAdvection:
+    def test_uniform_flow_exact(self):
+        def main(comm):
+            tr = ParticleTracker(comm, PART)
+            nel, n = PART.nel_local, MESH.n
+            velocity = np.zeros((3, nel, n, n, n))
+            velocity[0] = 0.25
+            velocity[1] = -0.5
+            cloud = seed_particles(tr, 40, seed=1)
+            start = {int(i): p.copy() for i, p in zip(cloud.ids, cloud.pos)}
+            start_all = comm.allgather(start)
+            merged = {}
+            for d in start_all:
+                merged.update(d)
+            dt = 0.05
+            steps = 6
+            for _ in range(steps):
+                cloud = tr.advect(cloud, velocity, dt)
+            t = dt * steps
+            errs = []
+            for i, p in zip(cloud.ids, cloud.pos):
+                p0 = merged[int(i)]
+                expect = tr.wrap(
+                    (p0 + t * np.array([0.25, -0.5, 0.0]))[None]
+                )[0]
+                errs.append(np.max(np.abs(p - expect)))
+            count = tr.global_count(cloud)
+            return max(errs, default=0.0), count
+
+        res = Runtime(nranks=4).run(main)
+        assert all(c == 40 for _, c in res)
+        assert max(e for e, _ in res) < 1e-12
+
+    def test_rotating_flow_stays_on_circle(self):
+        """Solid-body rotation: radius is (nearly) conserved by RK2."""
+        mesh = BoxMesh(shape=(4, 4, 1), n=6, lengths=(1.0, 1.0, 1.0))
+        part = Partition(mesh, proc_shape=(2, 2, 1))
+
+        def main(comm):
+            tr = ParticleTracker(comm, part)
+            nel, n = part.nel_local, mesh.n
+            coords = np.stack(
+                [mesh.element_nodes(ec)
+                 for ec in part.local_elements(comm.rank)],
+                axis=1,
+            )
+            x, y = coords[0], coords[1]
+            velocity = np.zeros((3, nel, n, n, n))
+            velocity[0] = -(y - 0.5)
+            velocity[1] = x - 0.5
+            if comm.rank == 0:
+                cloud = ParticleCloud(
+                    ids=[0], pos=np.array([[0.7, 0.5, 0.5]])
+                )
+            else:
+                cloud = ParticleCloud.empty()
+            cloud = tr.migrate(cloud)
+            dt = 0.02
+            for _ in range(50):
+                cloud = tr.advect(cloud, velocity, dt)
+            if len(cloud):
+                p = cloud.pos[0]
+                r = np.hypot(p[0] - 0.5, p[1] - 0.5)
+                return float(r)
+            return None
+
+        res = Runtime(nranks=4).run(main)
+        radii = [r for r in res if r is not None]
+        assert len(radii) == 1
+        assert radii[0] == pytest.approx(0.2, abs=0.01)

@@ -1,0 +1,109 @@
+"""Exact Riemann solver, validated against published Toro test cases."""
+
+import numpy as np
+import pytest
+
+from repro.solver.riemann import (
+    PrimitiveState,
+    SOD_LEFT,
+    SOD_RIGHT,
+    exact_riemann,
+)
+
+
+class TestSod:
+    """Toro, Table 4.2, Test 1 (the Sod problem)."""
+
+    def setup_method(self):
+        self.sol = exact_riemann(SOD_LEFT, SOD_RIGHT)
+
+    def test_star_pressure(self):
+        assert self.sol.p_star == pytest.approx(0.30313, abs=2e-5)
+
+    def test_star_velocity(self):
+        assert self.sol.u_star == pytest.approx(0.92745, abs=2e-5)
+
+    def test_star_densities(self):
+        assert self.sol.rho_star_left == pytest.approx(0.42632, abs=2e-5)
+        assert self.sol.rho_star_right == pytest.approx(0.26557, abs=2e-5)
+
+    def test_shock_position_at_t02(self):
+        # Shock at x = 0.5 + S*0.2 with S ~ 1.7522 -> x ~ 0.8504.
+        s = self.sol.shock_speed_right()
+        assert s == pytest.approx(1.7522, abs=2e-4)
+
+    def test_profile_landmarks(self):
+        x = np.array([0.1, 0.55, 0.75, 0.95])
+        rho, u, p = self.sol.profile(x, t=0.2, x0=0.5)
+        # Undisturbed left, star-left, star-right, undisturbed right.
+        assert rho[0] == pytest.approx(1.0)
+        assert rho[1] == pytest.approx(0.42632, abs=1e-4)
+        assert rho[2] == pytest.approx(0.26557, abs=1e-4)
+        assert rho[3] == pytest.approx(0.125)
+        assert p[1] == pytest.approx(p[2], rel=1e-10)  # contact: p equal
+        assert u[1] == pytest.approx(u[2], rel=1e-10)  # and u equal
+
+    def test_fan_is_continuous(self):
+        """The rarefaction fan joins its head and tail smoothly."""
+        xs = np.linspace(0.26, 0.49, 40)
+        rho, _u, _p = self.sol.profile(xs, t=0.2, x0=0.5)
+        drho = np.diff(rho)
+        assert np.all(drho < 0)           # monotone expansion
+        assert np.max(np.abs(drho)) < 0.05  # no jumps inside the fan
+
+
+class TestToro2:
+    """Toro Test 2: double rarefaction (123 problem)."""
+
+    def test_star_values(self):
+        left = PrimitiveState(1.0, -2.0, 0.4)
+        right = PrimitiveState(1.0, 2.0, 0.4)
+        sol = exact_riemann(left, right)
+        assert sol.p_star == pytest.approx(0.00189, abs=5e-5)
+        assert sol.u_star == pytest.approx(0.0, abs=1e-10)
+
+
+class TestToro3:
+    """Toro Test 3: strong left rarefaction + strong right shock."""
+
+    def test_star_values(self):
+        left = PrimitiveState(1.0, 0.0, 1000.0)
+        right = PrimitiveState(1.0, 0.0, 0.01)
+        sol = exact_riemann(left, right)
+        assert sol.p_star == pytest.approx(460.894, rel=1e-4)
+        assert sol.u_star == pytest.approx(19.5975, rel=1e-4)
+
+
+class TestProperties:
+    def test_symmetric_problem_has_zero_star_velocity(self):
+        left = PrimitiveState(1.0, 0.5, 1.0)
+        right = PrimitiveState(1.0, -0.5, 1.0)
+        sol = exact_riemann(left, right)
+        assert sol.u_star == pytest.approx(0.0, abs=1e-12)
+        assert sol.rho_star_left == pytest.approx(sol.rho_star_right)
+
+    def test_trivial_problem_is_identity(self):
+        s = PrimitiveState(1.3, 0.2, 2.0)
+        sol = exact_riemann(s, s)
+        assert sol.p_star == pytest.approx(2.0, rel=1e-10)
+        assert sol.u_star == pytest.approx(0.2, rel=1e-10)
+        rho, u, p = sol.profile(np.array([-1.0, 0.0, 1.0]), t=1.0)
+        np.testing.assert_allclose(rho, 1.3, rtol=1e-9)
+        np.testing.assert_allclose(u, 0.2, rtol=1e-9)
+
+    def test_vacuum_rejected(self):
+        left = PrimitiveState(1.0, -10.0, 0.1)
+        right = PrimitiveState(1.0, 10.0, 0.1)
+        with pytest.raises(ValueError, match="vacuum"):
+            exact_riemann(left, right)
+
+    def test_state_validation(self):
+        with pytest.raises(ValueError):
+            PrimitiveState(-1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            PrimitiveState(1.0, 0.0, 0.0)
+
+    def test_profile_needs_positive_time(self):
+        sol = exact_riemann(SOD_LEFT, SOD_RIGHT)
+        with pytest.raises(ValueError):
+            sol.profile(np.array([0.0]), t=0.0)

@@ -1,0 +1,152 @@
+"""Sod shock tube: the DG pipeline against exact gas dynamics.
+
+The flagship integration test: non-periodic mesh + Dirichlet ends +
+shock filter + the full parallel DG machinery, validated against the
+exact Riemann solution (no discretized code as "truth").
+"""
+
+import numpy as np
+import pytest
+
+from repro.mesh import BoxMesh, Partition
+from repro.mpi import Runtime
+from repro.solver import (
+    CMTSolver,
+    RHO,
+    ShockFilter,
+    SolverConfig,
+    from_primitives,
+)
+from repro.solver.boundary import BoundarySpec
+from repro.solver.riemann import SOD_LEFT, SOD_RIGHT, exact_riemann
+
+N = 8
+MESH = BoxMesh(shape=(16, 1, 1), n=N, periodic=(False, True, True),
+               lengths=(1.0, 0.25, 0.25))
+PART = Partition(MESH, proc_shape=(2, 1, 1))
+T_END = 0.2
+X0 = 0.5
+SMOOTH = 0.02  # tanh smoothing width of the initial jump
+
+
+def _dirichlet(state):
+    e = state.p / 0.4 + 0.5 * state.rho * state.u**2
+    return BoundarySpec(
+        "dirichlet", state=(state.rho, state.rho * state.u, 0.0, 0.0, e)
+    )
+
+
+def run_sod(nsteps_cap=4000):
+    def main(comm):
+        bc = {0: _dirichlet(SOD_LEFT), 1: _dirichlet(SOD_RIGHT)}
+        solver = CMTSolver(
+            comm, PART,
+            config=SolverConfig(
+                gs_method="pairwise",
+                cfl=0.3,
+                shock_filter=ShockFilter(n=N, threshold=-6.0, ramp=2.0),
+                boundaries=bc,
+            ),
+        )
+        coords = np.stack(
+            [MESH.element_nodes(ec)
+             for ec in PART.local_elements(comm.rank)],
+            axis=1,
+        )
+        x = coords[0]
+        blend = 0.5 * (1.0 + np.tanh((x - X0) / SMOOTH))
+        rho = SOD_LEFT.rho + (SOD_RIGHT.rho - SOD_LEFT.rho) * blend
+        p = SOD_LEFT.p + (SOD_RIGHT.p - SOD_LEFT.p) * blend
+        st = from_primitives(rho, np.zeros((3,) + rho.shape), p)
+        t = 0.0
+        steps = 0
+        while t < T_END and steps < nsteps_cap:
+            dt = min(solver.stable_dt(st), T_END - t)
+            st = solver.step(st, dt)
+            t += dt
+            steps += 1
+            assert st.is_physical(), f"unphysical at t={t}"
+        # Return centreline density profile.
+        xs = x[:, :, 0, 0].ravel()
+        rhos = st.u[RHO][:, :, 0, 0].ravel()
+        us = st.velocity()[0][:, :, 0, 0].ravel()
+        ps = st.pressure()[:, :, 0, 0].ravel()
+        return xs, rhos, us, ps, steps
+
+    res = Runtime(nranks=2).run(main)
+    xs = np.concatenate([r[0] for r in res])
+    rhos = np.concatenate([r[1] for r in res])
+    us = np.concatenate([r[2] for r in res])
+    ps = np.concatenate([r[3] for r in res])
+    order = np.argsort(xs)
+    return xs[order], rhos[order], us[order], ps[order]
+
+
+@pytest.fixture(scope="module")
+def sod_result():
+    return run_sod()
+
+
+@pytest.fixture(scope="module")
+def sod_exact():
+    return exact_riemann(SOD_LEFT, SOD_RIGHT)
+
+
+class TestSodShockTube:
+    def test_star_region_left_plateau(self, sod_result, sod_exact):
+        """Between fan tail (~0.49) and contact (~0.69): rho*L."""
+        xs, rhos, us, ps = sod_result
+        mask = (xs > 0.52) & (xs < 0.63)
+        assert np.median(rhos[mask]) == pytest.approx(
+            sod_exact.rho_star_left, rel=0.05
+        )
+        assert np.median(us[mask]) == pytest.approx(
+            sod_exact.u_star, rel=0.05
+        )
+        assert np.median(ps[mask]) == pytest.approx(
+            sod_exact.p_star, rel=0.05
+        )
+
+    def test_star_region_right_plateau(self, sod_result, sod_exact):
+        """Between contact (~0.69) and shock (~0.85): rho*R."""
+        xs, rhos, us, ps = sod_result
+        mask = (xs > 0.72) & (xs < 0.82)
+        assert np.median(rhos[mask]) == pytest.approx(
+            sod_exact.rho_star_right, rel=0.05
+        )
+        assert np.median(ps[mask]) == pytest.approx(
+            sod_exact.p_star, rel=0.05
+        )
+
+    def test_undisturbed_ends(self, sod_result):
+        xs, rhos, _us, ps = sod_result
+        left = xs < 0.15
+        right = xs > 0.95
+        assert np.max(np.abs(rhos[left] - 1.0)) < 0.02
+        assert np.max(np.abs(rhos[right] - 0.125)) < 0.02
+
+    def test_shock_position(self, sod_result, sod_exact):
+        """The density jump to 0.125 sits near x = 0.5 + 1.7522*0.2."""
+        xs, rhos, _us, _ps = sod_result
+        x_shock_exact = X0 + sod_exact.shock_speed_right() * T_END
+        # Find where density first drops below the midpoint between
+        # rho*R and rho_R, scanning from the right plateau.
+        mid = 0.5 * (sod_exact.rho_star_right + SOD_RIGHT.rho)
+        candidates = xs[(rhos < mid) & (xs > 0.7)]
+        x_shock_num = float(candidates.min())
+        assert x_shock_num == pytest.approx(x_shock_exact, abs=0.04)
+
+    def test_rarefaction_fan_profile(self, sod_result, sod_exact):
+        """Density inside the fan matches the exact similarity profile."""
+        xs, rhos, _us, _ps = sod_result
+        mask = (xs > 0.30) & (xs < 0.45)
+        exact_rho, _u, _p = sod_exact.profile(xs[mask], t=T_END, x0=X0)
+        err = np.max(np.abs(rhos[mask] - exact_rho))
+        assert err < 0.03
+
+    def test_global_density_error(self, sod_result, sod_exact):
+        """L1 density error is small over the whole tube."""
+        xs, rhos, _us, _ps = sod_result
+        exact_rho, _u, _p = sod_exact.profile(xs, t=T_END, x0=X0)
+        l1 = float(np.mean(np.abs(rhos - exact_rho)))
+        assert l1 < 0.02

@@ -1,0 +1,128 @@
+"""The stiffened-gas (real-gas roadmap) equation of state."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import BoxMesh, Partition
+from repro.mpi import Runtime
+from repro.solver import CMTSolver, SolverConfig, from_primitives
+from repro.solver.eos import IdealGas, StiffenedGas
+
+
+class TestStiffenedGas:
+    def test_reduces_to_ideal_at_zero_pinf(self):
+        ideal = IdealGas(gamma=1.4)
+        stiff = StiffenedGas(gamma=1.4, p_inf=0.0)
+        rho = np.array([1.0, 2.5])
+        mom = np.array([[0.5, -1.0], [0.0, 0.2], [1.0, 0.0]])
+        e = np.array([3.0, 7.0])
+        np.testing.assert_allclose(
+            stiff.pressure(rho, mom, e), ideal.pressure(rho, mom, e)
+        )
+        p = np.array([1.0, 4.0])
+        np.testing.assert_allclose(
+            stiff.sound_speed(rho, p), ideal.sound_speed(rho, p)
+        )
+
+    def test_pressure_energy_roundtrip(self):
+        eos = StiffenedGas(gamma=6.1, p_inf=2.0)
+        rho = np.array([1.2])
+        vel = np.array([[0.3], [0.0], [-0.1]])
+        p = np.array([5.0])
+        e = eos.total_energy(rho, vel, p)
+        np.testing.assert_allclose(
+            eos.pressure(rho, rho * vel, e), p, rtol=1e-13
+        )
+
+    def test_stiffening_raises_sound_speed(self):
+        soft = StiffenedGas(gamma=1.4, p_inf=0.0)
+        hard = StiffenedGas(gamma=1.4, p_inf=10.0)
+        rho = np.array([1.0])
+        p = np.array([1.0])
+        assert hard.sound_speed(rho, p)[0] > soft.sound_speed(rho, p)[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StiffenedGas(gamma=1.0)
+        with pytest.raises(ValueError):
+            StiffenedGas(p_inf=-1.0)
+
+    def test_temperature_positive(self):
+        eos = StiffenedGas(gamma=6.1, p_inf=2.0)
+        t = eos.temperature(np.array([1.0]), np.array([1.0]))
+        assert t[0] > 0
+
+
+class TestSolverWithRealGas:
+    MESH = BoxMesh(shape=(4, 1, 1), n=5)
+    PART = Partition(MESH, proc_shape=(2, 1, 1))
+
+    def test_freestream_preserved(self):
+        eos = StiffenedGas(gamma=4.0, p_inf=1.5)
+
+        def main(comm):
+            solver = CMTSolver(
+                comm, self.PART, eos=eos,
+                config=SolverConfig(gs_method="pairwise"),
+            )
+            rho = np.full((self.PART.nel_local,) + (self.MESH.n,) * 3, 1.2)
+            vel = np.zeros((3,) + rho.shape)
+            vel[0] = 0.3
+            st = from_primitives(rho, vel, np.full_like(rho, 2.0), eos=eos)
+            u0 = st.u.copy()
+            st = solver.run(st, nsteps=4, dt=5e-4)
+            return float(np.max(np.abs(st.u - u0)))
+
+        assert max(Runtime(nranks=2).run(main)) < 1e-12
+
+    def test_conservation_and_stability(self):
+        eos = StiffenedGas(gamma=4.0, p_inf=1.5)
+
+        def main(comm):
+            solver = CMTSolver(
+                comm, self.PART, eos=eos,
+                config=SolverConfig(gs_method="pairwise", cfl=0.3),
+            )
+            coords = np.stack(
+                [self.MESH.element_nodes(ec)
+                 for ec in self.PART.local_elements(comm.rank)],
+                axis=1,
+            )
+            x = coords[0]
+            rho = 1.0 + 0.01 * np.sin(2 * np.pi * x)
+            vel = np.zeros((3,) + rho.shape)
+            st = from_primitives(rho, vel, np.full_like(rho, 2.0), eos=eos)
+            before = solver.conserved_totals(st)
+            dt = solver.stable_dt(st)
+            st = solver.run(st, nsteps=15, dt=dt)
+            after = solver.conserved_totals(st)
+            return before, after, st.is_physical()
+
+        before, after, ok = Runtime(nranks=2).run(main)[0]
+        assert ok
+        for key in before:
+            assert after[key] == pytest.approx(before[key], abs=1e-10)
+
+    def test_stiffened_dt_smaller_than_ideal(self):
+        """Faster sound -> tighter CFL, automatically picked up."""
+
+        def dt_for(eos):
+            def main(comm):
+                solver = CMTSolver(
+                    comm, self.PART, eos=eos,
+                    config=SolverConfig(gs_method="pairwise"),
+                )
+                rho = np.ones(
+                    (self.PART.nel_local,) + (self.MESH.n,) * 3
+                )
+                st = from_primitives(
+                    rho, np.zeros((3,) + rho.shape),
+                    np.full_like(rho, 1.0), eos=eos,
+                )
+                return solver.stable_dt(st)
+
+            return Runtime(nranks=2).run(main)[0]
+
+        assert dt_for(StiffenedGas(gamma=1.4, p_inf=10.0)) < dt_for(
+            IdealGas(gamma=1.4)
+        )
