@@ -17,6 +17,7 @@ from .mpip import (
     full_report,
     message_size_report,
     mpi_fraction_report,
+    split_phase_report,
     summarize_fractions,
     top_calls_report,
     wait_dominance,
@@ -58,6 +59,7 @@ __all__ = [
     "render_histogram",
     "render_table",
     "size_histogram",
+    "split_phase_report",
     "summarize_fractions",
     "top_calls_report",
     "traffic_matrix",

@@ -97,6 +97,47 @@ def wait_dominance(profile: JobProfile) -> Tuple[str, float]:
     return op, t / total
 
 
+def split_phase_report(profile: JobProfile) -> str:
+    """Begin/finish attribution of split-phase gather-scatter sites.
+
+    ``gs_op_begin`` posts under ``<site>:begin`` (isend/irecv overhead)
+    and ``gs_op_finish`` waits under ``<site>:finish``, so an
+    overlapped run's exchange cost splits into the posting overhead —
+    paid unconditionally — and the finishing wait, which is exactly the
+    *exposed* (un-hidden) communication.  Sites without the suffix are
+    blocking calls and are listed unsplit.
+    """
+    begin: dict = {}
+    finish: dict = {}
+    for row in profile.aggregates():
+        if row.site.endswith(":begin"):
+            base = row.site[: -len(":begin")]
+            begin[base] = begin.get(base, 0.0) + row.vtime
+        elif row.site.endswith(":finish"):
+            base = row.site[: -len(":finish")]
+            finish[base] = finish.get(base, 0.0) + row.vtime
+    bases = sorted(set(begin) | set(finish))
+    if not bases:
+        return "Split-phase sites\n(no split-phase gs sites recorded)"
+    table = render_table(
+        ["site", "begin (post) s", "finish (wait) s", "wait share"],
+        [
+            (
+                b,
+                begin.get(b, 0.0),
+                finish.get(b, 0.0),
+                round(
+                    finish.get(b, 0.0)
+                    / ((begin.get(b, 0.0) + finish.get(b, 0.0)) or 1.0),
+                    3,
+                ),
+            )
+            for b in bases
+        ],
+    )
+    return f"Split-phase sites (post vs exposed wait)\n{table}"
+
+
 def full_report(profile: JobProfile, top_n: int = 20) -> str:
     """All three mpiP-style sections in one string."""
     return "\n\n".join(

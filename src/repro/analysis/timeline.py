@@ -20,12 +20,18 @@ from ..mpi.clock import VirtualClock
 
 @dataclass(frozen=True)
 class Interval:
-    """One recorded region occurrence on one rank."""
+    """One recorded region occurrence on one rank.
+
+    ``span`` marks an overlappable split-phase interval (recorded via
+    :meth:`TimelineRecorder.open_span`/``close_span``) that may coexist
+    with ordinary region intervals on the same rank.
+    """
 
     rank: int
     name: str
     t0: float
     t1: float
+    span: bool = False
 
     @property
     def duration(self) -> float:
@@ -61,6 +67,33 @@ class TimelineRecorder:
                         Interval(rank=self.rank, name=name, t0=t0, t1=t1)
                     )
 
+    # -- split-phase spans ---------------------------------------------------
+
+    def open_span(self, name: str) -> float:
+        """Start an *overlappable* span; returns its opening time.
+
+        Unlike :meth:`region`, a span is not a nesting bracket: it
+        marks an in-flight split-phase interval (communication posted
+        at ``open``, finished at ``close``) that deliberately coexists
+        with whatever regions run meanwhile.  Pair with
+        :meth:`close_span`; the name is ignored here and repeated at
+        close purely for call-site readability.
+        """
+        return self._clock.now
+
+    def close_span(self, name: str, t0: float) -> None:
+        """Record ``[t0, now]`` for ``name`` regardless of nesting depth.
+
+        The resulting interval may overlap region intervals on the same
+        rank — :func:`render_gantt` draws such doubly-covered bins in
+        uppercase so hidden communication is visible in the chart.
+        """
+        t1 = self._clock.now
+        if t1 > t0:
+            self.intervals.append(
+                Interval(rank=self.rank, name=name, t0=t0, t1=t1, span=True)
+            )
+
 
 def merge_timelines(
     recorders: Sequence[TimelineRecorder],
@@ -92,6 +125,10 @@ def render_gantt(
 
     Each cell shows the symbol of the region covering most of that
     bin; ``.`` marks idle/untracked time (usually a blocked wait).
+    Bins covered by both a split-phase *span* (an in-flight exchange,
+    see :meth:`TimelineRecorder.open_span`) and an ordinary region show
+    the dominant symbol in UPPERCASE, so overlapped communication reads
+    directly off the chart.
     """
     if not intervals:
         return "(empty timeline)"
@@ -107,8 +144,9 @@ def render_gantt(
 
     rows = []
     for rank in ranks:
-        coverage = [("", 0.0)] * width  # (symbol, covered seconds)
         cover: List[Dict[str, float]] = [dict() for _ in range(width)]
+        span_cover = [0.0] * width
+        region_cover = [0.0] * width
         for iv in intervals:
             if iv.rank != rank:
                 continue
@@ -120,19 +158,26 @@ def render_gantt(
                 overlap = min(iv.t1, bin_hi) - max(iv.t0, bin_lo)
                 if overlap > 0:
                     cover[b][iv.name] = cover[b].get(iv.name, 0.0) + overlap
+                    if iv.span:
+                        span_cover[b] += overlap
+                    else:
+                        region_cover[b] += overlap
         cells = []
         for b in range(width):
             if not cover[b]:
                 cells.append(".")
             else:
                 name = max(cover[b], key=cover[b].get)
-                cells.append(sym[name])
+                cell = sym[name]
+                if span_cover[b] > 0 and region_cover[b] > 0:
+                    cell = cell.upper()
+                cells.append(cell)
         rows.append(f"rank {rank:4d} |{''.join(cells)}|")
 
     legend = "  ".join(f"{s}={name}" for name, s in sym.items())
     header = (
         f"t = [{t_lo:.3e}, {t_hi:.3e}] s, {width} bins of {dt:.3e} s   "
-        "('.' = blocked/idle)"
+        "('.' = blocked/idle, UPPERCASE = overlapped regions)"
     )
     return "\n".join([header] + rows + [legend])
 

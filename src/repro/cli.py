@@ -93,6 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compute-load jitter fraction (default 0)")
     p_cmt.add_argument("--pack", action="store_true",
                        help="use gs_op_many packed exchanges")
+    p_cmt.add_argument("--overlap", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="split-phase schedule: overlap the gs "
+                            "exchange with the update compute")
     p_cmt.add_argument("--variant", default="fused",
                        choices=["basic", "fused", "einsum"],
                        help="derivative-kernel variant (default fused)")
@@ -116,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timesteps for both apps (default 4)")
     p_val.add_argument("--calibrated", action="store_true",
                        help="use the exchange_fields=11 calibration")
+    p_val.add_argument("--overlap", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="overlapped split-phase schedule in both "
+                            "the mini-app and the parent solver")
 
     p_k = sub.add_parser(
         "kernels", help="Fig. 5/6 derivative-kernel counter tables"
@@ -142,6 +150,7 @@ def cmd_cmtbone(args) -> int:
         work_mode="proxy" if args.proxy else "real",
         compute_imbalance=args.imbalance,
         pack_fields=args.pack,
+        overlap=args.overlap,
     )
     runtime = Runtime(
         nranks=args.ranks, machine=MachineModel.preset(args.machine)
@@ -161,6 +170,18 @@ def cmd_cmtbone(args) -> int:
     if r0.autotune:
         print("\n" + timing_table(r0.autotune, "gs auto-tune:"))
     print(f"\nchosen gs method: {r0.chosen_method}")
+    # pack_fields has no split-phase form and takes precedence over overlap.
+    overlapping = config.overlap and not config.pack_fields
+    if config.overlap and config.pack_fields:
+        schedule = "blocking (--pack overrides --overlap)"
+    elif overlapping:
+        schedule = "overlapped (split-phase)"
+    else:
+        schedule = "blocking"
+    print(f"exchange schedule: {schedule}")
+    if overlapping:
+        hidden = max(r.vtime_hidden_comm for r in results)
+        print(f"hidden communication (max over ranks): {hidden:.3e} s")
     print("\n=== compute profile (merged over ranks) ===")
     print(cmtbone_profile_report(results))
     print("\n=== MPI profile ===")
@@ -249,6 +270,7 @@ def cmd_validate(args) -> int:
         work_mode="proxy" if args.proxy else "real",
         monitor_every=1,
         exchange_fields=11 if args.calibrated else None,
+        overlap=args.overlap,
     )
     machine = MachineModel.preset(args.machine)
     mini = cmtbone_signature(config, args.ranks, machine=machine)

@@ -61,6 +61,13 @@ class CMTBoneConfig:
     #: Exchange all neq fields in one packed message per neighbour
     #: (gslib's gs_op_many) instead of one gs_op per field.
     pack_fields: bool = False
+    #: Split-phase overlapped schedule: the gather-scatter exchange is
+    #: posted right after ``full2face_cmt`` and finished *after* the
+    #: ``add2s2`` update, so the update's compute hides the message
+    #: flight time (see docs/virtual-time.md, "Overlap accounting").
+    #: Mutually exclusive with ``pack_fields`` (the packed many-field
+    #: exchange has no split-phase form and wins if both are set).
+    overlap: bool = False
     #: Face-trace fields exchanged per RK stage.  Defaults to ``neq``
     #: (5); the validation study (repro.validation) shows the parent
     #: application exchanges 2*neq+1 = 11 traces (state + normal flux

@@ -13,21 +13,40 @@ from .autotune import MethodTiming, choose_method, time_method, timing_table
 from .crystal import exchange_crystal, route
 from .handle import GSHandle, gs_setup
 from .many import gs_op_many
-from .ops import METHOD_LABELS, METHODS, gs_multiplicity, gs_op
-from .pairwise import exchange_pairwise
+from .ops import (
+    METHOD_LABELS,
+    METHODS,
+    GSExchange,
+    gs_multiplicity,
+    gs_op,
+    gs_op_begin,
+    gs_op_finish,
+)
+from .pairwise import (
+    PairwiseFlight,
+    exchange_pairwise,
+    exchange_pairwise_begin,
+    exchange_pairwise_finish,
+)
 
 __all__ = [
+    "GSExchange",
     "GSHandle",
     "METHODS",
     "METHOD_LABELS",
     "MethodTiming",
+    "PairwiseFlight",
     "SparseGlobalVector",
     "choose_method",
     "exchange_allreduce",
     "exchange_crystal",
     "exchange_pairwise",
+    "exchange_pairwise_begin",
+    "exchange_pairwise_finish",
     "gs_multiplicity",
     "gs_op",
+    "gs_op_begin",
+    "gs_op_finish",
     "gs_op_many",
     "gs_setup",
     "route",

@@ -6,6 +6,25 @@ with an associative operation, and write the combined value back into
 every copy.  The cross-rank exchange runs through whichever of the
 three algorithms the handle's auto-tuner selected (or an explicit
 ``method=`` override).
+
+Split-phase interface
+---------------------
+:func:`gs_op_begin` / :func:`gs_op_finish` split one ``gs_op`` so the
+exchange can overlap interior compute: ``begin`` posts the pairwise
+sends/receives (only the cross-rank shared entries of ``u`` need to be
+valid at that point) and returns a :class:`GSExchange`; ``finish``
+waits, folds, and scatters.  The two halves are attributed to distinct
+mpiP call sites (``<site>:begin`` / ``<site>:finish``) so overlapped
+runs remain legible in the Fig. 9-style reports.
+
+Only the pairwise method is genuinely split-phase (it is the only one
+built on nonblocking point-to-point).  For the crystal-router and
+allreduce methods ``begin`` records its inputs and ``finish`` runs the
+whole blocking exchange — a documented synchronous fallback that keeps
+the split-phase API collective-safe for every method while still
+benefiting from any compute the caller performed between the halves
+(every rank enters the blocking exchange later, so modelled waits never
+grow).
 """
 
 from __future__ import annotations
@@ -18,7 +37,13 @@ from ..mpi.datatypes import ReduceOp, SUM
 from .allreduce_method import exchange_allreduce
 from .crystal import exchange_crystal
 from .handle import GSHandle
-from .pairwise import exchange_pairwise
+from .pairwise import (
+    TAG_PAIRWISE,
+    PairwiseFlight,
+    exchange_pairwise,
+    exchange_pairwise_begin,
+    exchange_pairwise_finish,
+)
 
 #: The three exchange strategies evaluated at setup (paper, Section VI).
 METHODS: Dict[str, Callable] = {
@@ -72,6 +97,132 @@ def gs_op(
     handle.comm.compute(
         flops=float(u.size),
         mem_bytes=2.0 * itemsize * (u.size + handle.n_unique),
+    )
+    return out
+
+
+class GSExchange:
+    """An in-flight split-phase gather-scatter (between begin/finish).
+
+    Produced by :func:`gs_op_begin`; consumed exactly once by
+    :func:`gs_op_finish`.  For the pairwise method the exchange is
+    genuinely in flight (``flight`` holds the posted requests); for the
+    other methods it merely records the inputs for the synchronous
+    fallback at finish.
+    """
+
+    __slots__ = ("handle", "op", "method", "site", "flight", "condensed", "_done")
+
+    def __init__(
+        self,
+        handle: GSHandle,
+        op: ReduceOp,
+        method: str,
+        site: str,
+        flight: Optional[PairwiseFlight] = None,
+        condensed: Optional[np.ndarray] = None,
+    ):
+        self.handle = handle
+        self.op = op
+        self.method = method
+        self.site = site
+        self.flight = flight
+        #: Condense of the values seen at begin; superseded when finish
+        #: is handed a fully populated ``u``.
+        self.condensed = condensed
+        self._done = False
+
+
+def gs_op_begin(
+    handle: GSHandle,
+    u: np.ndarray,
+    op: ReduceOp = SUM,
+    method: Optional[str] = None,
+    site: Optional[str] = None,
+    tag: int = TAG_PAIRWISE,
+) -> GSExchange:
+    """Start a gather-scatter; return a handle for :func:`gs_op_finish`.
+
+    With the pairwise method this posts the nonblocking sends and
+    receives immediately and returns while they are in flight, so the
+    caller can run interior compute under the exchange.  ``u`` only
+    needs valid entries at the *cross-rank shared* ids (entries on
+    boundary-element faces); everything else may still be unset,
+    provided a fully populated array is handed to :func:`gs_op_finish`.
+
+    With the crystal-router or allreduce methods (or on a single rank)
+    nothing is posted here — the blocking exchange runs inside
+    ``finish`` (synchronous fallback, see module docstring) — but the
+    begin/finish structure is identical so callers never branch on the
+    method.  Pass a distinct ``tag`` per concurrent in-flight exchange.
+    """
+    method = method or handle.method or "pairwise"
+    if method not in METHODS:
+        raise ValueError(
+            f"unknown gs method {method!r}; choose from {sorted(METHODS)}"
+        )
+    base_site = site or f"gs_op:{method}"
+    u = np.asarray(u)
+    # Condense is snapshotted in every case so finish can run even if
+    # the caller never hands back a fully populated u (and, for the
+    # fallback methods, so the exchange has its send values).  A u
+    # passed to finish replaces this snapshot via re-condense.
+    condensed = handle.condense(u, op)
+    flight = None
+    if method == "pairwise" and handle.comm.size > 1:
+        flight = exchange_pairwise_begin(
+            handle, condensed, op, site=f"{base_site}:begin", tag=tag
+        )
+    return GSExchange(
+        handle, op, method, base_site, flight=flight, condensed=condensed
+    )
+
+
+def gs_op_finish(
+    exchange: GSExchange, u: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Complete a split-phase gather-scatter; return the scattered result.
+
+    ``u`` — when given — is the *fully populated* local array (same
+    shape as at begin); it is re-condensed here, which is what makes the
+    deferred-interior pattern work: begin sent the boundary values, and
+    the interior values only need to exist by the time finish folds the
+    local contribution.  When ``u`` is omitted the condense snapshotted
+    at begin is used.
+
+    The local condense+scatter compute charge is identical to
+    :func:`gs_op`'s and is applied here, at finish, where the blocking
+    path pays it too.
+    """
+    if exchange._done:
+        raise ValueError("gs_op_finish called twice on the same exchange")
+    exchange._done = True
+    handle = exchange.handle
+    op = exchange.op
+    if u is not None:
+        u = np.asarray(u)
+        condensed = handle.condense(u, op)
+        size = u.size
+    else:
+        condensed = exchange.condensed
+        size = int(np.prod(handle.shape))
+    if exchange.flight is not None:
+        condensed = exchange_pairwise_finish(
+            exchange.flight, condensed, site=f"{exchange.site}:finish"
+        )
+    elif handle.comm.size > 1:
+        # Synchronous fallback for methods without a nonblocking form:
+        # the whole blocking exchange runs now, at finish time.
+        condensed = METHODS[exchange.method](
+            handle, condensed, op, site=f"{exchange.site}:finish"
+        )
+    out = handle.scatter(condensed)
+    # Same local gather/scatter charge as the blocking gs_op (the
+    # deferred re-condense replaces, not adds to, the one at begin).
+    itemsize = condensed.dtype.itemsize
+    handle.comm.compute(
+        flops=float(size),
+        mem_bytes=2.0 * itemsize * (size + handle.n_unique),
     )
     return out
 

@@ -7,14 +7,29 @@ own condensed boundary values, and folds what arrives.  Message count
 equals the number of sharing neighbours (6 face neighbours for the DG
 numbering; up to 26 for the C0 numbering, many of them tiny edge and
 corner messages).
+
+Two interfaces are provided:
+
+* :func:`exchange_pairwise` — the classic blocking form used by
+  ``gs_op``;
+* :func:`exchange_pairwise_begin` / :func:`exchange_pairwise_finish` —
+  the split-phase form behind ``gs_op_begin``/``gs_op_finish``:
+  ``begin`` posts all receives and sends and returns immediately so
+  interior compute can proceed while messages are in flight; ``finish``
+  waits, folds, and credits hidden-vs-exposed communication time to
+  the rank's :class:`~repro.mpi.clock.VirtualClock`.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import List
+
 import numpy as np
 
+from ..mpi.clock import OverlapInterval
 from ..mpi.datatypes import ReduceOp
-from ..mpi.request import waitall
+from ..mpi.request import RecvRequest, Request
 from .handle import GSHandle
 
 #: Tag used by pairwise exchanges (user tag space).
@@ -47,9 +62,90 @@ def exchange_pairwise(
             tag=TAG_PAIRWISE,
             site=site,
         )
-    payloads = waitall(recv_reqs, site=site)
+    payloads = Request.waitall(recv_reqs, site=site)
     out = condensed.copy()
     for q, vals in zip(neighbors, payloads):
         ix = handle.neighbor_send_index[q]
         out[ix] = op.ufunc(out[ix], np.asarray(vals))
+    return out
+
+
+@dataclass
+class PairwiseFlight:
+    """An in-flight split-phase pairwise exchange (between begin/finish)."""
+
+    handle: GSHandle
+    op: ReduceOp
+    site: str
+    recv_reqs: List[RecvRequest]
+    #: Overlap window opened on the rank's clock when the messages were
+    #: posted; closed at finish to account hidden communication time.
+    window: OverlapInterval = field(default=None)  # type: ignore[assignment]
+
+
+def exchange_pairwise_begin(
+    handle: GSHandle,
+    send_values: np.ndarray,
+    op: ReduceOp,
+    site: str = SITE,
+    tag: int = TAG_PAIRWISE,
+) -> PairwiseFlight:
+    """Post the receives and sends of a pairwise exchange; don't wait.
+
+    ``send_values`` is a condensed-size array whose entries must be
+    valid at every *cross-rank shared* id (``handle.neighbor_send_index``
+    positions); ids private to this rank are never read, so callers may
+    pass a partially populated condense (the overlapped solver posts
+    boundary-element traces before interior ones even exist).
+    """
+    comm = handle.comm
+    neighbors = handle.neighbors
+    recv_reqs = [
+        comm.irecv(source=q, tag=tag, site=site) for q in neighbors
+    ]
+    for q in neighbors:
+        comm.isend(
+            send_values[handle.neighbor_send_index[q]],
+            dest=q,
+            tag=tag,
+            site=site,
+        )
+    return PairwiseFlight(
+        handle=handle,
+        op=op,
+        site=site,
+        recv_reqs=recv_reqs,
+        window=comm.clock.overlap_interval(),
+    )
+
+
+def exchange_pairwise_finish(
+    flight: PairwiseFlight, condensed: np.ndarray, site: str = None
+) -> np.ndarray:
+    """Wait for an in-flight exchange, fold the payloads, return the sum.
+
+    ``condensed`` is the fully populated local condense (it may have
+    been completed *after* ``begin`` posted the boundary values).  The
+    wait charges only the communication still exposed after whatever
+    compute ran since ``begin``; the hidden remainder is credited to
+    the clock's ``hidden_comm_time``.
+    """
+    handle = flight.handle
+    site = site or flight.site
+    wait_start = handle.comm.clock.now
+    payloads = Request.waitall(flight.recv_reqs, site=site)
+    # Overlap accounting: the blocking-equivalent wait is measured from
+    # the posting time, the exposed wait from the finish time; their
+    # difference was hidden under the intervening compute.
+    if flight.recv_reqs:
+        completion = max(
+            req.status.arrival_vtime for req in flight.recv_reqs
+        )
+        handle.comm.clock.close_overlap(
+            flight.window, completion, wait_start=wait_start
+        )
+    out = condensed.copy()
+    for q, vals in zip(handle.neighbors, payloads):
+        ix = handle.neighbor_send_index[q]
+        out[ix] = flight.op.ufunc(out[ix], np.asarray(vals))
     return out

@@ -63,7 +63,8 @@ def _check(u: np.ndarray, dmat: np.ndarray) -> Tuple[int, int]:
 # ----------------------------------------------------------------------
 
 def dudr_basic(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
-    """d/dr, one (N,N)x(N,N) product per (element, t-plane)."""
+    """d/dr: one ``D @ u[e, :, :, k]`` product per (element, fixed-t)
+    (r, s)-plane, contracting the r axis."""
     nel, n = _check(u, dmat)
     out = np.empty_like(u)
     for e in range(nel):
@@ -73,7 +74,8 @@ def dudr_basic(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
 
 
 def duds_basic(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
-    """d/ds, one (N,N)x(N,N) product per (element, r-plane)."""
+    """d/ds: one ``D @ u[e, i]`` product per (element, fixed-r)
+    (s, t)-plane, contracting the s axis."""
     nel, n = _check(u, dmat)
     out = np.empty_like(u)
     for e in range(nel):
@@ -83,7 +85,8 @@ def duds_basic(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
 
 
 def dudt_basic(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
-    """d/dt, one (N,N)x(N,N) product per (element, r-plane)."""
+    """d/dt: one ``u[e, i] @ D.T`` product per (element, fixed-r)
+    (s, t)-plane, contracting the t axis."""
     nel, n = _check(u, dmat)
     out = np.empty_like(u)
     dt = dmat.T

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+import numpy as np
+
 from .box import BoxMesh, Coord
 
 
@@ -138,6 +140,43 @@ class Partition:
                 f"element {ecoords} not owned by rank {rank}"
             )
         return kx + lx * (ky + ly * kz)
+
+    # -- boundary / interior split (overlap pipeline) ------------------------
+
+    def boundary_mask(self, rank: int) -> np.ndarray:
+        """Boolean mask (local-lex order) of *boundary* elements.
+
+        An element is boundary iff it touches a face of the rank's local
+        brick along an axis where the processor grid is actually cut
+        (``proc_shape[a] > 1``) — only those faces carry cross-rank
+        shared ids, so only those elements contribute to the
+        gather-scatter messages.  On a 1-rank grid every element is
+        interior.  The split-phase solver extracts boundary traces
+        first, posts the exchange, then overlaps interior work with the
+        in-flight messages.
+        """
+        lx, ly, lz = self.local_shape
+        mask = np.zeros((lz, ly, lx), dtype=bool)
+        for axis, (p, l) in enumerate(zip(self.proc_shape, self.local_shape)):
+            if p <= 1:
+                continue
+            # mask is indexed (z, y, x); partition axes are (x, y, z).
+            ax = 2 - axis
+            lo = [slice(None)] * 3
+            hi = [slice(None)] * 3
+            lo[ax] = 0
+            hi[ax] = l - 1
+            mask[tuple(lo)] = True
+            mask[tuple(hi)] = True
+        return mask.ravel()
+
+    def boundary_local_indices(self, rank: int) -> np.ndarray:
+        """Local indices (local-lex order) of boundary elements."""
+        return np.flatnonzero(self.boundary_mask(rank))
+
+    def interior_local_indices(self, rank: int) -> np.ndarray:
+        """Local indices (local-lex order) of interior elements."""
+        return np.flatnonzero(~self.boundary_mask(rank))
 
     def describe(self) -> str:
         """Fig. 7-style setup block."""

@@ -18,7 +18,7 @@ Public surface:
 * Profiling types: :class:`JobProfile`, :class:`SiteAggregate`.
 """
 
-from .clock import ClockStats, TimePolicy, VirtualClock
+from .clock import ClockStats, OverlapInterval, TimePolicy, VirtualClock
 from .communicator import Comm
 from .datatypes import (
     ANY_SOURCE,
@@ -43,7 +43,14 @@ from .errors import (
     RankError,
 )
 from .profiler import CallRecord, JobProfile, RankProfile, SiteAggregate
-from .request import RecvRequest, Request, SendRequest, waitall, waitany
+from .request import (
+    RecvRequest,
+    Request,
+    SendRequest,
+    testall,
+    waitall,
+    waitany,
+)
 from .runtime import Runtime, spmd
 from .status import Status
 from .trace import MessageTrace, TraceEvent
@@ -67,6 +74,7 @@ __all__ = [
     "MIN",
     "MPIError",
     "MessageTrace",
+    "OverlapInterval",
     "PROD",
     "RankError",
     "RankProfile",
@@ -83,6 +91,7 @@ __all__ = [
     "VirtualClock",
     "payload_nbytes",
     "spmd",
+    "testall",
     "waitall",
     "waitany",
 ]

@@ -38,6 +38,20 @@ class TimePolicy(Enum):
 
 
 @dataclass
+class OverlapInterval:
+    """An open split-phase communication window on one rank's clock.
+
+    Created by :meth:`VirtualClock.overlap_interval` when nonblocking
+    communication is posted (``gs_op_begin``); closed with
+    :meth:`VirtualClock.close_overlap` when the matching wait starts.
+    The window records only its opening time — the clock keeps running
+    (through compute charges) while the exchange is in flight.
+    """
+
+    t_open: float
+
+
+@dataclass
 class VirtualClock:
     """A monotonically non-decreasing virtual clock for one rank.
 
@@ -50,11 +64,18 @@ class VirtualClock:
     comm_time:
         Total virtual seconds attributed to communication (including
         blocked wait time).
+    hidden_comm_time:
+        Virtual seconds of communication that were *hidden* under
+        compute inside split-phase overlap windows — time a blocking
+        exchange would have waited but the overlapped pipeline did not
+        (see :meth:`close_overlap`).  Informational: hidden time never
+        advances ``now``.
     """
 
     now: float = 0.0
     compute_time: float = 0.0
     comm_time: float = 0.0
+    hidden_comm_time: float = 0.0
 
     def advance(self, dt: float, *, kind: str = "compute") -> None:
         """Advance the clock by ``dt >= 0`` virtual seconds.
@@ -84,6 +105,42 @@ class VirtualClock:
             self.advance(dt, kind=kind)
             return dt
         return 0.0
+
+    # -- split-phase overlap accounting -------------------------------------
+
+    def overlap_interval(self) -> OverlapInterval:
+        """Open an overlap window at the current time (comm just posted)."""
+        return OverlapInterval(t_open=self.now)
+
+    def close_overlap(
+        self,
+        interval: OverlapInterval,
+        completion: float,
+        wait_start: "float | None" = None,
+    ) -> float:
+        """Close an overlap window; credit and return the hidden time.
+
+        ``completion`` is the modelled completion time of the in-flight
+        communication (latest message arrival); ``wait_start`` is the
+        clock reading when the finishing wait began (defaults to
+        ``now``, for callers that close before waiting).  A *blocking*
+        exchange opened at ``interval.t_open`` would have waited
+        ``max(completion - t_open, 0)``; the overlapped pipeline is
+        exposed only to ``max(completion - wait_start, 0)``.  The
+        difference is communication hidden under the compute that ran
+        inside the window.  Only the exposed part is ever charged to
+        ``now`` (by the waits themselves); the hidden part is
+        accumulated in :attr:`hidden_comm_time` for reporting.
+        """
+        if wait_start is None:
+            wait_start = self.now
+        blocking = max(completion - interval.t_open, 0.0)
+        exposed = max(completion - wait_start, 0.0)
+        hidden = blocking - exposed
+        if hidden < 0:  # pragma: no cover - t_open <= wait_start always
+            raise ValueError(f"overlap window closed before it opened: {hidden}")
+        self.hidden_comm_time += hidden
+        return hidden
 
 
 class StopwatchRegion:
@@ -116,6 +173,9 @@ class ClockStats:
     total: float
     compute: float
     comm: float
+    #: Communication hidden under compute in overlap windows (never
+    #: part of ``total``; see :meth:`VirtualClock.close_overlap`).
+    hidden_comm: float = 0.0
     extra: dict = field(default_factory=dict)
 
     @property

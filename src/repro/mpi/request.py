@@ -34,6 +34,23 @@ class Request:
     def completed(self) -> bool:
         raise NotImplementedError
 
+    @staticmethod
+    def waitall(
+        requests: Sequence["Request"], site: Optional[str] = None
+    ) -> list:
+        """``MPI_Waitall``: wait on every request, payloads in order.
+
+        Class-level convenience over the module-scope :func:`waitall`
+        so call sites holding a list of mixed requests need no extra
+        import (``Request.waitall(reqs)``).
+        """
+        return waitall(requests, site=site)
+
+    @staticmethod
+    def testall(requests: Sequence["Request"]) -> bool:
+        """``MPI_Testall``: True iff every request could complete now."""
+        return testall(requests)
+
 
 class SendRequest(Request):
     """Handle for an eager nonblocking send (already complete)."""
@@ -118,6 +135,16 @@ def waitall(requests: Sequence[Request], site: Optional[str] = None) -> list:
     their sum.
     """
     return [req.wait(site=site) for req in requests]
+
+
+def testall(requests: Sequence[Request]) -> bool:
+    """True iff every request in the list could complete without blocking.
+
+    Like ``MPI_Testall`` this does not complete the operations (no
+    clock charge, no profiler record): pair with :func:`waitall` once
+    it returns True, which will then complete everything wait-free.
+    """
+    return all(req.test() for req in requests)
 
 
 def waitany(

@@ -250,6 +250,7 @@ class Runtime:
                 total=c.now,
                 compute=c.compute_time,
                 comm=c.comm_time,
+                hidden_comm=c.hidden_comm_time,
             )
             for r, c in enumerate(self._clocks)
         ]

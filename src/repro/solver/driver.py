@@ -14,6 +14,23 @@ model describes: per Runge-Kutta stage,
 with source terms "set to zero" exactly as the current CMT-nek version
 does (a hook is provided for the nozzling term that will follow).
 
+The stage is organised as an explicit phase pipeline with two
+schedules over the same phases:
+
+* **blocking** (default): volume -> traces -> exchange -> correction,
+  the textbook order above;
+* **overlapped** (``SolverConfig(overlap=True)``): the elements are
+  split into *boundary* (touching a cut face of the processor grid)
+  and *interior* sets.  Boundary fluxes and traces are computed first
+  and the gather-scatter exchange is *posted* (``gs_op_begin``); the
+  interior volume work — the bulk of the stage — then runs while the
+  messages are in flight; ``gs_op_finish`` waits only for whatever
+  communication is still exposed.  Physics is bitwise identical to the
+  blocking schedule (same elementwise kernels over subsets, same fold
+  order), only the modelled timeline changes: communication hidden
+  under interior compute is credited to the clock's
+  ``hidden_comm_time`` instead of extending the step.
+
 The solver runs on the simulated MPI: physics arrays are computed for
 real in numpy; virtual time is charged per phase through the machine
 model so the communication/computation balance matches the modelled
@@ -27,7 +44,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from ..gs import choose_method, gs_op, gs_setup
+from ..gs import choose_method, gs_op, gs_op_begin, gs_op_finish, gs_setup
+from ..gs.pairwise import TAG_PAIRWISE
 from ..kernels import derivative_matrix, gll_weights
 from ..kernels import derivatives as dkernels
 from ..mesh import Partition, dg_face_numbering
@@ -35,13 +53,14 @@ from ..mpi import MAX, SUM, Comm
 from .divergence import divergence_flops, flux_divergence_multi
 from .eos import IdealGas
 from .flux import euler_fluxes, flux_flops
-from .numflux import get_scheme
+from .numflux import get_scheme, numflux_flops
 from .rk import cfl_dt, get_stepper
 from .state import ENERGY, MX, NEQ, RHO, FlowState
 from .surface import (
     FACE_NORMAL_AXIS,
     FACE_NORMAL_SIGN,
     face2full_add,
+    full2face_elements,
     full2face_multi,
     full2face_flops,
 )
@@ -74,6 +93,12 @@ class SolverConfig:
     #: Boundary-condition table (face index -> BoundarySpec) for
     #: non-periodic mesh directions; see :mod:`repro.solver.boundary`.
     boundaries: Optional[dict] = None
+    #: Split-phase overlapped schedule: post the face exchange from the
+    #: boundary-element traces, run interior volume work under the
+    #: in-flight messages, finish last.  Bitwise identical physics to
+    #: the blocking schedule; only the modelled timeline changes (see
+    #: module docstring and docs/virtual-time.md, "Overlap accounting").
+    overlap: bool = False
     charge_model_time: bool = True
     #: Optional source-term hook S(u) -> (5, nel, N, N, N); the current
     #: CMT-nek sets sources to zero (paper, Section IV).
@@ -137,6 +162,11 @@ class CMTSolver:
         else:
             self.face_handle.method = "pairwise"
         self.stats = StepStats()
+        # Boundary/interior element split for the overlapped schedule:
+        # only boundary elements contribute to cross-rank face messages,
+        # so their traces suffice to post the exchange.
+        self._bnd_elements = partition.boundary_local_indices(comm.rank)
+        self._int_elements = partition.interior_local_indices(comm.rank)
         # Physical boundary handler (None on fully periodic boxes).
         self.boundary = None
         if self.config.boundaries is not None:
@@ -180,13 +210,25 @@ class CMTSolver:
     # -- spatial operator ---------------------------------------------------
 
     def rhs(self, u: np.ndarray) -> np.ndarray:
-        """Semi-discrete right-hand side ``du/dt = L(u)``."""
+        """Semi-discrete right-hand side ``du/dt = L(u)``.
+
+        Dispatches to one of two schedules over the same phase pipeline
+        (see module docstring); both produce bitwise-identical arrays.
+        """
+        if self.config.overlap and self.comm.size > 1:
+            rhs = self._rhs_overlapped(u)
+        else:
+            rhs = self._rhs_blocking(u)
+        if self.config.source is not None:
+            rhs = rhs + self.config.source(u)
+        return rhs
+
+    def _rhs_blocking(self, u: np.ndarray) -> np.ndarray:
+        """Textbook phase order: every phase completes before the next."""
         # (1)+(2) volume terms: pointwise fluxes, then flux divergence.
-        # With dealiasing on, the nonlinear products are evaluated on
-        # the 3/2-rule fine grid and projected back ("an element is
-        # first mapped to a finer mesh and later mapped back", Sec. V).
         with self._region("derivative"):
-            fx, fy, fz, div = self._volume_terms(u)
+            fx, fy, fz = self._pointwise_fluxes(u)
+            div = self._flux_divergence(fx, fy, fz)
 
         # (3) full2face_cmt: state, normal flux, and wavespeed traces.
         with self._region("surface"):
@@ -198,16 +240,73 @@ class CMTSolver:
 
         # (5) numerical flux + SAT correction.
         with self._region("surface"):
-            rhs = self._surface_correction(
-                div, uf, ff, usum, fsum, lam_max
+            return self._surface_correction(div, uf, ff, usum, fsum, lam_max)
+
+    def _rhs_overlapped(self, u: np.ndarray) -> np.ndarray:
+        """Split-phase schedule: exchange in flight under interior work.
+
+        Boundary elements — the only ones whose faces carry cross-rank
+        shared ids — are evaluated first so the exchange can be posted
+        immediately; the interior volume terms (and the *full* flux
+        divergence, once the flux arrays are assembled) then run while
+        the messages travel.  ``gs_op_finish`` re-condenses the fully
+        populated traces, so the folded result is bitwise identical to
+        the blocking exchange.
+        """
+        n, nel = self.n, self.nel
+        bnd, intr = self._bnd_elements, self._int_elements
+
+        # Phase 1: boundary volume fluxes + traces.  The flux and trace
+        # arrays are allocated full-size and filled subset-by-subset;
+        # zeros elsewhere are never *sent* (only cross-rank shared ids
+        # are, and those live on boundary faces filled right here).
+        with self._region("derivative"):
+            fx = np.zeros((NEQ,) + u.shape[1:], dtype=u.dtype)
+            fy = np.zeros_like(fx)
+            fz = np.zeros_like(fx)
+            self._pointwise_fluxes_into(u, bnd, fx, fy, fz)
+        with self._region("surface"):
+            uf = np.zeros((NEQ, nel, 6, n, n), dtype=u.dtype)
+            ff = np.zeros_like(uf)
+            lam = np.zeros((nel, 6, n, n), dtype=u.dtype)
+            self._surface_traces_into(u, fx, fy, fz, bnd, uf, ff, lam)
+
+        # Phase 2: post the exchange (gs_op_begin; nothing waits yet).
+        with self._region("exchange"):
+            exchanges = self._begin_exchanges(uf, ff, lam)
+
+        # Phase 3: interior volume work overlapped with the in-flight
+        # messages — the ``ax_`` hot spot hides the communication.
+        with self._region("derivative"):
+            self._pointwise_fluxes_into(u, intr, fx, fy, fz)
+            div = self._flux_divergence(fx, fy, fz)
+        with self._region("surface"):
+            self._surface_traces_into(u, fx, fy, fz, intr, uf, ff, lam)
+
+        # Phase 4: finish the exchange (waits only for exposed comm).
+        with self._region("exchange"):
+            usum, fsum, lam_max = self._finish_exchanges(
+                exchanges, uf, ff, lam
             )
 
-        if self.config.source is not None:
-            rhs = rhs + self.config.source(u)
-        return rhs
+        # Phase 5: numerical flux + SAT correction.
+        with self._region("surface"):
+            return self._surface_correction(div, uf, ff, usum, fsum, lam_max)
 
-    def _volume_terms(self, u: np.ndarray):
-        n, nel = self.n, self.nel
+    # -- phase implementations ----------------------------------------------
+
+    def _pointwise_fluxes(self, u: np.ndarray):
+        """Elementwise volume fluxes of an element batch ``(NEQ, k, N^3)``.
+
+        Handles dealiasing and the viscous contribution; charges model
+        time linear in the batch size ``k``, so evaluating disjoint
+        subsets charges exactly what one full-batch evaluation would.
+        With dealiasing on, the nonlinear products are evaluated on the
+        3/2-rule fine grid and projected back ("an element is first
+        mapped to a finer mesh and later mapped back", Sec. V).
+        """
+        n = self.n
+        nel_b = u.shape[1]
         eos = self.eos
         if self.config.dealias:
             from ..kernels.dealias import dealias_flops, to_coarse, to_fine
@@ -221,11 +320,11 @@ class CMTSolver:
             # NEQ fields up + 3*NEQ flux components down = 2*NEQ
             # roundtrip-pair equivalents.
             self._charge(
-                flux_flops(m, nel) + 2 * NEQ * dealias_flops(n, nel=nel)
+                flux_flops(m, nel_b) + 2 * NEQ * dealias_flops(n, nel=nel_b)
             )
         else:
             fx, fy, fz = euler_fluxes(u, eos)
-            self._charge(flux_flops(n, nel))
+            self._charge(flux_flops(n, nel_b))
         if self.config.viscosity is not None:
             from .viscous import viscous_flops, viscous_fluxes
 
@@ -236,7 +335,27 @@ class CMTSolver:
             fx = fx - fvx
             fy = fy - fvy
             fz = fz - fvz
-            self._charge(viscous_flops(n, nel))
+            self._charge(viscous_flops(n, nel_b))
+        return fx, fy, fz
+
+    def _pointwise_fluxes_into(self, u, elements, fx, fy, fz) -> None:
+        """:meth:`_pointwise_fluxes` of a subset, assembled in place.
+
+        All flux kernels are element-local (elementwise products, or
+        per-element tensor contractions batched over the element axis),
+        so subset evaluation + assembly is bitwise identical to one
+        full-batch call.
+        """
+        if len(elements) == 0:
+            return
+        bx, by, bz = self._pointwise_fluxes(u[:, elements])
+        fx[:, elements] = bx
+        fy[:, elements] = by
+        fz[:, elements] = bz
+
+    def _flux_divergence(self, fx, fy, fz) -> np.ndarray:
+        """Full flux divergence (the ``ax_`` derivative hot spot)."""
+        n, nel = self.n, self.nel
         div = flux_divergence_multi(
             fx, fy, fz, self.dmat, self.jac, variant=self.config.kernel_variant
         )
@@ -244,7 +363,7 @@ class CMTSolver:
             divergence_flops(n, nel, NEQ),
             mem_bytes=NEQ * dkernels.mem_bytes(n, nel, 3),
         )
-        return fx, fy, fz, div
+        return div
 
     def _surface_traces(self, u, fx, fy, fz):
         """full2face_cmt: state, normal-flux, and wavespeed traces."""
@@ -261,6 +380,24 @@ class CMTSolver:
         self._charge(full2face_flops(n, nel, ncomp=4 * NEQ + 1))
         return uf, ff, lam
 
+    def _surface_traces_into(self, u, fx, fy, fz, elements, uf, ff, lam):
+        """:meth:`_surface_traces` of a subset, written into full arrays."""
+        k = len(elements)
+        if k == 0:
+            return
+        ufb = full2face_elements(u, elements)
+        fxf = full2face_elements(fx, elements)
+        fyf = full2face_elements(fy, elements)
+        fzf = full2face_elements(fz, elements)
+        ffb = np.empty_like(ufb)
+        ffb[:, :, 0:2] = fxf[:, :, 0:2]
+        ffb[:, :, 2:4] = fyf[:, :, 2:4]
+        ffb[:, :, 4:6] = fzf[:, :, 4:6]
+        uf[:, elements] = ufb
+        ff[:, elements] = ffb
+        lam[elements] = self._face_wavespeed(ufb)
+        self._charge(full2face_flops(self.n, k, ncomp=4 * NEQ + 1))
+
     def _exchange_traces(self, uf, ff, lam):
         """Nearest-neighbour trace exchange via the gs library."""
         h = self.face_handle
@@ -270,6 +407,46 @@ class CMTSolver:
             usum[c] = gs_op(h, uf[c], op=SUM, site=SITE_FACE_EXCHANGE)
             fsum[c] = gs_op(h, ff[c], op=SUM, site=SITE_FACE_EXCHANGE)
         lam_max = gs_op(h, lam, op=MAX, site=SITE_FACE_EXCHANGE)
+        return self._fold_ghost_traces(uf, ff, lam, usum, fsum, lam_max)
+
+    def _begin_exchanges(self, uf, ff, lam) -> list:
+        """Post the 11 trace exchanges (5 state + 5 flux SUM, 1 MAX).
+
+        Posting order matches the blocking loop so per-neighbour fold
+        order — and hence floating point — is identical.  Each in-flight
+        exchange gets a distinct tag; the per-channel FIFO would keep
+        same-tag messages ordered anyway, but distinct tags make the
+        matching robust and the traces legible.
+        """
+        h = self.face_handle
+        exchanges = []
+        tag = TAG_PAIRWISE
+        for c in range(NEQ):
+            exchanges.append(gs_op_begin(
+                h, uf[c], op=SUM, site=SITE_FACE_EXCHANGE, tag=tag
+            ))
+            exchanges.append(gs_op_begin(
+                h, ff[c], op=SUM, site=SITE_FACE_EXCHANGE, tag=tag + 1
+            ))
+            tag += 2
+        exchanges.append(gs_op_begin(
+            h, lam, op=MAX, site=SITE_FACE_EXCHANGE, tag=tag
+        ))
+        return exchanges
+
+    def _finish_exchanges(self, exchanges, uf, ff, lam):
+        """Finish the posted exchanges against the *completed* traces."""
+        usum = np.empty_like(uf)
+        fsum = np.empty_like(ff)
+        it = iter(exchanges)
+        for c in range(NEQ):
+            usum[c] = gs_op_finish(next(it), uf[c])
+            fsum[c] = gs_op_finish(next(it), ff[c])
+        lam_max = gs_op_finish(next(it), lam)
+        return self._fold_ghost_traces(uf, ff, lam, usum, fsum, lam_max)
+
+    def _fold_ghost_traces(self, uf, ff, lam, usum, fsum, lam_max):
+        """Add physical-boundary ghost contributions (if any)."""
         if self.boundary is not None and self.boundary.has_boundaries:
             du, df, dlam = self.boundary.ghost_traces(uf, ff, lam, self.eos)
             usum = usum + du
@@ -293,7 +470,7 @@ class CMTSolver:
         rhs = -div
         for c in range(NEQ):
             face2full_add(rhs[c], sat_faces[c])
-        self._charge(30.0 * NEQ * nel * 6 * n * n)
+        self._charge(numflux_flops(n, nel, ncomp=NEQ))
         return rhs
 
     def _face_wavespeed(self, uf: np.ndarray) -> np.ndarray:

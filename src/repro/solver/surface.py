@@ -71,6 +71,19 @@ def full2face_multi(u: np.ndarray) -> np.ndarray:
     return np.stack([full2face(u[c]) for c in range(u.shape[0])], axis=0)
 
 
+def full2face_elements(u: np.ndarray, elements: np.ndarray) -> np.ndarray:
+    """:func:`full2face_multi` restricted to an element subset.
+
+    ``u`` is ``(ncomp, nel, N, N, N)`` and ``elements`` an index array
+    into the element axis; the result is ``(ncomp, k, 6, N, N)``.  Face
+    extraction is element-local pure data movement, so a subset trace
+    is bitwise identical to slicing the full-batch trace — which is
+    what lets the overlapped solver extract boundary-element traces
+    before the interior fluxes even exist.
+    """
+    return full2face_multi(u[:, elements])
+
+
 def face_bytes(nel: int, n: int, ncomp: int = 1, itemsize: int = 8) -> int:
     """Size of one rank's full face data set (all six faces)."""
     return ncomp * nel * NFACES * n * n * itemsize

@@ -36,11 +36,15 @@ from ..solver import CMTSolver, SolverConfig, from_primitives
 #: The shared phase taxonomy both applications are mapped onto.
 PHASES = ("derivative", "surface", "exchange", "update", "other")
 
-#: Mini-app region -> taxonomy phase.
+#: Mini-app region -> taxonomy phase.  The split-phase regions of the
+#: overlapped schedule both map onto "exchange" so overlapped and
+#: blocking runs are compared on the same taxonomy.
 CMTBONE_PHASE_MAP = {
     "ax_": "derivative",
     "full2face_cmt": "surface",
     "gs_op_": "exchange",
+    "gs_op_begin": "exchange",
+    "gs_op_finish": "exchange",
     "add2s2": "update",
 }
 
@@ -149,6 +153,7 @@ def solver_signature(
             config=SolverConfig(
                 gs_method=config.gs_method or "pairwise",
                 kernel_variant=config.kernel_variant,
+                overlap=config.overlap,
             ),
         )
         prof = CallGraphProfiler(comm.clock)
