@@ -14,6 +14,7 @@ from .callgraph import (
 )
 from .mpip import (
     aggregates_by_op,
+    fault_report,
     full_report,
     message_size_report,
     mpi_fraction_report,
@@ -46,6 +47,7 @@ __all__ = [
     "TimelineRecorder",
     "aggregates_by_op",
     "call_graph",
+    "fault_report",
     "flat_profile",
     "full_report",
     "hop_weighted_bytes",

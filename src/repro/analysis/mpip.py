@@ -138,6 +138,30 @@ def split_phase_report(profile: JobProfile) -> str:
     return f"Split-phase sites (post vs exposed wait)\n{table}"
 
 
+def fault_report(profile: JobProfile) -> str:
+    """Fault-injection pseudo-callsites (crashes, retries, checkpoint IO).
+
+    The fault layer records informational rows under the ``FAULT_*``
+    and ``IO_*`` pseudo-ops: ``FAULT_Crash`` marks an injected rank
+    kill, ``FAULT_Retry`` aggregates retransmission penalties per lossy
+    link, ``IO_Checkpoint`` the modelled checkpoint read/write time.
+    They render like any other mpiP call site but never contribute to
+    the MPI time fraction (their cost already lives inside the
+    enclosing operations).
+    """
+    rows = [
+        r for r in profile.aggregates()
+        if r.op.startswith("FAULT_") or r.op.startswith("IO_")
+    ]
+    if not rows:
+        return "Fault events\n(no fault or checkpoint events recorded)"
+    table = render_table(
+        ["event", "site", "count", "time (s)", "bytes"],
+        [(r.op, r.site, r.count, r.vtime, r.bytes_total) for r in rows],
+    )
+    return f"Fault events (injected faults, retries, checkpoint IO)\n{table}"
+
+
 def full_report(profile: JobProfile, top_n: int = 20) -> str:
     """All three mpiP-style sections in one string."""
     return "\n\n".join(

@@ -12,6 +12,11 @@ Commands
     Run the Nekbone comparator (CG solve) and print its profile.
 ``fig7``
     Reproduce the paper's Fig. 7 exchange-method comparison.
+``sod``
+    Run a small Sod shock-tube campaign on the real DG solver, with
+    optional fault injection (``--fault-spec``), checkpointing, and
+    crash recovery; ``--verify`` proves the recovered fields bitwise
+    identical to a fault-free run.
 ``machines``
     List the available machine-model presets.
 
@@ -22,6 +27,8 @@ Examples
     python -m repro.cli cmtbone --ranks 8 -N 10 --local 2,2,2 --steps 10
     python -m repro.cli nekbone --ranks 8 --iterations 50
     python -m repro.cli fig7 --ranks 64 --machine compton
+    python -m repro.cli sod --ranks 2 --steps 12 --checkpoint-every 3 \
+        --fault-spec "crash:rank=1,step=5" --verify
 """
 
 from __future__ import annotations
@@ -134,6 +141,43 @@ def build_parser() -> argparse.ArgumentParser:
                      help="element count (paper: 1563)")
     p_k.add_argument("--steps", type=int, default=1000,
                      help="timesteps (paper: 1000)")
+
+    p_sod = sub.add_parser(
+        "sod",
+        help="Sod shock tube with fault injection + crash recovery",
+    )
+    p_sod.add_argument("--ranks", type=int, default=2,
+                       help="simulated MPI ranks (default 2)")
+    p_sod.add_argument("-N", "--points", type=int, default=6,
+                       help="GLL points per direction (default 6)")
+    p_sod.add_argument("--elements", type=int, default=16,
+                       help="elements along the tube (default 16; must "
+                            "divide by --ranks)")
+    p_sod.add_argument("--steps", type=int, default=12,
+                       help="timesteps (default 12)")
+    p_sod.add_argument("--dt", type=float, default=2e-4,
+                       help="fixed timestep, s (default 2e-4; fixed so "
+                            "recovered runs are bitwise comparable)")
+    p_sod.add_argument("--machine", default="compton",
+                       choices=MachineModel.available_presets(),
+                       help="machine-model preset (default compton)")
+    p_sod.add_argument("--gs-method", default="pairwise",
+                       choices=["pairwise", "crystal", "allreduce"],
+                       help="exchange method (default pairwise)")
+    p_sod.add_argument("--fault-spec", default=None,
+                       help="fault plan, e.g. 'crash:rank=1,step=5;"
+                            "drop:p=0.01' (see docs/fault-injection.md)")
+    p_sod.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for probabilistic fault decisions")
+    p_sod.add_argument("--checkpoint-every", type=int, default=0,
+                       help="write a checkpoint every N steps (0 = off)")
+    p_sod.add_argument("--checkpoint-dir", default=None,
+                       help="checkpoint directory (default: a tempdir)")
+    p_sod.add_argument("--gantt", action="store_true",
+                       help="render the campaign recovery timeline")
+    p_sod.add_argument("--verify", action="store_true",
+                       help="also run fault-free and require bitwise-"
+                            "identical final fields (exit 1 otherwise)")
 
     sub.add_parser("machines", help="list machine presets")
     return parser
@@ -310,6 +354,119 @@ def cmd_kernels(args) -> int:
     return 0
 
 
+def _sod_setup(nranks: int, n: int, nelx: int, gs_method: str):
+    """Build the ``setup(comm)`` factory for the Sod campaign."""
+    import numpy as np
+
+    from .mesh import BoxMesh, Partition
+    from .solver import (
+        CMTSolver,
+        ShockFilter,
+        SolverConfig,
+        from_primitives,
+    )
+    from .solver.boundary import BoundarySpec
+    from .solver.riemann import SOD_LEFT, SOD_RIGHT
+
+    mesh = BoxMesh(shape=(nelx, 1, 1), n=n, periodic=(False, True, True),
+                   lengths=(1.0, 0.25, 0.25))
+    part = Partition(mesh, proc_shape=(nranks, 1, 1))
+
+    def _dirichlet(s):
+        e = s.p / 0.4 + 0.5 * s.rho * s.u**2
+        return BoundarySpec(
+            "dirichlet", state=(s.rho, s.rho * s.u, 0.0, 0.0, e)
+        )
+
+    def setup(comm):
+        bc = {0: _dirichlet(SOD_LEFT), 1: _dirichlet(SOD_RIGHT)}
+        solver = CMTSolver(
+            comm, part,
+            config=SolverConfig(
+                gs_method=gs_method,
+                cfl=0.3,
+                shock_filter=ShockFilter(n=n, threshold=-6.0, ramp=2.0),
+                boundaries=bc,
+            ),
+        )
+        coords = np.stack(
+            [mesh.element_nodes(ec)
+             for ec in part.local_elements(comm.rank)],
+            axis=1,
+        )
+        x = coords[0]
+        blend = 0.5 * (1.0 + np.tanh((x - 0.5) / 0.02))
+        rho = SOD_LEFT.rho + (SOD_RIGHT.rho - SOD_LEFT.rho) * blend
+        p = SOD_LEFT.p + (SOD_RIGHT.p - SOD_LEFT.p) * blend
+        st = from_primitives(rho, np.zeros((3,) + rho.shape), p)
+        return solver, st
+
+    return setup
+
+
+def cmd_sod(args) -> int:
+    import tempfile
+
+    import numpy as np
+
+    from .analysis import fault_report, render_gantt
+    from .faults import FaultPlan
+    from .solver import run_with_recovery
+
+    if args.elements % args.ranks:
+        print(f"--elements {args.elements} must divide by "
+              f"--ranks {args.ranks}", file=sys.stderr)
+        return 2
+    plan = None
+    if args.fault_spec:
+        try:
+            plan = FaultPlan.parse(args.fault_spec, seed=args.fault_seed)
+        except ValueError as exc:
+            print(f"--fault-spec: {exc}", file=sys.stderr)
+            return 2
+        print(plan.describe())
+    ckpt_dir = args.checkpoint_dir
+    if args.checkpoint_every and ckpt_dir is None:
+        ckpt_dir = tempfile.mkdtemp(prefix="repro-sod-ckpt-")
+        print(f"checkpoint dir: {ckpt_dir}")
+    machine = MachineModel.preset(args.machine)
+    setup = _sod_setup(args.ranks, args.points, args.elements,
+                       args.gs_method)
+
+    results, report = run_with_recovery(
+        setup,
+        nranks=args.ranks,
+        nsteps=args.steps,
+        dt=args.dt,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=ckpt_dir,
+        fault_plan=plan,
+        machine=machine,
+    )
+    print()
+    print(report.summary())
+    if report.attempt_profiles:
+        print()
+        print(fault_report(report.campaign_profile()))
+    if args.gantt:
+        print("\n=== campaign timeline ===")
+        print(render_gantt(report.gantt_intervals, width=68))
+
+    if args.verify:
+        clean, _ = run_with_recovery(
+            setup, nranks=args.ranks, nsteps=args.steps, dt=args.dt,
+            machine=machine,
+        )
+        for r, (a, b) in enumerate(zip(clean, results)):
+            if not np.array_equal(a.u, b.u):
+                print(f"\nVERIFY FAILED: rank {r} final fields differ "
+                      "from the fault-free run", file=sys.stderr)
+                return 1
+        print("\nVERIFY OK: final fields bitwise identical to the "
+              "fault-free run")
+    return 0
+
+
 def cmd_machines(_args) -> int:
     for name in MachineModel.available_presets():
         m = MachineModel.preset(name)
@@ -325,6 +482,7 @@ _COMMANDS = {
     "fig7": cmd_fig7,
     "validate": cmd_validate,
     "kernels": cmd_kernels,
+    "sod": cmd_sod,
     "machines": cmd_machines,
 }
 

@@ -1,0 +1,19 @@
+"""Deterministic fault injection for the simulated MPI runtime.
+
+See :mod:`repro.faults.plan` for the fault-spec grammar and
+:mod:`repro.faults.injector` for runtime semantics; the user-facing
+walkthrough lives in ``docs/fault-injection.md``.
+"""
+
+from .injector import DropRecord, FaultInjector
+from .plan import CrashEvent, DegradeEvent, DropEvent, FaultPlan, drop_unit
+
+__all__ = [
+    "CrashEvent",
+    "DegradeEvent",
+    "DropEvent",
+    "DropRecord",
+    "FaultInjector",
+    "FaultPlan",
+    "drop_unit",
+]

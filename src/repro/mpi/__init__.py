@@ -40,6 +40,7 @@ from .errors import (
     CommunicatorError,
     DeadlockError,
     MPIError,
+    RankCrashError,
     RankError,
 )
 from .profiler import CallRecord, JobProfile, RankProfile, SiteAggregate
@@ -54,6 +55,7 @@ from .request import (
 from .runtime import Runtime, spmd
 from .status import Status
 from .trace import MessageTrace, TraceEvent
+from .transport import RetryPolicy
 
 __all__ = [
     "ANY_SOURCE",
@@ -76,11 +78,13 @@ __all__ = [
     "MessageTrace",
     "OverlapInterval",
     "PROD",
+    "RankCrashError",
     "RankError",
     "RankProfile",
     "RecvRequest",
     "ReduceOp",
     "Request",
+    "RetryPolicy",
     "Runtime",
     "SUM",
     "SendRequest",

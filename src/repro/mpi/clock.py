@@ -70,12 +70,19 @@ class VirtualClock:
         exchange would have waited but the overlapped pipeline did not
         (see :meth:`close_overlap`).  Informational: hidden time never
         advances ``now``.
+    retry_time:
+        Virtual seconds spent retransmitting dropped messages
+        (exponential backoff + repeated injection overhead, see
+        :meth:`charge_retry` and :mod:`repro.faults`).  A subset of
+        ``comm_time`` — retries *do* advance ``now``; this accumulator
+        only attributes them.
     """
 
     now: float = 0.0
     compute_time: float = 0.0
     comm_time: float = 0.0
     hidden_comm_time: float = 0.0
+    retry_time: float = 0.0
 
     def advance(self, dt: float, *, kind: str = "compute") -> None:
         """Advance the clock by ``dt >= 0`` virtual seconds.
@@ -105,6 +112,17 @@ class VirtualClock:
             self.advance(dt, kind=kind)
             return dt
         return 0.0
+
+    def charge_retry(self, dt: float) -> None:
+        """Charge ``dt`` seconds of retransmission time (comm + retry).
+
+        Used by the transport when a fault plan drops a message: the
+        sender pays the backoff and re-injection cost on its own clock
+        (so retried messages hit the wire later), and the interval is
+        additionally attributed to :attr:`retry_time` for reporting.
+        """
+        self.advance(dt, kind="comm")
+        self.retry_time += dt
 
     # -- split-phase overlap accounting -------------------------------------
 

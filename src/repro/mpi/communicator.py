@@ -95,6 +95,16 @@ class Comm:
         """The machine/network model the job runs on."""
         return self._runtime.machine
 
+    @property
+    def faults(self):
+        """Active :class:`~repro.faults.FaultInjector`, or ``None``."""
+        return self._runtime.faults
+
+    @property
+    def profile(self) -> RankProfile:
+        """This rank's mpiP-style profile (fault hooks record here)."""
+        return self._prof
+
     def time(self) -> float:
         """Current virtual time on this rank (``MPI_Wtime`` analogue)."""
         return self.clock.now
@@ -168,11 +178,33 @@ class Comm:
         (real MPI keeps a separate context for collectives too).
         """
         self._check_rank(dest, "dest")
+        faults = self._runtime.faults
+        if faults is not None:
+            faults.check_time_crash(self)
         nbytes = payload_nbytes(payload)
         net = self.machine.network
         ovh = net.send_overhead(nbytes)
         self.clock.advance(ovh, kind="comm")
         dst_world = self.group[dest]
+        seq = self._runtime.seq.next(self.world_rank, dst_world)
+        if faults is not None:
+            drops = faults.drop_count(self.world_rank, dst_world, seq)
+            if drops:
+                # The reliable layer under the transport: each lost
+                # attempt costs its backoff timeout plus a fresh
+                # injection overhead, all on the sender's clock — so
+                # the surviving copy hits the wire later and every
+                # downstream arrival shifts deterministically.
+                penalty = drops * ovh + faults.plan.retry.backoff_seconds(drops)
+                self.clock.charge_retry(penalty)
+                faults.log_drop(self.world_rank, dst_world, seq, drops, penalty)
+                self._prof.record(
+                    "FAULT_Retry",
+                    f"fault:drop[{self.world_rank}->{dst_world}]",
+                    penalty,
+                    nbytes * drops,
+                    informational=True,
+                )
         env = Envelope(
             src=self.world_rank,
             dst=dst_world,
@@ -181,7 +213,7 @@ class Comm:
             payload=copy_payload(payload),
             nbytes=nbytes,
             wire_vtime=self.clock.now,
-            seq=self._runtime.seq.next(self.world_rank, dst_world),
+            seq=seq,
         )
         trace = self._runtime.trace
         if trace is not None:
@@ -209,9 +241,11 @@ class Comm:
     def _complete_recv(self, env: Envelope, t0: float) -> Tuple[Any, Status]:
         """Charge virtual arrival/wait time for a matched envelope."""
         net = self.machine.network
-        arrival = env.wire_vtime + net.transit(
-            env.src, self.world_rank, env.nbytes
-        )
+        transit = net.transit(env.src, self.world_rank, env.nbytes)
+        faults = self._runtime.faults
+        if faults is not None:
+            transit *= faults.delay_factor(env.src, self.world_rank)
+        arrival = env.wire_vtime + transit
         wait_dt = max(0.0, arrival - t0)
         end = max(t0, arrival) + net.recv_overhead(env.nbytes)
         self.clock.synchronize(end, kind="comm")
@@ -227,6 +261,9 @@ class Comm:
     def _recv_raw(
         self, source: int, tag: int, internal: bool = False
     ) -> Tuple[Any, Status]:
+        faults = self._runtime.faults
+        if faults is not None:
+            faults.check_time_crash(self)
         pending = self._post_recv_raw(source, tag, internal=internal)
         t0 = self.clock.now
         wait_event(

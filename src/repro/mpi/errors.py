@@ -33,6 +33,32 @@ class AbortError(MPIError):
     """
 
 
+class RankCrashError(MPIError):
+    """A rank was killed by an injected fault (see :mod:`repro.faults`).
+
+    Raised *on the crashing rank's own thread* when a scheduled
+    :class:`~repro.faults.CrashEvent` fires.  Deliberately **not** a
+    subclass of :class:`AbortError`: the runtime must treat the crash as
+    a primary failure (set the abort event so blocked peers wake with
+    :class:`AbortError`) rather than as a secondary casualty — making it
+    an ``AbortError`` would leave every surviving rank blocked until the
+    deadlock watchdog gave up.  The crash-recovery loop in
+    :func:`repro.solver.driver.run_with_recovery` catches this error,
+    restores the last complete checkpoint, and replays.
+    """
+
+    def __init__(self, message: str, rank: int = -1, step: "int | None" = None,
+                 vtime: float = 0.0):
+        super().__init__(message)
+        #: World rank that crashed.
+        self.rank = rank
+        #: Global step the rank was on when it crashed (None for
+        #: virtual-time-triggered crashes outside the step loop).
+        self.step = step
+        #: Crashing rank's virtual clock at the moment of the crash.
+        self.vtime = vtime
+
+
 class CommunicatorError(MPIError):
     """Invalid communicator usage (bad rank, mismatched collective...)."""
 

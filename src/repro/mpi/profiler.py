@@ -51,14 +51,30 @@ class RankProfile:
         self.records: Dict[Tuple[str, str], CallRecord] = {}
         self.mpi_time = 0.0
 
-    def record(self, op: str, site: str, vtime: float, nbytes: int) -> None:
+    def record(
+        self,
+        op: str,
+        site: str,
+        vtime: float,
+        nbytes: int,
+        informational: bool = False,
+    ) -> None:
+        """Add one call to the ``(op, site)`` aggregate.
+
+        ``informational=True`` rows (the ``FAULT_*`` pseudo-ops emitted
+        by :mod:`repro.faults`) appear in reports but do not accumulate
+        into ``mpi_time`` — their cost is already inside the enclosing
+        operation's clock delta, so counting them again would inflate
+        the per-rank MPI fraction.
+        """
         key = (op, site)
         rec = self.records.get(key)
         if rec is None:
             rec = CallRecord(op=op, site=site)
             self.records[key] = rec
         rec.add(vtime, nbytes)
-        self.mpi_time += vtime
+        if not informational:
+            self.mpi_time += vtime
 
 
 @dataclass

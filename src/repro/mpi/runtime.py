@@ -28,7 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .clock import ClockStats, TimePolicy, VirtualClock
 from .communicator import Comm
-from .errors import AbortError, DeadlockError, MPIError
+from .errors import AbortError, DeadlockError, MPIError, RankCrashError
 from .profiler import JobProfile, RankProfile
 from .transport import BlockTracker, ChannelSeq, Mailbox
 
@@ -51,6 +51,8 @@ class Runtime:
         time_policy: TimePolicy = TimePolicy.MODELED,
         deadlock_detection: bool = True,
         trace_messages: bool = False,
+        fault_plan: Optional[Any] = None,
+        fault_base_step: int = 0,
     ):
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
@@ -61,6 +63,14 @@ class Runtime:
         self.machine = machine if machine is not None else MachineModel.default()
         self.time_policy = time_policy
         self.deadlock_detection = deadlock_detection
+        #: Active fault injector, or ``None`` for a fault-free job.
+        #: ``fault_base_step`` aligns the plan's global step numbers
+        #: with a restarted driver's local ones (see recovery loop).
+        self.faults = None
+        if fault_plan is not None:
+            from ..faults import FaultInjector
+
+            self.faults = FaultInjector(fault_plan, base_step=fault_base_step)
         #: Message trace for external network-simulation export, or
         #: ``None`` when tracing is off (see ``repro.mpi.trace``).
         self.trace = None
@@ -139,6 +149,14 @@ class Runtime:
             comm = self.world_comm(rank)
             try:
                 results[rank] = main(comm, *args, **kwargs)
+            except RankCrashError as exc:
+                # An injected crash is a *primary* failure: set the
+                # abort event so every blocked peer wakes with
+                # AbortError within one _WAIT_POLL tick, but skip the
+                # traceback wrap so the recovery loop catches the
+                # RankCrashError itself (with rank/step/vtime intact).
+                errors[rank] = exc
+                self.abort_event.set()
             except AbortError as exc:
                 errors[rank] = exc
             except BaseException as exc:  # noqa: BLE001 - reported to caller
@@ -188,15 +206,24 @@ class Runtime:
     def _select_error(
         self, errors: Sequence[Optional[BaseException]]
     ) -> Optional[BaseException]:
-        """Prefer a real error over secondary AbortErrors."""
-        primary = None
+        """Pick the most informative error to re-raise.
+
+        Priority: a real (unexpected) error beats an injected
+        :class:`RankCrashError`, which beats the secondary
+        :class:`AbortError` casualties it caused.
+        """
+        crash = None
+        abort = None
         for e in errors:
             if e is None:
                 continue
-            if not isinstance(e, AbortError):
+            if isinstance(e, AbortError):
+                abort = abort or e
+            elif isinstance(e, RankCrashError):
+                crash = crash or e
+            else:
                 return e
-            primary = primary or e
-        return primary
+        return crash or abort
 
     def _live_count(self) -> int:
         with self._finished_lock:
@@ -251,6 +278,9 @@ class Runtime:
                 compute=c.compute_time,
                 comm=c.comm_time,
                 hidden_comm=c.hidden_comm_time,
+                extra=(
+                    {"retry_time": c.retry_time} if c.retry_time else {}
+                ),
             )
             for r, c in enumerate(self._clocks)
         ]

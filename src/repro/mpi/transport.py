@@ -35,6 +35,42 @@ from .errors import AbortError
 _WAIT_POLL = 0.1
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retransmission schedule for dropped messages.
+
+    When a :class:`~repro.faults.FaultInjector` drops an envelope, the
+    transport models a reliable layer underneath: the sender detects the
+    loss (after a backoff timeout) and re-injects.  Attempt ``i``
+    (0-based) waits ``backoff_base * backoff_factor**i`` virtual seconds
+    before retransmitting; the whole penalty is charged to the sender's
+    virtual clock (see :meth:`repro.mpi.clock.VirtualClock.charge_retry`),
+    so retried messages hit the wire later and every downstream arrival
+    time shifts deterministically.  ``max_retries`` bounds consecutive
+    drops of one envelope so a lossy link can never livelock a run.
+    """
+
+    #: Backoff before the first retransmission (virtual seconds).
+    backoff_base: float = 20e-6
+    #: Multiplier applied to the backoff after every failed attempt.
+    backoff_factor: float = 2.0
+    #: Hard bound on consecutive drops of a single envelope.
+    max_retries: int = 12
+
+    def __post_init__(self) -> None:
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base >= 0 and backoff_factor >= 1 required")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+
+    def backoff_seconds(self, attempts: int) -> float:
+        """Total backoff for ``attempts`` consecutive drops."""
+        return sum(
+            self.backoff_base * self.backoff_factor**i
+            for i in range(attempts)
+        )
+
+
 @dataclass
 class Envelope:
     """One message in flight.
@@ -173,9 +209,17 @@ def wait_event(
     """Block on ``event``, remaining responsive to job abort.
 
     Raises :class:`AbortError` if the runtime aborts while we wait.
+    The abort event is polled every :data:`_WAIT_POLL` wall seconds and
+    checked once *before* blocking, so a wait posted after the job
+    already aborted raises immediately and a wait in progress observes
+    a peer's death within one poll tick — the bound the fault-injection
+    tests assert (an injected crash mid-exchange must never hang the
+    surviving ranks; see ``tests/test_faults.py``).
     """
     if event.is_set():
         return
+    if abort_event.is_set():
+        raise AbortError(f"job aborted while blocked in {what}")
     tracker.enter_blocked()
     try:
         while not event.wait(_WAIT_POLL):

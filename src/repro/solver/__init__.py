@@ -21,6 +21,7 @@ from .riemann import (
     exact_riemann,
 )
 from .checkpoint import (
+    CheckpointError,
     CheckpointInfo,
     load_checkpoint,
     read_manifest,
@@ -32,7 +33,14 @@ from .divergence import (
     flux_divergence_multi,
     gradient_physical,
 )
-from .driver import CMTSolver, SolverConfig, StepStats
+from .driver import (
+    AttemptRecord,
+    CMTSolver,
+    FaultRunReport,
+    SolverConfig,
+    StepStats,
+    run_with_recovery,
+)
 from .eos import IdealGas, StiffenedGas
 from .flux import euler_flux, euler_fluxes, flux_flops, wavespeed
 from .multiphase import (
@@ -91,10 +99,13 @@ from .surface import (
 )
 
 __all__ = [
+    "AttemptRecord",
     "BoundaryHandler",
     "BoundarySpec",
     "CMTSolver",
+    "CheckpointError",
     "CheckpointInfo",
+    "FaultRunReport",
     "COMPONENT_NAMES",
     "ENERGY",
     "FACE_NORMAL_AXIS",
@@ -151,6 +162,7 @@ __all__ = [
     "nodal_to_modal",
     "outflow_everywhere",
     "read_manifest",
+    "run_with_recovery",
     "save_checkpoint",
     "seed_inertial",
     "seed_particles",

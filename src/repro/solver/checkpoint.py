@@ -5,12 +5,26 @@ ecosystem needs the same plumbing for long campaigns.  Checkpoints are
 one ``.npz`` per rank plus a small JSON manifest that pins the mesh,
 partition, and step metadata so restarts onto mismatched setups fail
 loudly instead of silently corrupting physics.
+
+Crash safety contract (relied on by the fault-injection recovery loop
+in :func:`repro.solver.driver.run_with_recovery`): **the manifest's
+existence certifies a complete checkpoint.**  Every rank file is
+written to a temporary name and atomically renamed into place, all
+ranks barrier after their files land, and only then does rank 0 write
+the manifest — itself via temp file + atomic rename.  A crash at any
+point during :func:`save_checkpoint` therefore leaves either the
+previous complete checkpoint (old manifest, possibly some orphaned
+``.tmp`` files) or the new complete one, never a manifest pointing at
+missing or stale rank files.  Corrupt or inconsistent rank files at
+load time raise :class:`CheckpointError` naming the offending file.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import zipfile
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -21,8 +35,18 @@ from ..mpi import Comm
 from .eos import IdealGas, StiffenedGas
 from .state import FlowState
 
-#: Manifest schema version.
+#: Manifest schema version.  (``vtime`` was added as an optional field
+#: without bumping: old manifests read back with ``vtime=0.0``.)
 FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, corrupt, or inconsistent.
+
+    Raised with the offending file named in the message, instead of the
+    raw ``FileNotFoundError``/``KeyError``/``BadZipFile`` that a torn or
+    tampered checkpoint directory used to surface.
+    """
 
 
 @dataclass(frozen=True)
@@ -36,6 +60,10 @@ class CheckpointInfo:
     n: int
     proc_shape: Tuple[int, int, int]
     eos: dict
+    #: Rank 0's virtual clock when the manifest was committed.  Used by
+    #: the recovery loop to account lost work after a crash; 0.0 for
+    #: checkpoints written before the field existed.
+    vtime: float = 0.0
 
 
 def _eos_to_dict(eos) -> dict:
@@ -68,6 +96,16 @@ def _manifest_file(directory: pathlib.Path) -> pathlib.Path:
     return directory / "manifest.json"
 
 
+def _charge_io(comm: Comm, nbytes: int, site: str) -> None:
+    """Charge modelled checkpoint I/O time to the rank's virtual clock."""
+    seconds = comm.machine.checkpoint_seconds(nbytes)
+    comm.compute(seconds=seconds)
+    # Informational row: shows up in mpiP-style reports next to the
+    # FAULT_* pseudo-ops without inflating the MPI time fraction.
+    comm.profile.record("IO_Checkpoint", site, seconds, nbytes,
+                        informational=True)
+
+
 def save_checkpoint(
     directory,
     comm: Comm,
@@ -78,20 +116,29 @@ def save_checkpoint(
 ) -> CheckpointInfo:
     """Collectively write one checkpoint (rank files + manifest).
 
-    Rank 0 writes the manifest; every rank writes its own state file.
-    Returns the manifest metadata.
+    Every rank writes its own state file atomically (temp + rename);
+    after a barrier confirms *all* rank files are in place, rank 0
+    commits the manifest, also atomically.  See the module docstring
+    for the crash-safety contract.  Returns the manifest metadata.
     """
     directory = pathlib.Path(directory)
     if comm.rank == 0:
         directory.mkdir(parents=True, exist_ok=True)
-    comm.barrier(site="checkpoint")
-    np.savez_compressed(
-        _rank_file(directory, comm.rank),
-        u=state.u,
-        rank=comm.rank,
-        step=step,
-        time=time,
-    )
+    comm.barrier(site="checkpoint:enter")
+    path = _rank_file(directory, comm.rank)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    # np.savez_compressed appends ".npz" to bare paths; an open file
+    # handle keeps the temp name exact so the rename below is atomic.
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(
+            fh,
+            u=state.u,
+            rank=comm.rank,
+            step=step,
+            time=time,
+        )
+    os.replace(tmp, path)
+    _charge_io(comm, state.u.nbytes, site="checkpoint:write")
     info = CheckpointInfo(
         step=step,
         time=time,
@@ -100,7 +147,10 @@ def save_checkpoint(
         n=partition.mesh.n,
         proc_shape=tuple(partition.proc_shape),
         eos=_eos_to_dict(state.eos),
+        vtime=comm.time(),
     )
+    # All rank files must be durable before the manifest certifies them.
+    comm.barrier(site="checkpoint:files")
     if comm.rank == 0:
         manifest = {
             "format_version": FORMAT_VERSION,
@@ -111,11 +161,13 @@ def save_checkpoint(
             "n": info.n,
             "proc_shape": list(info.proc_shape),
             "eos": info.eos,
+            "vtime": info.vtime,
         }
-        _manifest_file(directory).write_text(
-            json.dumps(manifest, indent=2)
-        )
-    comm.barrier(site="checkpoint")
+        mpath = _manifest_file(directory)
+        mtmp = mpath.with_suffix(".json.tmp")
+        mtmp.write_text(json.dumps(manifest, indent=2))
+        os.replace(mtmp, mpath)
+    comm.barrier(site="checkpoint:commit")
     return info
 
 
@@ -139,6 +191,7 @@ def read_manifest(directory) -> CheckpointInfo:
         n=m["n"],
         proc_shape=tuple(m["proc_shape"]),
         eos=m["eos"],
+        vtime=m.get("vtime", 0.0),
     )
 
 
@@ -172,10 +225,40 @@ def load_checkpoint(
             f"checkpoint processor grid {info.proc_shape} != "
             f"{partition.proc_shape}"
         )
-    with np.load(_rank_file(directory, comm.rank)) as data:
-        if int(data["rank"]) != comm.rank:
-            raise ValueError("rank file does not belong to this rank")
-        u = np.array(data["u"])
+    path = _rank_file(directory, comm.rank)
+    if not path.exists():
+        raise CheckpointError(
+            f"checkpoint at {directory} is incomplete: manifest names "
+            f"{info.nranks} ranks but rank file {path} is missing"
+        )
+    try:
+        with np.load(path) as data:
+            try:
+                rank = int(data["rank"])
+                step = int(data["step"])
+                time = float(data["time"])
+                u = np.array(data["u"])
+            except KeyError as exc:
+                raise CheckpointError(
+                    f"rank file {path} is malformed: missing array "
+                    f"{exc.args[0]!r}"
+                ) from exc
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        raise CheckpointError(
+            f"rank file {path} is unreadable or corrupt: {exc}"
+        ) from exc
+    if rank != comm.rank:
+        raise CheckpointError(
+            f"rank file {path} belongs to rank {rank}, "
+            f"not rank {comm.rank}"
+        )
+    if step != info.step or time != info.time:
+        raise CheckpointError(
+            f"rank file {path} is stale: it holds step {step} / "
+            f"time {time!r} but the manifest certifies step "
+            f"{info.step} / time {info.time!r} (torn checkpoint?)"
+        )
+    _charge_io(comm, u.nbytes, site="checkpoint:read")
     state = FlowState(u=u, eos=_eos_from_dict(info.eos))
     comm.barrier(site="checkpoint")
     return state, info

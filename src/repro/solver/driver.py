@@ -522,16 +522,35 @@ class CMTSolver:
         dt: Optional[float] = None,
         monitor_every: int = 0,
         callback: Optional[Callable[[int, FlowState], None]] = None,
+        checkpoint_every: int = 0,
+        checkpoint_dir=None,
+        step_offset: int = 0,
+        time_offset: float = 0.0,
     ) -> FlowState:
         """Advance ``nsteps``; optionally re-evaluate dt and conservation.
 
         ``monitor_every > 0`` triggers a conserved-integral reduction
         every so many steps (the vector-reduction traffic the paper
         lists among CMT-bone's communication operations).
+
+        ``checkpoint_every > 0`` (with ``checkpoint_dir``) writes a
+        complete checkpoint after every so many *global* steps.  Global
+        step numbering is ``step_offset + istep`` — a restarted run
+        passes the restored step/time as offsets so checkpoint cadence,
+        step-triggered fault events, and the accumulated solution time
+        all line up with the plan's original numbering (see
+        :func:`run_with_recovery`).
         """
+        if checkpoint_every and checkpoint_dir is None:
+            raise ValueError("checkpoint_every needs checkpoint_dir")
+        sim_time = time_offset
         for istep in range(nsteps):
+            gstep = step_offset + istep
+            if self.comm.faults is not None:
+                self.comm.faults.check_step_crash(self.comm, gstep)
             step_dt = dt if dt is not None else self.stable_dt(state)
             state = self.step(state, step_dt)
+            sim_time += step_dt
             self.stats.steps += 1
             self.stats.dt_history.append(step_dt)
             if monitor_every and (istep + 1) % monitor_every == 0:
@@ -541,6 +560,13 @@ class CMTSolver:
                 self.stats.energy_history.append(energy)
             if callback is not None:
                 callback(istep, state)
+            if checkpoint_every and (gstep + 1) % checkpoint_every == 0:
+                from .checkpoint import save_checkpoint
+
+                save_checkpoint(
+                    checkpoint_dir, self.comm, self.partition, state,
+                    step=gstep + 1, time=sim_time,
+                )
         return state
 
     # -- diagnostics -----------------------------------------------------------
@@ -563,3 +589,326 @@ class CMTSolver:
             name: self.integrate(state.u[c])
             for c, name in enumerate(COMPONENT_NAMES)
         }
+
+
+# ---------------------------------------------------------------------------
+# crash-recovery restart loop
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AttemptRecord:
+    """One launch of the job inside :func:`run_with_recovery`."""
+
+    index: int
+    start_step: int
+    crashed: bool
+    makespan: float
+    crash: str = ""
+    crash_step: Optional[int] = None
+    restored_step: int = 0
+    lost_work_seconds: float = 0.0
+
+
+@dataclass
+class FaultRunReport:
+    """Lost-work / restart accounting for a fault-injected campaign.
+
+    All times are virtual seconds.  *Campaign time* concatenates the
+    attempts: each launch contributes its makespan (slowest rank), plus
+    a fixed restart overhead per relaunch; ``gantt_intervals`` places
+    every attempt's per-rank run bars — with retry, lost-work, and
+    restart spans — on that shared campaign axis, ready for
+    :func:`repro.analysis.render_gantt`.
+    """
+
+    nranks: int
+    nsteps: int
+    checkpoint_every: int
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    restarts: int = 0
+    crashes: List[str] = field(default_factory=list)
+    steps_lost: int = 0
+    lost_work_seconds: float = 0.0
+    restart_overhead_seconds: float = 0.0
+    messages_dropped: int = 0
+    retry_penalty_seconds: float = 0.0
+    total_virtual_seconds: float = 0.0
+    #: Campaign-time intervals for the text gantt (see class docstring).
+    gantt_intervals: List[object] = field(default_factory=list)
+    #: mpiP-style profile of the final (successful) attempt.
+    final_profile: Optional[object] = None
+    #: One profile per attempt, crashed ones included — the FAULT_Crash
+    #: pseudo-callsite lives in the attempt that died.
+    attempt_profiles: List[object] = field(default_factory=list)
+
+    def campaign_profile(self):
+        """All attempts merged into one mpiP-style profile.
+
+        Per-rank totals sum across attempts, so a rank's "app time"
+        here is its whole-campaign virtual time (replays included) —
+        the right denominator when asking what the faults cost.
+        """
+        from ..mpi.profiler import JobProfile
+
+        prof = JobProfile(nranks=self.nranks)
+        for p in self.attempt_profiles:
+            prof.rank_profiles.extend(p.rank_profiles)
+            for r, (app, mpi) in p.rank_totals.items():
+                a0, m0 = prof.rank_totals.get(r, (0.0, 0.0))
+                prof.rank_totals[r] = (a0 + app, m0 + mpi)
+        return prof
+
+    def summary(self) -> str:
+        """Human-readable recovery report for CLI output."""
+        lines = [
+            f"fault campaign: {self.nsteps} steps on {self.nranks} ranks, "
+            f"checkpoint every "
+            f"{self.checkpoint_every if self.checkpoint_every else 'never'}"
+            f"{' steps' if self.checkpoint_every else ''}",
+            f"  attempts: {len(self.attempts)} "
+            f"({self.restarts} restart{'s' if self.restarts != 1 else ''})",
+        ]
+        for a in self.attempts:
+            if a.crashed:
+                lines.append(
+                    f"  attempt {a.index}: from step {a.start_step}, "
+                    f"CRASHED ({a.crash}) after {a.makespan:.6g} s; "
+                    f"restored step {a.restored_step}, "
+                    f"lost {a.lost_work_seconds:.6g} s of work"
+                )
+            else:
+                lines.append(
+                    f"  attempt {a.index}: from step {a.start_step}, "
+                    f"completed in {a.makespan:.6g} s"
+                )
+        lines.append(
+            f"  lost work: {self.lost_work_seconds:.6g} s over "
+            f"{self.steps_lost} replayed step"
+            f"{'s' if self.steps_lost != 1 else ''}"
+        )
+        lines.append(
+            f"  restart overhead: {self.restart_overhead_seconds:.6g} s"
+        )
+        if self.messages_dropped:
+            lines.append(
+                f"  dropped messages: {self.messages_dropped} "
+                f"(retry penalty {self.retry_penalty_seconds:.6g} s)"
+            )
+        lines.append(
+            f"  total campaign virtual time: "
+            f"{self.total_virtual_seconds:.6g} s"
+        )
+        return "\n".join(lines)
+
+
+def run_with_recovery(
+    setup: Callable[..., tuple],
+    nranks: int,
+    nsteps: int,
+    dt: Optional[float] = None,
+    checkpoint_every: int = 0,
+    checkpoint_dir=None,
+    fault_plan=None,
+    machine=None,
+    max_restarts: int = 8,
+    monitor_every: int = 0,
+) -> tuple:
+    """Run a solver campaign to completion through injected crashes.
+
+    ``setup(comm)`` must build the per-rank ``(solver, initial_state)``
+    pair — it is called afresh on every attempt, exactly like a
+    resubmitted job re-reads its input deck.  The loop launches the job
+    on a fresh :class:`~repro.mpi.Runtime` (the runtime is single-shot);
+    when an injected crash (:class:`~repro.mpi.RankCrashError`) kills
+    it, the loop restores the last *complete* checkpoint — the atomic
+    manifest guarantees completeness — disarms the crash events that
+    already fired, charges a restart overhead, and replays from the
+    restored step.  Fault-free runs take this same path with a single
+    attempt and an empty accounting.
+
+    Returns ``(per_rank_final_states, FaultRunReport)``.  The replayed
+    physics is bitwise identical to a fault-free run: checkpoints
+    round-trip the state exactly and global step numbering (and hence
+    dt sequencing and checkpoint cadence) is preserved across restarts.
+    """
+    from ..mpi import RankCrashError, Runtime
+    from ..perfmodel.machine import MachineModel
+    from .checkpoint import load_checkpoint, read_manifest
+
+    if checkpoint_every and checkpoint_dir is None:
+        raise ValueError("checkpoint_every needs checkpoint_dir")
+    machine_ = machine if machine is not None else MachineModel.default()
+    report = FaultRunReport(
+        nranks=nranks, nsteps=nsteps, checkpoint_every=checkpoint_every
+    )
+    plan = fault_plan
+    campaign_t = 0.0
+    attempt = 0
+
+    while True:
+        start_step, start_time, have_ckpt = 0, 0.0, False
+        if checkpoint_dir is not None:
+            try:
+                info = read_manifest(checkpoint_dir)
+                start_step, start_time = info.step, info.time
+                have_ckpt = True
+            except FileNotFoundError:
+                pass
+
+        def main(comm):
+            solver, state = setup(comm)
+            if have_ckpt:
+                state, _ = load_checkpoint(
+                    checkpoint_dir, comm, solver.partition
+                )
+            return solver.run(
+                state,
+                nsteps - start_step,
+                dt=dt,
+                monitor_every=monitor_every,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+                step_offset=start_step,
+                time_offset=start_time,
+            )
+
+        rt = Runtime(
+            nranks=nranks,
+            machine=machine_,
+            fault_plan=plan,
+            fault_base_step=start_step,
+        )
+        try:
+            results = rt.run(main)
+        except RankCrashError as crash:
+            stats = rt.clock_stats()
+            makespan = max(s.total for s in stats)
+            restored_step, ckpt_vtime = start_step, None
+            if checkpoint_dir is not None:
+                try:
+                    m = read_manifest(checkpoint_dir)
+                    restored_step = m.step
+                    if m.step > start_step:
+                        # Checkpoint written *this* attempt: its vtime
+                        # is on this attempt's clock, so the work lost
+                        # is everything past the commit point.
+                        ckpt_vtime = m.vtime
+                except FileNotFoundError:
+                    pass
+            lost = makespan - ckpt_vtime if ckpt_vtime is not None else makespan
+            lost = max(lost, 0.0)
+            crash_step = crash.step
+            steps_lost = max((crash_step or restored_step) - restored_step, 0)
+            report.attempts.append(AttemptRecord(
+                index=attempt,
+                start_step=start_step,
+                crashed=True,
+                makespan=makespan,
+                crash=str(crash),
+                crash_step=crash_step,
+                restored_step=restored_step,
+                lost_work_seconds=lost,
+            ))
+            report.crashes.append(str(crash))
+            report.steps_lost += steps_lost
+            report.lost_work_seconds += lost
+            _campaign_intervals(
+                report, stats, campaign_t, attempt,
+                lost_from=(ckpt_vtime if ckpt_vtime is not None else 0.0),
+            )
+            campaign_t += makespan
+            _restart_interval(
+                report, nranks, campaign_t, machine_.restart_latency
+            )
+            campaign_t += machine_.restart_latency
+            report.restarts += 1
+            report.restart_overhead_seconds += machine_.restart_latency
+            report.attempt_profiles.append(rt.job_profile())
+            _merge_fault_stats(report, rt)
+            if rt.faults is not None and plan is not None:
+                plan = plan.without(*rt.faults.fired_crashes)
+            attempt += 1
+            if attempt > max_restarts:
+                report.total_virtual_seconds = campaign_t
+                raise
+            continue
+
+        stats = rt.clock_stats()
+        makespan = max(s.total for s in stats)
+        report.attempts.append(AttemptRecord(
+            index=attempt,
+            start_step=start_step,
+            crashed=False,
+            makespan=makespan,
+        ))
+        _campaign_intervals(report, stats, campaign_t, attempt)
+        campaign_t += makespan
+        _merge_fault_stats(report, rt)
+        report.total_virtual_seconds = campaign_t
+        report.final_profile = rt.job_profile()
+        report.attempt_profiles.append(report.final_profile)
+        return results, report
+
+
+def _merge_fault_stats(report: FaultRunReport, rt) -> None:
+    if rt.faults is None:
+        return
+    s = rt.faults.summary()
+    report.messages_dropped += s["messages_dropped"]
+    report.retry_penalty_seconds += s["retry_penalty_seconds"]
+
+
+def _campaign_intervals(
+    report: FaultRunReport,
+    stats,
+    campaign_t: float,
+    attempt: int,
+    lost_from: Optional[float] = None,
+) -> None:
+    """Place one attempt's per-rank bars on the campaign time axis.
+
+    Each rank gets a ``run`` bar for its clock span; retry time (if
+    any) is drawn as a span at the tail of the bar — schematic
+    placement, the clock records only totals; on crashed attempts the
+    work past the last checkpoint commit is overlaid as a ``lost-work``
+    span so replayed time is visible in the chart.
+    """
+    from ..analysis.timeline import Interval
+
+    for s in stats:
+        if s.total <= 0:
+            continue
+        name = f"run#{attempt}" if attempt else "run"
+        report.gantt_intervals.append(Interval(
+            rank=s.rank, name=name,
+            t0=campaign_t, t1=campaign_t + s.total,
+        ))
+        retry = s.extra.get("retry_time", 0.0)
+        if retry > 0:
+            report.gantt_intervals.append(Interval(
+                rank=s.rank, name="retry",
+                t0=campaign_t + s.total - retry,
+                t1=campaign_t + s.total,
+                span=True,
+            ))
+        if lost_from is not None and s.total > lost_from:
+            report.gantt_intervals.append(Interval(
+                rank=s.rank, name="lost-work",
+                t0=campaign_t + lost_from, t1=campaign_t + s.total,
+                span=True,
+            ))
+
+
+def _restart_interval(
+    report: FaultRunReport, nranks: int, campaign_t: float, overhead: float
+) -> None:
+    from ..analysis.timeline import Interval
+
+    if overhead <= 0:
+        return
+    for r in range(nranks):
+        report.gantt_intervals.append(Interval(
+            rank=r, name="restart",
+            t0=campaign_t, t1=campaign_t + overhead,
+        ))

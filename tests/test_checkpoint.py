@@ -1,11 +1,14 @@
 """Checkpoint / restart of distributed solver state."""
 
+import shutil
+
 import numpy as np
 import pytest
 
 from repro.mesh import BoxMesh, Partition
-from repro.mpi import Runtime
+from repro.mpi import MPIError, Runtime
 from repro.solver import (
+    CheckpointError,
     CMTSolver,
     SolverConfig,
     StiffenedGas,
@@ -106,6 +109,85 @@ class TestValidation:
 
         with pytest.raises(Exception, match="mesh"):
             Runtime(nranks=2).run(main)
+
+
+class TestCrashSafety:
+    """The hardened load path: every torn-checkpoint shape fails loudly.
+
+    ``load_checkpoint`` runs inside a 2-rank job, so the offending
+    rank's :class:`CheckpointError` surfaces wrapped in the runtime's
+    :class:`MPIError` with the original message in the traceback text.
+    """
+
+    STEP, TIME = 4, 0.2
+
+    def _write(self, tmp_path):
+        def main(comm):
+            save_checkpoint(tmp_path, comm, PART, make_state(comm.rank),
+                            step=self.STEP, time=self.TIME)
+
+        Runtime(nranks=2).run(main)
+
+    def _load(self, tmp_path):
+        def main(comm):
+            load_checkpoint(tmp_path, comm, PART)
+
+        Runtime(nranks=2).run(main)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        self._write(tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "manifest.json", "state.00000.npz", "state.00001.npz",
+        ]
+
+    def test_manifest_records_commit_vtime(self, tmp_path):
+        self._write(tmp_path)
+        # Rank 0's clock at manifest commit: past the barriers and the
+        # modelled checkpoint write, so strictly positive.
+        assert read_manifest(tmp_path).vtime > 0.0
+
+    def test_missing_rank_file_named(self, tmp_path):
+        self._write(tmp_path)
+        (tmp_path / "state.00001.npz").unlink()
+        with pytest.raises(MPIError, match=r"state\.00001\.npz is missing"):
+            self._load(tmp_path)
+
+    def test_corrupt_rank_file_named(self, tmp_path):
+        self._write(tmp_path)
+        (tmp_path / "state.00001.npz").write_bytes(b"not a zipfile")
+        with pytest.raises(MPIError, match=r"state\.00001\.npz is unreadable"):
+            self._load(tmp_path)
+
+    def test_rank_file_missing_array(self, tmp_path):
+        self._write(tmp_path)
+        path = tmp_path / "state.00001.npz"
+        with open(path, "wb") as fh:       # valid npz, wrong contents
+            np.savez_compressed(fh, u=np.zeros(3))
+        with pytest.raises(MPIError, match="missing array"):
+            self._load(tmp_path)
+
+    def test_stale_rank_file_detected(self, tmp_path):
+        self._write(tmp_path)
+        path = tmp_path / "state.00001.npz"
+        with np.load(path) as data:
+            u = np.array(data["u"])
+        with open(path, "wb") as fh:       # right shape, older step
+            np.savez_compressed(fh, u=u, rank=1, step=self.STEP - 1,
+                                time=self.TIME)
+        with pytest.raises(MPIError, match="stale"):
+            self._load(tmp_path)
+
+    def test_misplaced_rank_file_detected(self, tmp_path):
+        self._write(tmp_path)
+        shutil.copy(tmp_path / "state.00000.npz",
+                    tmp_path / "state.00001.npz")
+        with pytest.raises(MPIError, match="belongs to rank 0"):
+            self._load(tmp_path)
+
+    def test_checkpoint_error_is_a_runtime_error(self):
+        # Callers catching RuntimeError keep working.
+        assert issubclass(CheckpointError, RuntimeError)
 
 
 class TestRestartContinuity:
