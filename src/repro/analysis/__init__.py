@@ -16,9 +16,12 @@ from .mpip import (
     aggregates_by_op,
     fault_report,
     full_report,
+    lb_report,
     message_size_report,
     mpi_fraction_report,
+    op_share,
     split_phase_report,
+    summarize_compute,
     summarize_fractions,
     top_calls_report,
     wait_dominance,
@@ -48,6 +51,7 @@ __all__ = [
     "aggregates_by_op",
     "call_graph",
     "fault_report",
+    "lb_report",
     "flat_profile",
     "full_report",
     "hop_weighted_bytes",
@@ -62,6 +66,8 @@ __all__ = [
     "render_table",
     "size_histogram",
     "split_phase_report",
+    "op_share",
+    "summarize_compute",
     "summarize_fractions",
     "top_calls_report",
     "traffic_matrix",

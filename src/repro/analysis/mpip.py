@@ -38,6 +38,15 @@ def mpi_fraction_report(profile: JobProfile, bars: bool = True) -> str:
         f"mean={agg[0]:.2f}%  min={agg[1]:.2f}%  max={agg[2]:.2f}%  "
         f"(imbalance max/mean = {agg[3]:.2f})"
     )
+    # The other side of the same coin: waiting ranks are the *victims*
+    # of imbalance, the compute spread names the culprits.  Reporting
+    # both shows load balancing shrinking the cause and the symptom.
+    cmean, cmin, cmax, cimb = summarize_compute(profile)
+    tail += (
+        f"\ncompute (non-MPI) per rank: mean={cmean:.6g}s  "
+        f"min={cmin:.6g}s  max={cmax:.6g}s  "
+        f"(imbalance max/mean = {cimb:.2f})"
+    )
     return f"{header}\n{body}\n{tail}"
 
 
@@ -50,6 +59,34 @@ def summarize_fractions(
     mx = max(fr, default=0.0)
     mn = min(fr, default=0.0)
     return mean, mn, mx, (mx / mean if mean else 0.0)
+
+
+def summarize_compute(
+    profile: JobProfile,
+) -> Tuple[float, float, float, float]:
+    """(mean s, min s, max s, max/mean imbalance) of per-rank *compute*.
+
+    Compute here is everything outside MPI: per-rank app time minus
+    MPI time from the profile's rank totals.  This is the quantity
+    dynamic load balancing acts on directly — before/after-LB reports
+    should show this spread shrinking along with the MPI fractions.
+    """
+    comp = [
+        max(app - mpi, 0.0)
+        for app, mpi in profile.rank_totals.values()
+    ]
+    if not comp:
+        return 0.0, 0.0, 0.0, 0.0
+    mean = sum(comp) / len(comp)
+    mx, mn = max(comp), min(comp)
+    return mean, mn, mx, (mx / mean if mean else 0.0)
+
+
+def op_share(profile: JobProfile, op: str) -> float:
+    """One operation's share of total MPI time (e.g. ``"MPI_Wait"``)."""
+    by_op = profile.by_op()
+    total = sum(by_op.values())
+    return by_op.get(op, 0.0) / total if total else 0.0
 
 
 def top_calls_report(profile: JobProfile, n: int = 20) -> str:
@@ -160,6 +197,32 @@ def fault_report(profile: JobProfile) -> str:
         [(r.op, r.site, r.count, r.vtime, r.bytes_total) for r in rows],
     )
     return f"Fault events (injected faults, retries, checkpoint IO)\n{table}"
+
+
+def lb_report(profile: JobProfile) -> str:
+    """Load-balancing call sites and pseudo-events.
+
+    The LB subsystem's traffic is attributed to dedicated mpiP call
+    sites — ``LB_monitor`` (cost allgathers), ``LB_migrate`` (element
+    envelopes over the crystal router), ``LB_gs_rebuild`` (handle
+    re-discovery) — plus informational pseudo-ops: ``LB_Migrate``
+    (per-event migration cost/volume), ``LB_Rebuild``, and
+    ``PART_Migrate`` (particle tracker exchanges).  Informational rows
+    never inflate the MPI fraction.
+    """
+    rows = [
+        r for r in profile.aggregates()
+        if r.site.startswith("LB_")
+        or r.op.startswith("LB_")
+        or r.op.startswith("PART_")
+    ]
+    if not rows:
+        return "Load balancing\n(no load-balancing activity recorded)"
+    table = render_table(
+        ["op", "site", "count", "time (s)", "bytes"],
+        [(r.op, r.site, r.count, r.vtime, r.bytes_total) for r in rows],
+    )
+    return f"Load balancing (monitoring, migration, rebuild)\n{table}"
 
 
 def full_report(profile: JobProfile, top_n: int = 20) -> str:

@@ -86,6 +86,32 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="skip real array math; model compute time only")
 
 
+def _add_lb_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--lb", default="off",
+                   choices=["off", "auto", "every", "manual"],
+                   help="dynamic load balancing: off, auto (threshold "
+                        "trigger), every (fixed cadence), or manual "
+                        "(monitor only; see docs/load-balancing.md)")
+    p.add_argument("--lb-threshold", type=float, default=1.10,
+                   help="max/mean cost-imbalance trigger for --lb auto "
+                        "(default 1.10)")
+    p.add_argument("--lb-every", type=int, default=0,
+                   help="rebalance cadence in steps for --lb every")
+
+
+def _lb_policy(args):
+    """The RebalancePolicy the --lb* flags describe, or None for off."""
+    if args.lb == "off":
+        return None
+    from .lb import RebalancePolicy
+
+    return RebalancePolicy(
+        mode=args.lb,
+        threshold=args.lb_threshold,
+        every=args.lb_every,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="CMT-bone mini-app reproduction CLI"
@@ -109,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="derivative-kernel variant (default fused)")
     p_cmt.add_argument("--gantt", action="store_true",
                        help="render a per-rank execution timeline")
+    _add_lb_flags(p_cmt)
 
     p_nek = sub.add_parser("nekbone", help="run the Nekbone comparator")
     _add_common(p_nek)
@@ -178,6 +205,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sod.add_argument("--verify", action="store_true",
                        help="also run fault-free and require bitwise-"
                             "identical final fields (exit 1 otherwise)")
+    p_sod.add_argument("--imbalance", type=float, default=0.0,
+                       help="compute-load jitter fraction (default 0)")
+    _add_lb_flags(p_sod)
 
     sub.add_parser("machines", help="list machine presets")
     return parser
@@ -195,6 +225,9 @@ def cmd_cmtbone(args) -> int:
         compute_imbalance=args.imbalance,
         pack_fields=args.pack,
         overlap=args.overlap,
+        lb_mode=args.lb,
+        lb_threshold=args.lb_threshold,
+        lb_every=args.lb_every,
     )
     runtime = Runtime(
         nranks=args.ranks, machine=MachineModel.preset(args.machine)
@@ -230,6 +263,15 @@ def cmd_cmtbone(args) -> int:
     print(cmtbone_profile_report(results))
     print("\n=== MPI profile ===")
     print(full_report(runtime.job_profile(), top_n=12))
+    if args.lb != "off":
+        from .analysis import lb_report
+
+        print("\n=== load balancing ===")
+        if r0.lb_summary:
+            print(r0.lb_summary)
+        print(f"rebalances: {r0.lb_rebalances}  "
+              f"final elements on rank 0: {r0.final_nel}")
+        print(lb_report(runtime.job_profile()))
     if args.gantt:
         from .analysis import merge_timelines, render_gantt
 
@@ -354,7 +396,8 @@ def cmd_kernels(args) -> int:
     return 0
 
 
-def _sod_setup(nranks: int, n: int, nelx: int, gs_method: str):
+def _sod_setup(nranks: int, n: int, nelx: int, gs_method: str,
+               imbalance: float = 0.0, lb_policy=None):
     """Build the ``setup(comm)`` factory for the Sod campaign."""
     import numpy as np
 
@@ -387,6 +430,8 @@ def _sod_setup(nranks: int, n: int, nelx: int, gs_method: str):
                 cfl=0.3,
                 shock_filter=ShockFilter(n=n, threshold=-6.0, ramp=2.0),
                 boundaries=bc,
+                compute_imbalance=imbalance,
+                lb=lb_policy,
             ),
         )
         coords = np.stack(
@@ -431,7 +476,8 @@ def cmd_sod(args) -> int:
         print(f"checkpoint dir: {ckpt_dir}")
     machine = MachineModel.preset(args.machine)
     setup = _sod_setup(args.ranks, args.points, args.elements,
-                       args.gs_method)
+                       args.gs_method, imbalance=args.imbalance,
+                       lb_policy=_lb_policy(args))
 
     results, report = run_with_recovery(
         setup,
@@ -448,6 +494,11 @@ def cmd_sod(args) -> int:
     if report.attempt_profiles:
         print()
         print(fault_report(report.campaign_profile()))
+        if args.lb != "off":
+            from .analysis import lb_report
+
+            print()
+            print(lb_report(report.campaign_profile()))
     if args.gantt:
         print("\n=== campaign timeline ===")
         print(render_gantt(report.gantt_intervals, width=68))

@@ -61,6 +61,7 @@ R_GSOP_FINISH = "gs_op_finish" # split-phase wait (overlap schedule)
 R_INFLIGHT = "gs_inflight"     # timeline span: messages under compute
 R_UPDATE = "add2s2"          # nek's axpy
 R_MONITOR = "monitor"
+R_LB = "lb_rebalance"        # dynamic load balancing (migration + rebuild)
 
 
 @dataclass
@@ -79,6 +80,16 @@ class CMTBoneResult:
     #: Communication hidden under compute by the overlapped schedule
     #: (0.0 for blocking runs; never part of ``vtime_total``).
     vtime_hidden_comm: float = 0.0
+    #: Rebalances committed by the load balancer (0 when LB is off).
+    lb_rebalances: int = 0
+    #: Final local element count (differs from the brick's after LB).
+    final_nel: int = 0
+    #: Per-step compute cost of the *final* measurement window — the
+    #: steady-state cost after the last rebalance (whole run when no
+    #: rebalance happened; 0.0 with LB off).
+    lb_window_cost: float = 0.0
+    #: Load-balancer summary text ("" with LB off).
+    lb_summary: str = ""
 
     @property
     def vtime_compute(self) -> float:
@@ -128,6 +139,17 @@ class CMTBone:
         # to [0, 1) scales compute charges by 1 + imbalance * h(rank).
         h = (comm.rank * 2654435761) % (2**32) / 2**32
         self._load_factor = 1.0 + self.config.compute_imbalance * h
+        #: Dynamic load balancer (None with ``lb_mode="off"``).
+        self.lb = None
+        policy = self.config.lb_policy()
+        if policy.enabled:
+            from ..lb import ElementAssignment, LoadBalancer
+
+            self.lb = LoadBalancer(
+                comm,
+                ElementAssignment.from_partition(self.partition),
+                policy,
+            )
 
     # -- phases -------------------------------------------------------------
 
@@ -249,6 +271,30 @@ class CMTBone:
                 self.comm.allreduce(local, op=MAX, site=R_MONITOR)
             )
 
+    # -- dynamic load balancing ----------------------------------------------
+
+    def _maybe_rebalance(self, istep: int) -> None:
+        """Policy check + live migration between timesteps (collective)."""
+        new = self.lb.propose(istep)
+        if new is None:
+            return
+        from ..lb import SITE_LB_REBUILD, migrate_elements
+
+        with self.timeline.region(R_LB), self.profiler.region(R_LB):
+            old_ids = self.lb.assignment.element_ids_of(self.comm.rank)
+            out, stats = migrate_elements(
+                self.comm, old_ids, new,
+                [("u", self.u, 1), ("faces", self._faces, 1)],
+            )
+            self.u = out["u"]
+            self._faces = out["faces"]
+            self.nel = new.nel_of(self.comm.rank)
+            method = self.handle.method
+            gids = dg_face_numbering(new, self.comm.rank)
+            self.handle = gs_setup(gids, self.comm, site=SITE_LB_REBUILD)
+            self.handle.method = method
+        self.lb.commit(new, istep, stats=stats)
+
     # -- driver ---------------------------------------------------------------
 
     def timestep(self) -> None:
@@ -277,10 +323,16 @@ class CMTBone:
         """Run the configured number of steps and collect results."""
         nsteps = self.config.nsteps if nsteps is None else nsteps
         for istep in range(nsteps):
+            if self.lb is not None:
+                self.lb.monitor.begin_step()
             self.timestep()
+            if self.lb is not None:
+                self.lb.monitor.end_step(nel=self.nel)
             me = self.config.monitor_every
             if me and (istep + 1) % me == 0:
                 self._monitor_phase()
+            if self.lb is not None:
+                self._maybe_rebalance(istep)
         clock = self.comm.clock
         return CMTBoneResult(
             rank=self.comm.rank,
@@ -293,6 +345,14 @@ class CMTBone:
             vtime_comm=clock.comm_time,
             monitor_values=list(self.monitor_values),
             vtime_hidden_comm=clock.hidden_comm_time,
+            lb_rebalances=self.lb.rebalances if self.lb else 0,
+            final_nel=self.nel,
+            lb_window_cost=(
+                self.lb.monitor.window_cost(self.comm.rank).total_seconds
+                / max(self.lb.monitor.window_steps, 1)
+                if self.lb else 0.0
+            ),
+            lb_summary=self.lb.describe() if self.lb else "",
         )
 
 

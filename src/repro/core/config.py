@@ -82,6 +82,16 @@ class CMTBoneConfig:
     #: boundary work, OS noise); a nonzero value here produces the
     #: MPI_Wait-dominated profile of Figs. 8-9.
     compute_imbalance: float = 0.0
+    #: Dynamic load balancing mode: "off", "auto" (threshold on the
+    #: measured max/mean cost imbalance), "every" (fixed cadence), or
+    #: "manual".  See :mod:`repro.lb` and docs/load-balancing.md.
+    lb_mode: str = "off"
+    #: Imbalance trigger for ``lb_mode="auto"``.
+    lb_threshold: float = 1.10
+    #: Rebalance cadence (steps) for ``lb_mode="every"``.
+    lb_every: int = 0
+    #: Minimum steps between rebalances (``auto`` hysteresis).
+    lb_min_interval: int = 4
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -95,6 +105,12 @@ class CMTBoneConfig:
             raise ValueError(f"work_mode must be real|proxy, got {self.work_mode}")
         if self.rk_stages < 1 or self.nsteps < 0 or self.neq < 1:
             raise ValueError("rk_stages/nsteps/neq out of range")
+        if self.lb_mode not in ("off", "auto", "every", "manual"):
+            raise ValueError(
+                f"lb_mode must be off|auto|every|manual, got {self.lb_mode}"
+            )
+        if self.lb_mode == "every" and self.lb_every < 1:
+            raise ValueError("lb_mode='every' needs lb_every >= 1")
 
     @property
     def nel_local(self) -> int:
@@ -122,6 +138,19 @@ class CMTBoneConfig:
     def with_(self, **kw) -> "CMTBoneConfig":
         """Functional update (frozen dataclass convenience)."""
         return replace(self, **kw)
+
+    def lb_policy(self):
+        """The :class:`repro.lb.RebalancePolicy` these knobs describe."""
+        from ..lb import RebalancePolicy
+
+        if self.lb_mode == "off":
+            return RebalancePolicy(mode="off")
+        return RebalancePolicy(
+            mode=self.lb_mode,
+            threshold=self.lb_threshold,
+            every=self.lb_every,
+            min_interval=self.lb_min_interval,
+        )
 
     # -- paper workloads ---------------------------------------------------
 

@@ -1,0 +1,182 @@
+"""Online per-rank cost monitoring for the load balancer.
+
+Costs are *virtual-time* quantities: the monitor brackets each
+timestep and reads the rank's :class:`repro.mpi.clock.VirtualClock`
+``compute_time`` counter, so everything the host charged through
+``comm.compute`` — roofline kernel charges, injected imbalance
+factors, pack/unpack passes — lands in the measurement exactly as it
+lands in the makespan.  Particle work is attributed separately via
+:meth:`CostMonitor.charge_particles` so the partitioner can weight
+particle-laden elements; whatever is not claimed as particle time
+counts as element-volume work.
+
+The measured per-element cost is the ground truth the repartitioner
+consumes (as ``capacity = 1 / cost``); :func:`predicted_element_seconds`
+offers the analytic prior from :mod:`repro.kernels.counters` for
+cold-start estimates and sanity checks against the measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..kernels.counters import roofline_seconds
+
+#: mpiP call-site label for the cost-exchange allgather.
+SITE_LB_MONITOR = "LB_monitor"
+
+
+@dataclass(frozen=True)
+class RankCost:
+    """One rank's accumulated cost over a measurement window."""
+
+    rank: int
+    nel: int
+    volume_seconds: float
+    particle_seconds: float = 0.0
+    nparticles: int = 0
+    steps: int = 1
+
+    @property
+    def total_seconds(self) -> float:
+        return self.volume_seconds + self.particle_seconds
+
+    @property
+    def per_element_seconds(self) -> float:
+        """Volume seconds per element per step (0 if unmeasurable)."""
+        denom = self.nel * max(self.steps, 1)
+        return self.volume_seconds / denom if denom else 0.0
+
+    @property
+    def per_particle_seconds(self) -> float:
+        denom = self.nparticles * max(self.steps, 1)
+        return self.particle_seconds / denom if denom else 0.0
+
+
+def cost_imbalance(costs: List[RankCost]) -> float:
+    """max/mean of per-step total cost across ranks (1.0 = balanced)."""
+    totals = np.array([c.total_seconds / max(c.steps, 1) for c in costs])
+    mean = totals.mean()
+    return float(totals.max() / mean) if mean > 0 else 1.0
+
+
+def capacities_from_costs(costs: List[RankCost]) -> Optional[np.ndarray]:
+    """Per-rank capacities (1 / per-element cost) from measurements.
+
+    Returns ``None`` when any rank's cost is unmeasurable (zero
+    elements or zero charged compute) — the caller falls back to
+    uniform capacities rather than dividing by zero.
+    """
+    per_el = np.array([c.per_element_seconds for c in costs])
+    if np.any(per_el <= 0):
+        return None
+    return 1.0 / per_el
+
+
+class CostMonitor:
+    """Brackets timesteps and splits charged compute into work classes.
+
+    Usage per step::
+
+        monitor.begin_step()
+        ...   # host runs one RK step, charging compute as usual
+        monitor.end_step(nel=..., nparticles=...)
+
+    Any particle-work charge inside the step is claimed with
+    :meth:`charge_particles`; the step's remaining compute delta is
+    element-volume work.  :meth:`window_cost` aggregates all steps
+    since the last :meth:`reset_window` (windows are reset after every
+    rebalance, since migration changes what the numbers mean).
+    """
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self._t0: Optional[float] = None
+        self._part0 = 0.0
+        self._particle_acc = 0.0
+        self._win_volume = 0.0
+        self._win_particle = 0.0
+        self._win_steps = 0
+        self._win_el_steps = 0      # sum of nel over steps
+        self._win_part_steps = 0    # sum of nparticles over steps
+        self.step_costs: List[RankCost] = []
+
+    def begin_step(self) -> None:
+        self._t0 = self._clock.compute_time
+        self._part0 = self._particle_acc
+
+    def charge_particles(self, seconds: float) -> None:
+        """Attribute ``seconds`` of the current step to particle work."""
+        self._particle_acc += float(seconds)
+
+    def end_step(self, nel: int, nparticles: int = 0) -> RankCost:
+        if self._t0 is None:
+            raise RuntimeError("end_step without begin_step")
+        total = self._clock.compute_time - self._t0
+        particle = self._particle_acc - self._part0
+        volume = max(total - particle, 0.0)
+        self._t0 = None
+        cost = RankCost(
+            rank=-1, nel=int(nel), volume_seconds=volume,
+            particle_seconds=particle, nparticles=int(nparticles),
+        )
+        self.step_costs.append(cost)
+        self._win_volume += volume
+        self._win_particle += particle
+        self._win_steps += 1
+        self._win_el_steps += int(nel)
+        self._win_part_steps += int(nparticles)
+        return cost
+
+    def window_cost(self, rank: int) -> RankCost:
+        """Aggregate cost since the last window reset."""
+        steps = max(self._win_steps, 1)
+        return RankCost(
+            rank=rank,
+            nel=self._win_el_steps // steps,
+            volume_seconds=self._win_volume,
+            particle_seconds=self._win_particle,
+            nparticles=self._win_part_steps // steps,
+            steps=self._win_steps,
+        )
+
+    @property
+    def window_steps(self) -> int:
+        return self._win_steps
+
+    def reset_window(self) -> None:
+        self._win_volume = 0.0
+        self._win_particle = 0.0
+        self._win_steps = 0
+        self._win_el_steps = 0
+        self._win_part_steps = 0
+
+
+def gather_costs(comm, monitor: CostMonitor) -> List[RankCost]:
+    """Allgather every rank's window cost (collective; ``LB_monitor``).
+
+    The exchanged tuples are tiny, but the call is a real collective on
+    the virtual network, so monitoring overhead shows up honestly in
+    the mpiP output under the ``LB_monitor`` call site.
+    """
+    mine = monitor.window_cost(comm.rank)
+    payload = (
+        mine.nel, mine.volume_seconds, mine.particle_seconds,
+        mine.nparticles, mine.steps,
+    )
+    gathered = comm.allgather(payload, site=SITE_LB_MONITOR)
+    return [
+        RankCost(
+            rank=r, nel=nel, volume_seconds=vol,
+            particle_seconds=part, nparticles=np_, steps=steps,
+        )
+        for r, (nel, vol, part, np_, steps) in enumerate(gathered)
+    ]
+
+
+def predicted_element_seconds(n: int, machine, variant: str = "fused") -> float:
+    """Analytic per-element-per-RHS cost prior from the kernel counters."""
+    return roofline_seconds(n, 1, machine, variant=variant)

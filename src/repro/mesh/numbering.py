@@ -43,9 +43,10 @@ def continuous_numbering(partition: Partition, rank: int) -> np.ndarray:
     mesh = partition.mesh
     n = mesh.n
     npts = mesh.unique_points_shape()
-    gids = np.empty((partition.nel_local, n, n, n), dtype=np.int64)
+    els = partition.local_elements(rank)
+    gids = np.empty((len(els), n, n, n), dtype=np.int64)
     idx = np.arange(n)
-    for lidx, (ix, iy, iz) in enumerate(partition.local_elements(rank)):
+    for lidx, (ix, iy, iz) in enumerate(els):
         gx = _global_line(ix, idx, n, npts[0], mesh.periodic[0])
         gy = _global_line(iy, idx, n, npts[1], mesh.periodic[1])
         gz = _global_line(iz, idx, n, npts[2], mesh.periodic[2])
@@ -103,8 +104,9 @@ def dg_face_numbering(partition: Partition, rank: int) -> np.ndarray:
     # Face-local point offsets a + N*b, identical for every face.
     pt = ab[:, None] + n * ab[None, :]
 
-    gids = np.empty((partition.nel_local, NFACES, n, n), dtype=np.int64)
-    for lidx, (ix, iy, iz) in enumerate(partition.local_elements(rank)):
+    els = partition.local_elements(rank)
+    gids = np.empty((len(els), NFACES, n, n), dtype=np.int64)
+    for lidx, (ix, iy, iz) in enumerate(els):
         for face in range(NFACES):
             axis, side = FACE_AXIS_SIDE[face]
             if axis == 0:

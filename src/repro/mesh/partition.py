@@ -117,6 +117,34 @@ class Partition:
             (ecoords[0] // lx, ecoords[1] // ly, ecoords[2] // lz)
         )
 
+    def owner_ranks(self, ecoords: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner_of` for an ``(k, 3)`` coords array."""
+        ec = np.asarray(ecoords, dtype=np.int64)
+        lx, ly, lz = self.local_shape
+        px, py, _pz = self.proc_shape
+        cx, cy, cz = ec[..., 0] // lx, ec[..., 1] // ly, ec[..., 2] // lz
+        return cx + px * (cy + py * cz)
+
+    def local_indices(self, rank: int, ecoords: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`local_index` for an ``(k, 3)`` coords array."""
+        ec = np.asarray(ecoords, dtype=np.int64)
+        cx, cy, cz = self.rank_coords(rank)
+        lx, ly, lz = self.local_shape
+        kx = ec[..., 0] - cx * lx
+        ky = ec[..., 1] - cy * ly
+        kz = ec[..., 2] - cz * lz
+        ok = (
+            (kx >= 0) & (kx < lx)
+            & (ky >= 0) & (ky < ly)
+            & (kz >= 0) & (kz < lz)
+        )
+        if not np.all(ok):
+            bad = ec[~ok]
+            raise ValueError(
+                f"elements {bad[:4].tolist()}... not owned by rank {rank}"
+            )
+        return kx + lx * (ky + ly * kz)
+
     def local_elements(self, rank: int) -> List[Coord]:
         """Global coords of this rank's elements, local-lex order."""
         cx, cy, cz = self.rank_coords(rank)

@@ -88,7 +88,7 @@ class BoundaryHandler:
         mesh = partition.mesh
         self.table = dict(table)
         topo = RankTopology(partition, rank)
-        nel = partition.nel_local
+        nel = len(partition.local_elements(rank))
         n = mesh.n
         #: (nel, 6) — True where the face is a physical boundary.
         self.mask = np.zeros((nel, NFACES), dtype=bool)

@@ -64,6 +64,12 @@ class CheckpointInfo:
     #: the recovery loop to account lost work after a crash; 0.0 for
     #: checkpoints written before the field existed.
     vtime: float = 0.0
+    #: Load-balancer element assignment active when the checkpoint was
+    #: written (the raw ``ElementAssignment.to_dict()`` payload), or
+    #: ``None`` for the static brick layout.  Restart restores the
+    #: rebalanced layout before loading rank files (whose element
+    #: counts reflect it).  Optional field; no format bump.
+    assignment: Optional[dict] = None
 
 
 def _eos_to_dict(eos) -> dict:
@@ -113,6 +119,7 @@ def save_checkpoint(
     state: FlowState,
     step: int = 0,
     time: float = 0.0,
+    assignment=None,
 ) -> CheckpointInfo:
     """Collectively write one checkpoint (rank files + manifest).
 
@@ -148,6 +155,9 @@ def save_checkpoint(
         proc_shape=tuple(partition.proc_shape),
         eos=_eos_to_dict(state.eos),
         vtime=comm.time(),
+        assignment=(
+            assignment.to_dict() if assignment is not None else None
+        ),
     )
     # All rank files must be durable before the manifest certifies them.
     comm.barrier(site="checkpoint:files")
@@ -163,6 +173,8 @@ def save_checkpoint(
             "eos": info.eos,
             "vtime": info.vtime,
         }
+        if info.assignment is not None:
+            manifest["assignment"] = info.assignment
         mpath = _manifest_file(directory)
         mtmp = mpath.with_suffix(".json.tmp")
         mtmp.write_text(json.dumps(manifest, indent=2))
@@ -192,7 +204,22 @@ def read_manifest(directory) -> CheckpointInfo:
         proc_shape=tuple(m["proc_shape"]),
         eos=m["eos"],
         vtime=m.get("vtime", 0.0),
+        assignment=m.get("assignment"),
     )
+
+
+def assignment_from_info(info: CheckpointInfo, partition: Partition):
+    """Rebuild the manifest's element assignment, or ``None`` (brick).
+
+    Restarting a rebalanced run must restore the layout the rank files
+    were written in; callers hand the result to
+    :meth:`repro.solver.driver.CMTSolver.restore_assignment`.
+    """
+    if info.assignment is None:
+        return None
+    from ..lb import ElementAssignment
+
+    return ElementAssignment.from_dict(partition.mesh, info.assignment)
 
 
 def load_checkpoint(
@@ -257,6 +284,16 @@ def load_checkpoint(
             f"rank file {path} is stale: it holds step {step} / "
             f"time {time!r} but the manifest certifies step "
             f"{info.step} / time {info.time!r} (torn checkpoint?)"
+        )
+    asg = assignment_from_info(info, partition)
+    nel_expect = (
+        asg.nel_of(comm.rank) if asg is not None else partition.nel_local
+    )
+    if u.ndim != 5 or u.shape[1] != nel_expect:
+        raise CheckpointError(
+            f"rank file {path} holds {u.shape[1] if u.ndim == 5 else '?'} "
+            f"elements but the manifest's layout assigns {nel_expect} "
+            f"to rank {comm.rank}"
         )
     _charge_io(comm, u.nbytes, site="checkpoint:read")
     state = FlowState(u=u, eos=_eos_from_dict(info.eos))

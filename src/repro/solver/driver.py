@@ -103,6 +103,19 @@ class SolverConfig:
     #: Optional source-term hook S(u) -> (5, nel, N, N, N); the current
     #: CMT-nek sets sources to zero (paper, Section IV).
     source: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    #: Injected per-rank compute jitter: each rank's charged kernel
+    #: time is scaled by ``1 + compute_imbalance * h(rank)`` with
+    #: ``h`` a deterministic hash in [0, 1) — the same load model
+    #: :class:`repro.core.cmtbone.CMTBone` uses, so the solver can
+    #: reproduce the paper's Fig. 9 imbalance study (and the LB
+    #: subsystem can correct it).  Physics is unaffected.
+    compute_imbalance: float = 0.0
+    #: Dynamic load balancing (:class:`repro.lb.RebalancePolicy`);
+    #: ``None`` or mode ``"off"`` disables it.  When active, the
+    #: solver monitors per-step cost, repartitions the mesh along the
+    #: SFC when the policy fires, and live-migrates element state
+    #: between RK steps (see docs/load-balancing.md).
+    lb: Optional[object] = None
 
 
 @dataclass
@@ -140,10 +153,17 @@ class CMTSolver:
             )
         self.comm = comm
         self.partition = partition
+        #: Ownership view the solver actually runs on: the static brick
+        #: partition until the load balancer commits an
+        #: :class:`repro.lb.ElementAssignment`, that assignment after.
+        self.domain = partition
         self.mesh = mesh
         self.eos = eos or IdealGas()
         self.n = mesh.n
         self.nel = partition.nel_local
+        # Injected heterogeneity (same hash-based model as CMTBone).
+        h = (comm.rank * 2654435761) % (2**32) / 2**32
+        self._load_factor = 1.0 + self.config.compute_imbalance * h
         self.dmat = np.asarray(derivative_matrix(self.n))
         self.weights = np.asarray(gll_weights(self.n))
         self.jac = mesh.jacobian
@@ -180,6 +200,19 @@ class CMTSolver:
         #: "derivative", "surface", "exchange", "update" — the same
         #: taxonomy the validation methodology maps CMT-bone onto.
         self.profiler = None
+        #: Dynamic load balancer (:class:`repro.lb.LoadBalancer`);
+        #: ``None`` unless ``config.lb`` enables a policy.
+        self.lb = None
+        if self.config.lb is not None and getattr(
+            self.config.lb, "enabled", False
+        ):
+            from ..lb import ElementAssignment, LoadBalancer
+
+            self.lb = LoadBalancer(
+                comm,
+                ElementAssignment.from_partition(partition),
+                self.config.lb,
+            )
 
         # Constant per-face SAT scale: -sign * jac_axis / w_endpoint.
         w_end = float(self.weights[0])  # == weights[-1] by symmetry
@@ -195,9 +228,10 @@ class CMTSolver:
     def _charge(self, flops: float, mem_bytes: float = 0.0,
                 efficiency: float = 0.7) -> None:
         if self.config.charge_model_time:
-            self.comm.compute(
+            seconds = self.comm.machine.compute_seconds(
                 flops=flops, mem_bytes=mem_bytes, efficiency=efficiency
             )
+            self.comm.compute(seconds=seconds * self._load_factor)
 
     def _region(self, name: str):
         """Phase bracket: profiler region when attached, else no-op."""
@@ -485,6 +519,85 @@ class CMTSolver:
         )[0] / rho
         return np.abs(vn) + a
 
+    # -- dynamic load balancing ----------------------------------------------
+
+    def local_element_ids(self) -> np.ndarray:
+        """Global lex ids of this rank's elements, local order.
+
+        For both the brick partition and an assignment the local order
+        is ascending global id, so this array is always sorted and
+        always matches the element axis of the live field arrays.
+        """
+        from ..lb.sfc import element_ids
+
+        dom = self.domain
+        if hasattr(dom, "element_ids_of"):
+            return dom.element_ids_of(self.comm.rank)
+        return element_ids(
+            self.mesh.shape, np.asarray(dom.local_elements(self.comm.rank))
+        )
+
+    def apply_assignment(self, assignment) -> None:
+        """Adopt a new element layout: rebuild everything derived from it.
+
+        The gather-scatter handle is rebuilt from the new DG face
+        numbering (``LB_gs_rebuild`` call site — setup discovery is
+        collective), keeping the previously chosen exchange method; the
+        boundary/interior overlap split and the physical-boundary mask
+        are recomputed from ownership adjacency.  Does **not** move any
+        data — callers migrate first (or load a checkpoint already in
+        the new layout).
+        """
+        from ..lb import OP_LB_REBUILD, SITE_LB_REBUILD
+
+        rank = self.comm.rank
+        t0 = self.comm.clock.now
+        method = self.face_handle.method
+        self.domain = assignment
+        self.nel = assignment.nel_of(rank)
+        gids = dg_face_numbering(assignment, rank)
+        self.face_handle = gs_setup(gids, self.comm, site=SITE_LB_REBUILD)
+        self.face_handle.method = method
+        self._bnd_elements = assignment.boundary_local_indices(rank)
+        self._int_elements = assignment.interior_local_indices(rank)
+        if self.boundary is not None:
+            from .boundary import BoundaryHandler
+
+            self.boundary = BoundaryHandler(
+                assignment, rank, self.config.boundaries
+            )
+        self.comm.profile.record(
+            OP_LB_REBUILD, SITE_LB_REBUILD,
+            self.comm.clock.now - t0, 0, informational=True,
+        )
+
+    def restore_assignment(self, assignment, step: int) -> None:
+        """Restore a rebalanced layout from a checkpoint manifest.
+
+        Rebuilds the numbering without migrating (the restored rank
+        files already hold the rebalanced layout) and primes the load
+        balancer's hysteresis without counting a rebalance event.
+        """
+        self.apply_assignment(assignment)
+        if self.lb is not None:
+            self.lb.commit(assignment, step, count=False)
+
+    def _maybe_rebalance(self, gstep: int, state: FlowState) -> FlowState:
+        """Policy check + live migration between RK steps (collective)."""
+        new = self.lb.propose(gstep)
+        if new is None:
+            return state
+        from ..lb import migrate_elements
+
+        with self._region("lb_migrate"):
+            out, stats = migrate_elements(
+                self.comm, self.local_element_ids(), new,
+                [("u", state.u, 1)],
+            )
+            self.apply_assignment(new)
+        self.lb.commit(new, gstep, stats=stats)
+        return FlowState(u=out["u"], eos=state.eos)
+
     # -- time stepping -------------------------------------------------------
 
     def stable_dt(self, state: FlowState) -> float:
@@ -548,8 +661,12 @@ class CMTSolver:
             gstep = step_offset + istep
             if self.comm.faults is not None:
                 self.comm.faults.check_step_crash(self.comm, gstep)
+            if self.lb is not None:
+                self.lb.monitor.begin_step()
             step_dt = dt if dt is not None else self.stable_dt(state)
             state = self.step(state, step_dt)
+            if self.lb is not None:
+                self.lb.monitor.end_step(nel=self.nel)
             sim_time += step_dt
             self.stats.steps += 1
             self.stats.dt_history.append(step_dt)
@@ -566,7 +683,13 @@ class CMTSolver:
                 save_checkpoint(
                     checkpoint_dir, self.comm, self.partition, state,
                     step=gstep + 1, time=sim_time,
+                    assignment=(
+                        self.domain
+                        if self.domain is not self.partition else None
+                    ),
                 )
+            if self.lb is not None:
+                state = self._maybe_rebalance(gstep, state)
         return state
 
     # -- diagnostics -----------------------------------------------------------
@@ -759,6 +882,15 @@ def run_with_recovery(
         def main(comm):
             solver, state = setup(comm)
             if have_ckpt:
+                from .checkpoint import assignment_from_info
+
+                minfo = read_manifest(checkpoint_dir)
+                asg = assignment_from_info(minfo, solver.partition)
+                if asg is not None:
+                    # Rebuild the rebalanced layout *before* loading:
+                    # the rank files hold per-rank element counts of
+                    # the assignment, not the brick partition.
+                    solver.restore_assignment(asg, minfo.step)
                 state, _ = load_checkpoint(
                     checkpoint_dir, comm, solver.partition
                 )

@@ -99,7 +99,13 @@ def interpolate_at(
 
 
 class ParticleTracker:
-    """Advect and migrate tracer particles on a partitioned box."""
+    """Advect and migrate tracer particles on a partitioned box.
+
+    ``partition`` may be the static brick :class:`Partition` or a
+    load-balancer :class:`repro.lb.ElementAssignment` — anything with
+    the vectorized ``owner_ranks`` / ``local_indices`` ownership
+    surface.  :meth:`rebind` swaps the domain after a rebalance.
+    """
 
     def __init__(self, comm: Comm, partition: Partition):
         mesh = partition.mesh
@@ -118,6 +124,22 @@ class ParticleTracker:
         self._h = np.array(mesh.element_lengths)
         self._lengths = np.array(mesh.lengths)
         self._gll = np.asarray(gll_points(mesh.n))
+        #: Cumulative count of particles shipped off-rank by
+        #: :meth:`migrate` (this rank's sends).
+        self.migrated_total = 0
+        #: Number of collective :meth:`migrate` calls.
+        self.migrate_calls = 0
+
+    def rebind(self, domain) -> None:
+        """Adopt a new ownership domain (after a rebalance).
+
+        Only ownership changes; the mesh geometry must be identical.
+        Callers migrate the particles afterwards (:meth:`migrate`
+        reroutes everyone to their new owners).
+        """
+        if tuple(domain.mesh.shape) != tuple(self.mesh.shape):
+            raise ValueError("rebind requires the same mesh")
+        self.partition = domain
 
     # -- geometry ------------------------------------------------------
 
@@ -140,24 +162,11 @@ class ParticleTracker:
 
     def owner_ranks(self, ecoords: np.ndarray) -> np.ndarray:
         """Owning rank of each element coordinate triple (vectorized)."""
-        lx, ly, lz = self.partition.local_shape
-        px, py, pz = self.partition.proc_shape
-        cx = ecoords[:, 0] // lx
-        cy = ecoords[:, 1] // ly
-        cz = ecoords[:, 2] // lz
-        return cx + px * (cy + py * cz)
+        return self.partition.owner_ranks(ecoords)
 
     def local_indices(self, ecoords: np.ndarray) -> np.ndarray:
         """Local element index of each (locally owned) coordinate."""
-        lx, ly, lz = self.partition.local_shape
-        cx, cy, cz = self.partition.rank_coords(self.comm.rank)
-        kx = ecoords[:, 0] - cx * lx
-        ky = ecoords[:, 1] - cy * ly
-        kz = ecoords[:, 2] - cz * lz
-        if np.any((kx < 0) | (kx >= lx) | (ky < 0) | (ky >= ly)
-                  | (kz < 0) | (kz >= lz)):
-            raise ValueError("element not owned by this rank")
-        return kx + lx * (ky + ly * kz)
+        return self.partition.local_indices(self.comm.rank, ecoords)
 
     # -- field sampling ---------------------------------------------------
 
@@ -221,28 +230,47 @@ class ParticleTracker:
         return self.migrate(moved)
 
     def migrate(self, cloud: ParticleCloud) -> ParticleCloud:
-        """Send every particle to the rank owning its element."""
+        """Send every particle to the rank owning its element.
+
+        Traffic is attributed to the dedicated ``particles:migrate``
+        call site, and each collective call records an informational
+        ``PART_Migrate`` row (particles shipped off-rank as the count's
+        bytes-free analogue, virtual seconds spent routing) so particle
+        exchange cost is visible next to the ``LB_*`` sites in mpiP
+        reports.
+        """
         comm = self.comm
         if comm.size == 1:
             return cloud
+        t0 = comm.clock.now
         if len(cloud):
             ecoords, _ = self.locate(cloud.pos)
             owners = self.owner_ranks(ecoords)
         else:
             owners = np.empty(0, dtype=np.int64)
+        moved = int(np.count_nonzero(owners != comm.rank))
         records = {}
+        sent_bytes = 0
         for dest in np.unique(owners):
             mask = owners == dest
             sub = cloud.select(mask)
             # The router carries (gids, values) pairs; pack positions
             # as the "values" with ids as the record keys.
             records[int(dest)] = (sub.ids, sub.pos.reshape(-1))
+            if dest != comm.rank:
+                sent_bytes += int(sub.ids.nbytes + sub.pos.nbytes)
         arrived = route(records, comm, site=SITE_MIGRATE)
         clouds = []
         for _dest, (ids, flat) in arrived.items():
             clouds.append(
                 ParticleCloud(ids=ids, pos=np.asarray(flat).reshape(-1, 3))
             )
+        self.migrated_total += moved
+        self.migrate_calls += 1
+        comm.profile.record(
+            "PART_Migrate", SITE_MIGRATE, comm.clock.now - t0, sent_bytes,
+            informational=True,
+        )
         return ParticleCloud.concatenate(clouds)
 
     # -- diagnostics -----------------------------------------------------------

@@ -98,3 +98,53 @@ class TestPartition:
         part = Partition(mesh, proc_shape=(fx, fy, fz))
         for rank in range(p):
             assert len(part.local_elements(rank)) == mesh.nelgt // p
+
+
+class TestDegenerateShapes:
+    """Boundary/interior queries on the smallest legal decompositions."""
+
+    def test_one_element_per_rank(self):
+        import numpy as np
+
+        mesh = BoxMesh(shape=(2, 2, 2), n=3)
+        part = Partition(mesh, proc_shape=(2, 2, 2))
+        for rank in range(8):
+            mask = part.boundary_mask(rank)
+            # The single element touches every cut face: all boundary.
+            assert mask.tolist() == [True]
+            assert part.interior_local_indices(rank).size == 0
+            assert np.array_equal(part.boundary_local_indices(rank), [0])
+            (ec,) = part.local_elements(rank)
+            assert part.local_index(rank, ec) == 0
+
+    def test_flat_column_split_along_k(self):
+        import numpy as np
+
+        mesh = BoxMesh(shape=(1, 1, 8), n=3)
+        part = Partition(mesh, proc_shape=(1, 1, 4))
+        for rank in range(4):
+            mask = part.boundary_mask(rank)
+            # Only z is cut; each 2-element column is all boundary.
+            assert mask.tolist() == [True, True]
+            assert part.interior_local_indices(rank).size == 0
+            for lidx, ec in enumerate(part.local_elements(rank)):
+                assert part.local_index(rank, ec) == lidx
+        with pytest.raises(ValueError):
+            part.local_index(0, (0, 0, 7))
+
+    def test_flat_column_unsplit_axis_is_interior(self):
+        mesh = BoxMesh(shape=(1, 1, 6), n=3)
+        part = Partition(mesh, proc_shape=(1, 1, 1))
+        mask = part.boundary_mask(0)
+        # Single rank: no axis is cut, every element is interior.
+        assert not mask.any()
+        assert part.interior_local_indices(0).tolist() == [0, 1, 2, 3, 4, 5]
+        assert part.boundary_local_indices(0).size == 0
+
+    def test_flat_column_middle_elements_interior(self):
+        mesh = BoxMesh(shape=(1, 1, 8), n=3)
+        part = Partition(mesh, proc_shape=(1, 1, 2))
+        mask = part.boundary_mask(0)
+        # 4-element column, only the two cut faces are boundary.
+        assert mask.tolist() == [True, False, False, True]
+        assert part.interior_local_indices(0).tolist() == [1, 2]
