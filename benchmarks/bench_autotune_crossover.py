@@ -18,7 +18,6 @@ the large end; the auto-tuner's pick always matches the measured
 minimum.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.gs import choose_method, gs_setup

@@ -11,7 +11,6 @@ built-in region profiler.  Checked claims: ``ax_`` is the top self-time
 region and the three Fig. 4 routines all appear.
 """
 
-import pytest
 
 from repro.analysis import call_graph, flat_profile, merge_profiles
 from repro.core import CMTBoneConfig, dominant_region, run_cmtbone

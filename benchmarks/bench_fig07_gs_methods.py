@@ -31,7 +31,6 @@ import pytest
 from repro.core import CMTBoneConfig, NekboneConfig, fig7_table
 from repro.core.cmtbone import CMTBone
 from repro.core.nekbone import Nekbone
-from repro.gs import timing_table
 from repro.mpi import Runtime
 from repro.perfmodel import MachineModel
 

@@ -11,7 +11,6 @@ minority share of time in MPI, and the spread across ranks is real
 (max noticeably above min).
 """
 
-import pytest
 
 from repro.analysis import mpi_fraction_report, summarize_fractions
 

@@ -11,7 +11,6 @@ the nearest-neighbour exchange (isend/wait at ``gs_op_``) outweighs
 the collectives.
 """
 
-import pytest
 
 from repro.analysis import top_calls_report, wait_dominance
 

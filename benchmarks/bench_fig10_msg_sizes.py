@@ -12,11 +12,8 @@ face points x 8 bytes / neighbours); and total exchanged volume
 dwarfs the setup traffic.
 """
 
-import pytest
 
 from repro.analysis import message_size_report
-from repro.core.cmtbone import CMTBone
-from repro.mpi import Runtime
 
 
 def test_fig10_message_sizes(benchmark, report, mpip_run):

@@ -8,7 +8,6 @@ per-rank MPI-fraction spread grow monotonically with imbalance.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import render_table, summarize_fractions, wait_dominance
 from repro.core import CMTBoneConfig, run_cmtbone

@@ -14,7 +14,6 @@ vector.
 
 from dataclasses import replace
 
-import pytest
 
 from repro.analysis import render_table
 from repro.gs import gs_setup, time_method

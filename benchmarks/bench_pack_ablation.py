@@ -11,7 +11,6 @@ message *count*, not just volume, matters on latency-bound networks.
 
 from dataclasses import replace
 
-import pytest
 
 from repro.analysis import render_table
 from repro.core import CMTBoneConfig, run_cmtbone

@@ -11,7 +11,6 @@ above 50% for this surface-to-volume ratio; the communication share
 grows monotonically with P.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.core import CMTBoneConfig, run_cmtbone

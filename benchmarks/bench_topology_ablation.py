@@ -14,7 +14,6 @@ expensive, but only on the mismatched placement.
 """
 
 import numpy as np
-import pytest
 from dataclasses import replace
 
 from repro.analysis import hop_weighted_bytes, render_table

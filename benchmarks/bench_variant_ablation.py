@@ -12,7 +12,6 @@ speedup — the "mini-apps are guidelines, not optimization targets"
 point of Section II.
 """
 
-import pytest
 
 from repro.analysis import render_table
 from repro.core import CMTBoneConfig, run_cmtbone

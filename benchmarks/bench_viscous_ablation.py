@@ -13,7 +13,6 @@ phase's share of compute rises in the NS branch; physics stays exact
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import render_table
 from repro.analysis.callgraph import CallGraphProfiler

@@ -14,7 +14,7 @@ Run:  python examples/taylor_green.py
 import numpy as np
 
 from repro.mesh import BoxMesh, Partition
-from repro.mpi import SUM, Runtime
+from repro.mpi import Runtime
 from repro.solver import (
     CMTSolver,
     RHO,

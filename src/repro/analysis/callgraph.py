@@ -13,7 +13,7 @@ nesting builds the call graph, and :func:`flat_profile` /
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..mpi.clock import VirtualClock

@@ -12,7 +12,7 @@ standard views a network modeller asks for:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -1,0 +1,72 @@
+"""``repro.bench`` — continuous performance tracking.
+
+CMT-bone exists to *measure*: the paper's contribution is that the
+mini-app's derivative kernel, surface extraction, and gather-scatter
+exchange track CMT-nek's performance (Figs. 4-7).  This package gives
+the reproduction the same discipline about itself: a registry of
+canonical workload scenarios, a runner that executes them and emits
+versioned ``BENCH_kernels.json`` / ``BENCH_solver.json`` /
+``BENCH_comms.json`` result files, and a comparator that diffs a run
+against committed baselines under ``benchmarks/baselines/`` with
+per-metric tolerances — wired into CI as the ``perf-gate`` job and
+exposed as ``python -m repro.cli bench [--compare] [--update-baselines]``.
+
+Two metric kinds coexist deliberately (see docs/benchmarking.md):
+
+* ``virtual`` — deterministic virtual-time model outputs (gs exchange
+  times, overlap hidden-communication, fault-campaign makespans, LB
+  imbalance).  Identical on every host, so the comparator gates them
+  tightly; any drift is a real modelling/performance change.
+* ``wall`` — real wall-clock of the numpy kernels and solver loops.
+  Host-dependent, so they gate loosely, and only when the recorded
+  baseline host matches (or gating is forced).
+"""
+
+from .compare import (
+    ComparisonReport,
+    MetricDelta,
+    compare_dirs,
+    compare_suites,
+)
+from .runner import (
+    BASELINE_FILENAMES,
+    RunOptions,
+    collect_metadata,
+    read_suites,
+    run_scenario,
+    run_suites,
+    write_suites,
+)
+from .scenarios import Scenario, all_scenarios, get_scenario, select_scenarios
+from .schema import (
+    GROUPS,
+    SCHEMA_VERSION,
+    BenchSchemaError,
+    Metric,
+    ScenarioResult,
+    SuiteResult,
+)
+
+__all__ = [
+    "BASELINE_FILENAMES",
+    "BenchSchemaError",
+    "ComparisonReport",
+    "GROUPS",
+    "Metric",
+    "MetricDelta",
+    "RunOptions",
+    "SCHEMA_VERSION",
+    "Scenario",
+    "ScenarioResult",
+    "SuiteResult",
+    "all_scenarios",
+    "collect_metadata",
+    "compare_dirs",
+    "compare_suites",
+    "get_scenario",
+    "read_suites",
+    "run_scenario",
+    "run_suites",
+    "select_scenarios",
+    "write_suites",
+]

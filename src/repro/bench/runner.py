@@ -1,0 +1,219 @@
+"""Execute registered scenarios and emit ``BENCH_*.json`` suites.
+
+The runner is where the two metric kinds get their contracts enforced:
+
+* wall metrics are re-measured on every repeat; the representative
+  ``value`` is the **min** over repeats (least-noise estimator) and the
+  mean/max/std spread is recorded under ``stats``;
+* virtual and count metrics come from the deterministic virtual-time
+  model, so the runner demands bit-equal values on every repeat and
+  raises if a scenario ever disagrees with itself — that guarantee is
+  what lets the comparator gate them at ~1e-6.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .scenarios import Scenario, select_scenarios
+from .schema import (
+    GROUPS,
+    SCHEMA_VERSION,
+    Metric,
+    ScenarioResult,
+    SuiteResult,
+)
+
+#: Output / baseline file name per scenario group.
+BASELINE_FILENAMES: Dict[str, str] = {
+    group: f"BENCH_{group}.json" for group in GROUPS
+}
+
+
+class BenchRunError(RuntimeError):
+    """A scenario violated the runner's contracts (e.g. nondeterminism)."""
+
+
+@dataclass
+class RunOptions:
+    """Knobs for one ``repro.cli bench`` invocation."""
+
+    groups: Sequence[str] = GROUPS
+    fast_only: bool = False
+    #: Override every scenario's repeat count (None = per-scenario).
+    repeats: Optional[int] = None
+    progress: Optional[Callable[[str], None]] = None
+
+
+def host_fingerprint() -> str:
+    """Identity the comparator uses to decide if wall gating is fair."""
+    return f"{platform.node()}/{platform.machine()}/{platform.system()}"
+
+
+def _git_describe() -> Dict[str, object]:
+    info: Dict[str, object] = {}
+    try:
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        info["commit"] = head
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        info["dirty"] = bool(dirty)
+    except (OSError, subprocess.SubprocessError):
+        info["commit"] = None
+        info["dirty"] = None
+    return info
+
+
+def collect_metadata() -> Dict[str, object]:
+    """Provenance block stamped into every suite file."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "fingerprint": host_fingerprint(),
+            "node": platform.node(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "git": _git_describe(),
+    }
+
+
+def _merge_repeats(
+    scenario: Scenario, per_repeat: List[List[Metric]]
+) -> List[Metric]:
+    """Aggregate repeat measurements into one metric list."""
+    names = [m.name for m in per_repeat[0]]
+    for i, metrics in enumerate(per_repeat[1:], start=2):
+        if [m.name for m in metrics] != names:
+            raise BenchRunError(
+                f"{scenario.id}: repeat {i} returned different metrics "
+                f"({[m.name for m in metrics]} vs {names})"
+            )
+    merged: List[Metric] = []
+    for j, name in enumerate(names):
+        series = [metrics[j] for metrics in per_repeat]
+        first = series[0]
+        values = [m.value for m in series]
+        if first.kind == "wall":
+            merged.append(
+                Metric(
+                    name=name,
+                    value=(
+                        min(values) if first.better == "lower"
+                        else max(values)
+                    ),
+                    kind=first.kind,
+                    unit=first.unit,
+                    better=first.better,
+                    rel_tol=first.rel_tol,
+                    stats={
+                        "mean": float(np.mean(values)),
+                        "min": float(np.min(values)),
+                        "max": float(np.max(values)),
+                        "std": float(np.std(values)),
+                        "repeats": float(len(values)),
+                    },
+                )
+            )
+        else:
+            # Virtual/count metrics are model outputs: the simulated
+            # clock is deterministic, so every repeat must agree
+            # exactly.  A mismatch is a bug, not noise.
+            if any(v != values[0] for v in values[1:]):
+                raise BenchRunError(
+                    f"{scenario.id}: {first.kind} metric {name!r} is not "
+                    f"deterministic across repeats: {values}"
+                )
+            merged.append(first)
+    return merged
+
+
+def run_scenario(
+    scenario: Scenario, repeats: Optional[int] = None
+) -> ScenarioResult:
+    """Run one scenario ``repeats`` times and aggregate."""
+    nrep = repeats if repeats is not None else scenario.repeats
+    if nrep < 1:
+        raise ValueError(f"repeats must be >= 1, got {nrep}")
+    per_repeat = [list(scenario.fn()) for _ in range(nrep)]
+    for metrics in per_repeat:
+        if not metrics:
+            raise BenchRunError(f"{scenario.id}: returned no metrics")
+    return ScenarioResult(
+        scenario=scenario.id,
+        group=scenario.group,
+        params=dict(scenario.params),
+        repeats=nrep,
+        metrics=_merge_repeats(scenario, per_repeat),
+    )
+
+
+def run_suites(options: Optional[RunOptions] = None) -> Dict[str, SuiteResult]:
+    """Run the selected scenarios, grouped into per-group suites."""
+    opts = options or RunOptions()
+    unknown = set(opts.groups) - set(GROUPS)
+    if unknown:
+        raise ValueError(f"unknown groups {sorted(unknown)}; have {GROUPS}")
+    meta = collect_metadata()
+    meta["fast_only"] = opts.fast_only
+    suites: Dict[str, SuiteResult] = {}
+    for scenario in select_scenarios(opts.groups, fast_only=opts.fast_only):
+        if opts.progress is not None:
+            opts.progress(f"running {scenario.id} ...")
+        result = run_scenario(scenario, repeats=opts.repeats)
+        suite = suites.get(scenario.group)
+        if suite is None:
+            suite = suites[scenario.group] = SuiteResult(
+                group=scenario.group, meta=dict(meta), results=[]
+            )
+        suite.results.append(result)
+    return suites
+
+
+def write_suites(
+    suites: Dict[str, SuiteResult], out_dir: "str | Path"
+) -> List[Path]:
+    """Write one ``BENCH_<group>.json`` per suite; returns the paths."""
+    out_dir = Path(out_dir)
+    paths = []
+    for group in GROUPS:
+        if group in suites:
+            paths.append(
+                suites[group].write(out_dir / BASELINE_FILENAMES[group])
+            )
+    return paths
+
+
+def read_suites(
+    directory: "str | Path", groups: Sequence[str] = GROUPS
+) -> Dict[str, SuiteResult]:
+    """Load the ``BENCH_*.json`` files present under ``directory``."""
+    directory = Path(directory)
+    suites: Dict[str, SuiteResult] = {}
+    for group in groups:
+        path = directory / BASELINE_FILENAMES[group]
+        if path.exists():
+            suites[group] = SuiteResult.read(path)
+    return suites

@@ -1,0 +1,254 @@
+"""Versioned record types for ``BENCH_*.json`` result files.
+
+One suite file per scenario group (``kernels``, ``solver``, ``comms``),
+each a :class:`SuiteResult`: a schema version, a metadata block (host
+fingerprint, python/numpy versions, git commit, timestamp), and a list
+of :class:`ScenarioResult` entries.  Every scenario carries its
+parameters and a flat list of :class:`Metric` values so the comparator
+can diff two files without knowing anything about how the numbers were
+produced.
+
+The JSON layout is part of the repo's public surface (committed
+baselines live under ``benchmarks/baselines/``), so round-tripping is
+strict: unknown schema versions, malformed metric kinds, and missing
+required keys all raise :class:`BenchSchemaError` instead of being
+silently coerced.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Scenario groups; each maps to one ``BENCH_<group>.json`` file.
+GROUPS = ("kernels", "solver", "comms")
+
+#: Metric kinds.  ``wall`` is host-dependent wall-clock, ``virtual`` is
+#: a deterministic virtual-time / model output, ``count`` is an exact
+#: integer-valued quantity (restarts, rebalances, pass/fail flags).
+KINDS = ("wall", "virtual", "count")
+
+#: Direction of goodness for a metric.
+BETTER = ("lower", "higher")
+
+
+class BenchSchemaError(ValueError):
+    """A BENCH_*.json document does not match the expected schema."""
+
+
+def _require(mapping: Mapping[str, Any], key: str, context: str) -> Any:
+    try:
+        return mapping[key]
+    except KeyError:
+        raise BenchSchemaError(
+            f"{context}: missing required key {key!r}"
+        ) from None
+
+
+def _is_listlike(value: Any) -> bool:
+    return isinstance(value, Sequence) and not isinstance(value, str)
+
+
+@dataclass
+class Metric:
+    """A single measured quantity of a scenario.
+
+    ``stats`` holds the per-repeat spread for wall metrics (mean / min /
+    max / std over repeats); ``value`` is the representative number the
+    comparator gates on (min-over-repeats for wall, the exact value for
+    virtual and count metrics).  ``rel_tol`` optionally overrides the
+    comparator's per-kind default tolerance.
+    """
+
+    name: str
+    value: float
+    kind: str = "wall"
+    unit: str = "s"
+    better: str = "lower"
+    rel_tol: Optional[float] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise BenchSchemaError(
+                f"metric {self.name!r}: kind must be one of {KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.better not in BETTER:
+            raise BenchSchemaError(
+                f"metric {self.name!r}: better must be one of {BETTER}, "
+                f"got {self.better!r}"
+            )
+        self.value = float(self.value)
+
+    def to_json(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "value": self.value,
+            "kind": self.kind,
+            "unit": self.unit,
+            "better": self.better,
+        }
+        if self.rel_tol is not None:
+            doc["rel_tol"] = self.rel_tol
+        if self.stats:
+            doc["stats"] = dict(self.stats)
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "Metric":
+        name = _require(doc, "name", "metric")
+        return cls(
+            name=str(name),
+            value=float(_require(doc, "value", f"metric {name!r}")),
+            kind=str(doc.get("kind", "wall")),
+            unit=str(doc.get("unit", "s")),
+            better=str(doc.get("better", "lower")),
+            rel_tol=(
+                float(doc["rel_tol"])
+                if doc.get("rel_tol") is not None
+                else None
+            ),
+            stats={str(k): float(v) for k, v in doc.get("stats", {}).items()},
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """All metrics of one scenario run (possibly aggregated over repeats)."""
+
+    scenario: str
+    group: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    repeats: int = 1
+    metrics: List[Metric] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.group not in GROUPS:
+            raise BenchSchemaError(
+                f"scenario {self.scenario!r}: group must be one of {GROUPS}, "
+                f"got {self.group!r}"
+            )
+
+    def metric(self, name: str) -> Metric:
+        for m in self.metrics:
+            if m.name == name:
+                return m
+        raise KeyError(
+            f"scenario {self.scenario!r} has no metric {name!r} "
+            f"(has {[m.name for m in self.metrics]})"
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "group": self.group,
+            "params": dict(self.params),
+            "repeats": self.repeats,
+            "metrics": [m.to_json() for m in self.metrics],
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "ScenarioResult":
+        scenario = str(_require(doc, "scenario", "scenario result"))
+        metrics_doc = doc.get("metrics", [])
+        if not _is_listlike(metrics_doc):
+            raise BenchSchemaError(
+                f"scenario {scenario!r}: 'metrics' must be a list"
+            )
+        return cls(
+            scenario=scenario,
+            group=str(_require(doc, "group", f"scenario {scenario!r}")),
+            params=dict(doc.get("params", {})),
+            repeats=int(doc.get("repeats", 1)),
+            metrics=[Metric.from_json(m) for m in metrics_doc],
+        )
+
+
+@dataclass
+class SuiteResult:
+    """One ``BENCH_<group>.json`` document."""
+
+    group: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+    results: List[ScenarioResult] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.group not in GROUPS:
+            raise BenchSchemaError(
+                f"suite group must be one of {GROUPS}, got {self.group!r}"
+            )
+
+    def scenario(self, scenario_id: str) -> ScenarioResult:
+        for r in self.results:
+            if r.scenario == scenario_id:
+                return r
+        raise KeyError(f"suite {self.group!r} has no scenario {scenario_id!r}")
+
+    def scenario_ids(self) -> List[str]:
+        return [r.scenario for r in self.results]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "group": self.group,
+            "meta": dict(self.meta),
+            "results": [r.to_json() for r in self.results],
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "SuiteResult":
+        version = _require(doc, "schema_version", "suite")
+        if int(version) != SCHEMA_VERSION:
+            raise BenchSchemaError(
+                f"unsupported schema_version {version} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        results_doc = doc.get("results", [])
+        if not _is_listlike(results_doc):
+            raise BenchSchemaError("suite: 'results' must be a list")
+        return cls(
+            group=str(_require(doc, "group", "suite")),
+            meta=dict(doc.get("meta", {})),
+            results=[ScenarioResult.from_json(r) for r in results_doc],
+            schema_version=int(version),
+        )
+
+    # -- file I/O ------------------------------------------------------
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=False) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "SuiteResult":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise BenchSchemaError(f"not valid JSON: {exc}") from exc
+        if not isinstance(doc, Mapping):
+            raise BenchSchemaError("top-level JSON value must be an object")
+        return cls.from_json(doc)
+
+    def write(self, path: "str | Path") -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dumps())
+        return path
+
+    @classmethod
+    def read(cls, path: "str | Path") -> "SuiteResult":
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise BenchSchemaError(f"cannot read {path}: {exc}") from exc
+        try:
+            return cls.loads(text)
+        except BenchSchemaError as exc:
+            raise BenchSchemaError(f"{path}: {exc}") from exc

@@ -35,20 +35,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from .analysis import (
-    full_report,
-    mpi_fraction_report,
-    top_calls_report,
-)
+from .analysis import full_report, mpi_fraction_report
 from .core import (
     CMTBoneConfig,
     NekboneConfig,
     cmtbone_profile_report,
     fig7_table,
     nekbone_profile_report,
-    run_cmtbone,
     run_nekbone,
 )
 from .gs import timing_table
@@ -208,6 +203,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_sod.add_argument("--imbalance", type=float, default=0.0,
                        help="compute-load jitter fraction (default 0)")
     _add_lb_flags(p_sod)
+
+    from .bench.schema import GROUPS as BENCH_GROUPS
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="performance benchmark runner with baseline comparison",
+    )
+    p_bench.add_argument(
+        "--group", action="append", dest="groups",
+        choices=list(BENCH_GROUPS),
+        help="restrict to a scenario group (repeatable; default all)",
+    )
+    p_bench.add_argument(
+        "--fast", action="store_true",
+        help="fast scenarios only (the PR perf-gate tier)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=None,
+        help="override every scenario's repeat count",
+    )
+    p_bench.add_argument(
+        "--out", default=".",
+        help="directory for the BENCH_*.json results (default: cwd)",
+    )
+    p_bench.add_argument(
+        "--compare", metavar="BASELINE_DIR", default=None,
+        help="diff the run against committed baselines; exit 1 on "
+             "any metric regression beyond tolerance",
+    )
+    p_bench.add_argument(
+        "--update-baselines", action="store_true",
+        help="write this run's results into the baseline directory "
+             "(--compare dir if given, else benchmarks/baselines)",
+    )
+    p_bench.add_argument(
+        "--gate-wall", choices=["auto", "on", "off"], default="auto",
+        help="gate wall-clock metrics: auto = only when the host "
+             "fingerprint matches the baseline (default)",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true",
+        help="list registered scenarios and exit",
+    )
+    p_bench.add_argument(
+        "--verbose", action="store_true",
+        help="print every compared metric, not just deviations",
+    )
 
     sub.add_parser("machines", help="list machine presets")
     return parser
@@ -397,7 +439,8 @@ def cmd_kernels(args) -> int:
 
 
 def _sod_setup(nranks: int, n: int, nelx: int, gs_method: str,
-               imbalance: float = 0.0, lb_policy=None):
+               imbalance: float = 0.0, lb_policy=None,
+               reuse_workspace: bool = True):
     """Build the ``setup(comm)`` factory for the Sod campaign."""
     import numpy as np
 
@@ -432,6 +475,7 @@ def _sod_setup(nranks: int, n: int, nelx: int, gs_method: str,
                 boundaries=bc,
                 compute_imbalance=imbalance,
                 lb=lb_policy,
+                reuse_workspace=reuse_workspace,
             ),
         )
         coords = np.stack(
@@ -518,6 +562,62 @@ def cmd_sod(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from .bench import (
+        RunOptions,
+        compare_dirs,
+        run_suites,
+        select_scenarios,
+        write_suites,
+    )
+    from .bench.schema import GROUPS
+
+    groups = tuple(args.groups) if args.groups else GROUPS
+
+    if args.list:
+        for s in select_scenarios(groups, fast_only=args.fast):
+            tier = "fast" if s.fast else "slow"
+            params = " ".join(f"{k}={v}" for k, v in s.params.items())
+            print(f"{s.id:<28s} [{tier}] x{s.repeats}  {params}")
+        return 0
+
+    opts = RunOptions(
+        groups=groups,
+        fast_only=args.fast,
+        repeats=args.repeats,
+        progress=lambda msg: print(msg, flush=True),
+    )
+    suites = run_suites(opts)
+    paths = write_suites(suites, args.out)
+    for p in paths:
+        print(f"wrote {p}")
+
+    status = 0
+    if args.compare is not None:
+        gate_wall = {"auto": None, "on": True, "off": False}[args.gate_wall]
+        report = compare_dirs(
+            suites, args.compare, groups=groups, gate_wall=gate_wall
+        )
+        print(report.render(verbose=args.verbose))
+        if not report.ok:
+            print("PERF GATE: FAIL")
+            status = 1
+        else:
+            print("PERF GATE: PASS")
+
+    if args.update_baselines:
+        baseline_dir = Path(
+            args.compare if args.compare is not None
+            else "benchmarks/baselines"
+        )
+        for p in write_suites(suites, baseline_dir):
+            print(f"updated baseline {p}")
+
+    return status
+
+
 def cmd_machines(_args) -> int:
     for name in MachineModel.available_presets():
         m = MachineModel.preset(name)
@@ -534,6 +634,7 @@ _COMMANDS = {
     "validate": cmd_validate,
     "kernels": cmd_kernels,
     "sod": cmd_sod,
+    "bench": cmd_bench,
     "machines": cmd_machines,
 }
 

@@ -14,11 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from itertools import product
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..perfmodel.machine import CpuModel, MachineModel
-from ..perfmodel.network import NetworkModel
-from ..perfmodel.topology import FatTreeTopology, Topology, TorusTopology
+from ..perfmodel.machine import MachineModel
+from ..perfmodel.topology import Topology, TorusTopology
 
 
 @dataclass(frozen=True)

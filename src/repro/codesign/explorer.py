@@ -10,8 +10,8 @@ exactly the co-design job it was built for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from ..analysis.mpip import summarize_fractions
 from ..core.cmtbone import run_cmtbone

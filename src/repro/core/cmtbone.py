@@ -43,7 +43,7 @@ from ..gs import (
     gs_setup,
 )
 from ..gs.pairwise import TAG_PAIRWISE
-from ..kernels import counters, derivative_matrix
+from ..kernels import Workspace, counters, derivative_matrix
 from ..kernels import derivatives as dkernels
 from ..mesh import Partition, dg_face_numbering
 from ..mpi import MAX, SUM, Comm
@@ -135,6 +135,10 @@ class CMTBone:
             (self.neq, self.nel, 6, self.n, self.n)
         )
         self._machine = comm.machine
+        #: Reusable scratch for the derivative/update hot phases: the
+        #: gradient results are thrown away every stage, so recycling
+        #: their buffers removes 3 x neq large allocations per stage.
+        self._work = Workspace()
         # Deterministic per-rank load factor: a hash of the rank mapped
         # to [0, 1) scales compute charges by 1 + imbalance * h(rank).
         h = (comm.rank * 2654435761) % (2**32) / 2**32
@@ -164,7 +168,8 @@ class CMTBone:
             if cfg.work_mode == "real":
                 for c in range(self.neq):
                     dkernels.grad(
-                        self.u[c], self.dmat, variant=cfg.kernel_variant
+                        self.u[c], self.dmat, variant=cfg.kernel_variant,
+                        out=dkernels.grad_workspace(self._work, self.u[c]),
                     )
             self._charge(
                 self.neq
@@ -252,7 +257,9 @@ class CMTBone:
                 self.profiler.region(R_UPDATE):
             if self.config.work_mode == "real":
                 self.u *= 0.75
-                self.u += 0.25 * self.u
+                t = self._work.like(self.u, key="upd:t")
+                np.multiply(self.u, 0.25, out=t)
+                self.u += t
             npts = self.neq * self.nel * self.n**3
             self._charge(
                 self._machine.compute_seconds(
@@ -289,6 +296,7 @@ class CMTBone:
             self.u = out["u"]
             self._faces = out["faces"]
             self.nel = new.nel_of(self.comm.rank)
+            self._work.clear()  # local element count (and shapes) changed
             method = self.handle.method
             gids = dg_face_numbering(new, self.comm.rank)
             self.handle = gs_setup(gids, self.comm, site=SITE_LB_REBUILD)

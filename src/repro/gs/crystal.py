@@ -17,7 +17,7 @@ the "completes in ~log2 P stages" guarantee the paper quotes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

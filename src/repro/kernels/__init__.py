@@ -26,6 +26,7 @@ from .derivatives import (
     dudt,
     flops,
     grad,
+    grad_workspace,
     mem_bytes,
 )
 from .gll import (
@@ -42,6 +43,7 @@ from .operators import (
     mass_matrix_diagonal,
     stiffness_1d,
 )
+from .workspace import Workspace
 
 __all__ = [
     "CYCLES_PER_INST",
@@ -49,6 +51,7 @@ __all__ = [
     "INST_PER_FLOP",
     "KernelCost",
     "VARIANTS",
+    "Workspace",
     "barycentric_weights",
     "dealias_flops",
     "dealias_order",
@@ -61,6 +64,7 @@ __all__ = [
     "gll_points",
     "gll_weights",
     "grad",
+    "grad_workspace",
     "interpolation_matrix",
     "kernel_cost",
     "lagrange_basis_at",

@@ -28,16 +28,26 @@ Two implementation strategies mirror the paper's loop study:
     numpy's contraction engine with path optimization; used as an
     independent cross-check in tests.
 
-All variants return newly allocated ``(nel, N, N, N)`` arrays and are
-bit-for-bit interchangeable (same contraction order up to float
-associativity; tests enforce agreement to tight tolerance).
+By default every variant returns a newly allocated ``(nel, N, N, N)``
+array; all are bit-for-bit interchangeable (same contraction order up
+to float associativity; tests enforce agreement to tight tolerance).
+
+Every entry point also accepts ``out=``: a preallocated C-contiguous
+result array that must not alias the input.  The ``out=`` path runs
+the *same* contraction (``np.matmul``/``np.einsum`` writing in place),
+so results are bitwise identical to the allocating call — it only
+removes the per-call ``(nel, N, N, N)`` allocation, which is what the
+solver's RK loop reuses a :class:`~repro.kernels.workspace.Workspace`
+for (see the ``kernels/workspace`` benchmark scenario).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
+
+from .workspace import Workspace
 
 #: Variant names accepted by the public entry points.
 VARIANTS = ("basic", "fused", "einsum")
@@ -58,37 +68,63 @@ def _check(u: np.ndarray, dmat: np.ndarray) -> Tuple[int, int]:
     return u.shape[0], n
 
 
+def _check_out(u: np.ndarray, out: Optional[np.ndarray]) -> np.ndarray:
+    """Validate (or allocate) the ``out=`` result array.
+
+    The fused variants write through flat reshapes, so ``out`` must be
+    C-contiguous; aliasing the input would corrupt the contraction.
+    """
+    if out is None:
+        return np.empty_like(u)
+    if out.shape != u.shape or out.dtype != u.dtype:
+        raise ValueError(
+            f"out has shape {out.shape}/{out.dtype}, "
+            f"field needs {u.shape}/{u.dtype}"
+        )
+    if not out.flags.c_contiguous:
+        raise ValueError("out must be C-contiguous")
+    if np.shares_memory(u, out):
+        raise ValueError("out must not alias the input field")
+    return out
+
+
 # ----------------------------------------------------------------------
 # basic: per-element, per-pencil-plane loops (no fusion, no unroll)
 # ----------------------------------------------------------------------
 
-def dudr_basic(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+def dudr_basic(
+    u: np.ndarray, dmat: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """d/dr: one ``D @ u[e, :, :, k]`` product per (element, fixed-t)
     (r, s)-plane, contracting the r axis."""
     nel, n = _check(u, dmat)
-    out = np.empty_like(u)
+    out = _check_out(u, out)
     for e in range(nel):
         for k in range(n):
             out[e, :, :, k] = dmat @ u[e, :, :, k]
     return out
 
 
-def duds_basic(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+def duds_basic(
+    u: np.ndarray, dmat: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """d/ds: one ``D @ u[e, i]`` product per (element, fixed-r)
     (s, t)-plane, contracting the s axis."""
     nel, n = _check(u, dmat)
-    out = np.empty_like(u)
+    out = _check_out(u, out)
     for e in range(nel):
         for i in range(n):
             out[e, i] = dmat @ u[e, i]
     return out
 
 
-def dudt_basic(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+def dudt_basic(
+    u: np.ndarray, dmat: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """d/dt: one ``u[e, i] @ D.T`` product per (element, fixed-r)
     (s, t)-plane, contracting the t axis."""
     nel, n = _check(u, dmat)
-    out = np.empty_like(u)
+    out = _check_out(u, out)
     dt = dmat.T
     for e in range(nel):
         for i in range(n):
@@ -100,13 +136,21 @@ def dudt_basic(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
 # fused: element/pencil loops collapsed into batched GEMMs
 # ----------------------------------------------------------------------
 
-def dudr_fused(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+def dudr_fused(
+    u: np.ndarray, dmat: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """d/dr as one (N, N) x (N, N^2) GEMM per element (fully fused)."""
     nel, n = _check(u, dmat)
-    return np.matmul(dmat, u.reshape(nel, n, n * n)).reshape(u.shape)
+    out = _check_out(u, out)
+    np.matmul(
+        dmat, u.reshape(nel, n, n * n), out=out.reshape(nel, n, n * n)
+    )
+    return out
 
 
-def duds_fused(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+def duds_fused(
+    u: np.ndarray, dmat: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """d/ds as a batched (N, N) x (N, N) matmul over (element, r).
 
     The middle-index contraction cannot collapse into a single GEMM
@@ -114,35 +158,57 @@ def duds_fused(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
     reports.  numpy broadcasts ``D`` over the ``nel*N`` batch instead.
     """
     nel, n = _check(u, dmat)
-    return np.matmul(dmat, u.reshape(nel * n, n, n)).reshape(u.shape)
+    out = _check_out(u, out)
+    np.matmul(
+        dmat, u.reshape(nel * n, n, n), out=out.reshape(nel * n, n, n)
+    )
+    return out
 
 
-def dudt_fused(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+def dudt_fused(
+    u: np.ndarray, dmat: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     """d/dt as one (N^2, N) x (N, N) GEMM per element (fully fused)."""
     nel, n = _check(u, dmat)
-    return np.matmul(u.reshape(nel, n * n, n), dmat.T).reshape(u.shape)
+    out = _check_out(u, out)
+    np.matmul(
+        u.reshape(nel, n * n, n), dmat.T, out=out.reshape(nel, n * n, n)
+    )
+    return out
 
 
 # ----------------------------------------------------------------------
 # einsum: independent contraction path (cross-check variant)
 # ----------------------------------------------------------------------
 
-def dudr_einsum(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+def dudr_einsum(
+    u: np.ndarray, dmat: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     _check(u, dmat)
-    return np.einsum("im,emjk->eijk", dmat, u, optimize=True)
+    if out is not None:
+        out = _check_out(u, out)
+    return np.einsum("im,emjk->eijk", dmat, u, out=out, optimize=True)
 
 
-def duds_einsum(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+def duds_einsum(
+    u: np.ndarray, dmat: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     _check(u, dmat)
-    return np.einsum("jm,eimk->eijk", dmat, u, optimize=True)
+    if out is not None:
+        out = _check_out(u, out)
+    return np.einsum("jm,eimk->eijk", dmat, u, out=out, optimize=True)
 
 
-def dudt_einsum(u: np.ndarray, dmat: np.ndarray) -> np.ndarray:
+def dudt_einsum(
+    u: np.ndarray, dmat: np.ndarray, out: Optional[np.ndarray] = None
+) -> np.ndarray:
     _check(u, dmat)
-    return np.einsum("km,eijm->eijk", dmat, u, optimize=True)
+    if out is not None:
+        out = _check_out(u, out)
+    return np.einsum("km,eijm->eijk", dmat, u, out=out, optimize=True)
 
 
-_IMPLS: Dict[Tuple[str, str], Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+_IMPLS: Dict[Tuple[str, str], Callable[..., np.ndarray]] = {
     ("r", "basic"): dudr_basic,
     ("s", "basic"): duds_basic,
     ("t", "basic"): dudt_basic,
@@ -160,6 +226,7 @@ def derivative(
     dmat: np.ndarray,
     direction: str,
     variant: str = "fused",
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Dispatch ``d u / d{direction}`` to the requested variant."""
     try:
@@ -169,32 +236,66 @@ def derivative(
             f"unknown derivative ({direction!r}, {variant!r}); "
             f"directions: {DIRECTIONS}, variants: {VARIANTS}"
         ) from None
-    return impl(u, dmat)
+    return impl(u, dmat, out=out)
 
 
-def dudr(u: np.ndarray, dmat: np.ndarray, variant: str = "fused") -> np.ndarray:
+def dudr(
+    u: np.ndarray,
+    dmat: np.ndarray,
+    variant: str = "fused",
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """d/dr of a batch of element fields."""
-    return derivative(u, dmat, "r", variant)
+    return derivative(u, dmat, "r", variant, out=out)
 
 
-def duds(u: np.ndarray, dmat: np.ndarray, variant: str = "fused") -> np.ndarray:
+def duds(
+    u: np.ndarray,
+    dmat: np.ndarray,
+    variant: str = "fused",
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """d/ds of a batch of element fields."""
-    return derivative(u, dmat, "s", variant)
+    return derivative(u, dmat, "s", variant, out=out)
 
 
-def dudt(u: np.ndarray, dmat: np.ndarray, variant: str = "fused") -> np.ndarray:
+def dudt(
+    u: np.ndarray,
+    dmat: np.ndarray,
+    variant: str = "fused",
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """d/dt of a batch of element fields."""
-    return derivative(u, dmat, "t", variant)
+    return derivative(u, dmat, "t", variant, out=out)
 
 
 def grad(
-    u: np.ndarray, dmat: np.ndarray, variant: str = "fused"
+    u: np.ndarray,
+    dmat: np.ndarray,
+    variant: str = "fused",
+    out: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """All three reference-space partial derivatives of ``u``."""
+    """All three reference-space partial derivatives of ``u``.
+
+    ``out``, when given, is a triple of preallocated result arrays
+    (one per direction), e.g. from :func:`grad_workspace`.
+    """
+    o_r, o_s, o_t = (None, None, None) if out is None else out
     return (
-        derivative(u, dmat, "r", variant),
-        derivative(u, dmat, "s", variant),
-        derivative(u, dmat, "t", variant),
+        derivative(u, dmat, "r", variant, out=o_r),
+        derivative(u, dmat, "s", variant, out=o_s),
+        derivative(u, dmat, "t", variant, out=o_t),
+    )
+
+
+def grad_workspace(
+    work: Workspace, u: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The reusable ``out=`` triple for :func:`grad` from a workspace."""
+    return (
+        work.like(u, key="grad:r"),
+        work.like(u, key="grad:s"),
+        work.like(u, key="grad:t"),
     )
 
 

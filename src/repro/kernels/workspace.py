@@ -1,0 +1,82 @@
+"""Reusable kernel workspaces: keyed pools of scratch arrays.
+
+The RK loop evaluates the right-hand side three times per step, and a
+naive implementation allocates a fresh ``(nel, N, N, N)`` array for
+every flux component, derivative, and stage combination — dozens of
+large allocations per timestep whose page faults and cache-cold writes
+show up directly in the derivative-kernel wall clock (the effect the
+``kernels/workspace`` benchmark scenario records).  A
+:class:`Workspace` hands out named scratch buffers that persist across
+calls: the first request for a ``(key, shape, dtype)`` triple
+allocates, every later request returns the same array.
+
+Correctness contract: a buffer's *contents* are undefined on entry
+(callers overwrite or :meth:`zeros` them), and two live intermediates
+must use distinct keys — the pool never aliases different keys.  All
+consumers in :mod:`repro.solver` and :mod:`repro.kernels.derivatives`
+are bitwise identical to their allocating counterparts; tests enforce
+this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+class Workspace:
+    """A pool of reusable scratch arrays keyed by (name, shape, dtype).
+
+    Buffers are created on first use and cached for the lifetime of the
+    workspace; :meth:`clear` drops them all (e.g. after a load-balance
+    migration changes the local element count, making the old shapes
+    stale).
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, Tuple[int, ...], np.dtype], np.ndarray] = {}
+
+    def buffer(
+        self,
+        shape: Tuple[int, ...],
+        dtype=np.float64,
+        key: str = "",
+    ) -> np.ndarray:
+        """A C-contiguous scratch array of ``shape``; contents undefined."""
+        k = (key, tuple(int(s) for s in shape), np.dtype(dtype))
+        buf = self._buffers.get(k)
+        if buf is None:
+            buf = np.empty(k[1], dtype=k[2])
+            self._buffers[k] = buf
+        return buf
+
+    def zeros(
+        self,
+        shape: Tuple[int, ...],
+        dtype=np.float64,
+        key: str = "",
+    ) -> np.ndarray:
+        """Like :meth:`buffer` but zero-filled on every request."""
+        buf = self.buffer(shape, dtype=dtype, key=key)
+        buf.fill(0.0)
+        return buf
+
+    def like(self, template: np.ndarray, key: str = "") -> np.ndarray:
+        """Scratch array matching ``template``'s shape and dtype."""
+        return self.buffer(template.shape, dtype=template.dtype, key=key)
+
+    def clear(self) -> None:
+        """Drop every cached buffer (stale shapes after repartitioning)."""
+        self._buffers.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Workspace({len(self)} buffers, {self.nbytes} bytes)"

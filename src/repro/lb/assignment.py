@@ -19,7 +19,7 @@ and the first migration starts from a permutation-free baseline.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -16,7 +16,7 @@ rank order matches torus coordinates in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 

@@ -17,10 +17,8 @@ mpiP-style reports in Figs. 8-10 of the paper group by.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
-from . import datatypes
 from .clock import StopwatchRegion, TimePolicy, VirtualClock
 from .datatypes import (
     ANY_SOURCE,

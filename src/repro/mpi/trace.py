@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterator, List
 
 #: CSV column order (stable export format).
 CSV_COLUMNS = ("seq", "src", "dst", "cid", "tag", "nbytes", "wire_vtime")

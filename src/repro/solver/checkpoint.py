@@ -30,7 +30,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..mesh import BoxMesh, Partition
+from ..mesh import Partition
 from ..mpi import Comm
 from .eos import IdealGas, StiffenedGas
 from .state import FlowState

@@ -14,7 +14,7 @@ family = these batched small matrix products).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -28,17 +28,28 @@ def flux_divergence(
     dmat: np.ndarray,
     jac: Tuple[float, float, float],
     variant: str = "fused",
+    out: Optional[np.ndarray] = None,
+    work: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Divergence of one conserved component's flux triple.
 
     Each of ``fx``/``fy``/``fz`` is a ``(nel, N, N, N)`` batch; the
     result has the same shape.  Three derivative-kernel calls.
+
+    ``out`` receives the result in place; ``work`` is a same-shape
+    scratch array for the ``duds``/``dudt`` terms.  Supplying both
+    makes the call allocation-free; the accumulation order (and hence
+    every bit of the result) is unchanged.
     """
     jx, jy, jz = jac
-    out = derivatives.dudr(fx, dmat, variant=variant)
+    out = derivatives.dudr(fx, dmat, variant=variant, out=out)
     out *= jx
-    out += jy * derivatives.duds(fy, dmat, variant=variant)
-    out += jz * derivatives.dudt(fz, dmat, variant=variant)
+    tmp = derivatives.duds(fy, dmat, variant=variant, out=work)
+    tmp *= jy
+    out += tmp
+    tmp = derivatives.dudt(fz, dmat, variant=variant, out=work)
+    tmp *= jz
+    out += tmp
     return out
 
 
@@ -49,17 +60,30 @@ def flux_divergence_multi(
     dmat: np.ndarray,
     jac: Tuple[float, float, float],
     variant: str = "fused",
+    out: Optional[np.ndarray] = None,
+    work: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Divergence for all ``NEQ`` components: inputs ``(5, nel, N, N, N)``."""
+    """Divergence for all ``NEQ`` components: inputs ``(5, nel, N, N, N)``.
+
+    ``out``, when given, is the ``(neq, nel, N, N, N)`` result buffer;
+    ``work`` a single ``(nel, N, N, N)`` scratch shared by every
+    component (each component's contraction completes before the next
+    begins, so one scratch suffices).
+    """
     if fx.ndim != 5:
         raise ValueError(f"expected (neq, nel, N, N, N), got {fx.shape}")
-    return np.stack(
-        [
-            flux_divergence(fx[c], fy[c], fz[c], dmat, jac, variant=variant)
-            for c in range(fx.shape[0])
-        ],
-        axis=0,
-    )
+    if out is None:
+        out = np.empty_like(fx)
+    elif out.shape != fx.shape or out.dtype != fx.dtype:
+        raise ValueError(
+            f"out has shape {out.shape}, fluxes have {fx.shape}"
+        )
+    for c in range(fx.shape[0]):
+        flux_divergence(
+            fx[c], fy[c], fz[c], dmat, jac, variant=variant,
+            out=out[c], work=work,
+        )
+    return out
 
 
 def gradient_physical(

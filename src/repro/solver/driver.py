@@ -46,7 +46,7 @@ import numpy as np
 
 from ..gs import choose_method, gs_op, gs_op_begin, gs_op_finish, gs_setup
 from ..gs.pairwise import TAG_PAIRWISE
-from ..kernels import derivative_matrix, gll_weights
+from ..kernels import Workspace, derivative_matrix, gll_weights
 from ..kernels import derivatives as dkernels
 from ..mesh import Partition, dg_face_numbering
 from ..mpi import MAX, SUM, Comm
@@ -116,6 +116,12 @@ class SolverConfig:
     #: SFC when the policy fires, and live-migrates element state
     #: between RK steps (see docs/load-balancing.md).
     lb: Optional[object] = None
+    #: Reuse preallocated workspace buffers for the flux, divergence,
+    #: trace, and RK-stage arrays instead of allocating fresh
+    #: ``(nel, N, N, N)``-sized batches every stage.  Bitwise identical
+    #: to the allocating path (tests enforce it); off exists for A/B
+    #: measurement (the ``solver/workspace`` benchmark scenario).
+    reuse_workspace: bool = True
 
 
 @dataclass
@@ -214,6 +220,12 @@ class CMTSolver:
                 self.config.lb,
             )
 
+        #: Reusable scratch pool for the RHS/RK hot path (``None``
+        #: disables reuse; see ``SolverConfig.reuse_workspace``).
+        self._work: Optional[Workspace] = (
+            Workspace() if self.config.reuse_workspace else None
+        )
+
         # Constant per-face SAT scale: -sign * jac_axis / w_endpoint.
         w_end = float(self.weights[0])  # == weights[-1] by symmetry
         self._sat_scale = np.array(
@@ -243,21 +255,37 @@ class CMTSolver:
 
     # -- spatial operator ---------------------------------------------------
 
-    def rhs(self, u: np.ndarray) -> np.ndarray:
+    def rhs(
+        self, u: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Semi-discrete right-hand side ``du/dt = L(u)``.
 
         Dispatches to one of two schedules over the same phase pipeline
         (see module docstring); both produce bitwise-identical arrays.
+        ``out``, when given, receives the result in place (the RK loop
+        passes a workspace buffer here so stages stop allocating).
         """
         if self.config.overlap and self.comm.size > 1:
-            rhs = self._rhs_overlapped(u)
+            rhs = self._rhs_overlapped(u, out=out)
         else:
-            rhs = self._rhs_blocking(u)
+            rhs = self._rhs_blocking(u, out=out)
         if self.config.source is not None:
-            rhs = rhs + self.config.source(u)
+            rhs += self.config.source(u)
         return rhs
 
-    def _rhs_blocking(self, u: np.ndarray) -> np.ndarray:
+    def _rhs_into(self, u: np.ndarray) -> np.ndarray:
+        """:meth:`rhs` into a reusable workspace buffer.
+
+        The RK steppers consume each stage's RHS before requesting the
+        next, so one buffer serves all stages of a step.  Only the
+        stepper uses this entry point — external callers get fresh
+        arrays from :meth:`rhs`.
+        """
+        return self.rhs(u, out=self._work.like(u, key="rhs:out"))
+
+    def _rhs_blocking(
+        self, u: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Textbook phase order: every phase completes before the next."""
         # (1)+(2) volume terms: pointwise fluxes, then flux divergence.
         with self._region("derivative"):
@@ -274,9 +302,13 @@ class CMTSolver:
 
         # (5) numerical flux + SAT correction.
         with self._region("surface"):
-            return self._surface_correction(div, uf, ff, usum, fsum, lam_max)
+            return self._surface_correction(
+                div, uf, ff, usum, fsum, lam_max, out=out
+            )
 
-    def _rhs_overlapped(self, u: np.ndarray) -> np.ndarray:
+    def _rhs_overlapped(
+        self, u: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Split-phase schedule: exchange in flight under interior work.
 
         Boundary elements — the only ones whose faces carry cross-rank
@@ -295,14 +327,28 @@ class CMTSolver:
         # zeros elsewhere are never *sent* (only cross-rank shared ids
         # are, and those live on boundary faces filled right here).
         with self._region("derivative"):
-            fx = np.zeros((NEQ,) + u.shape[1:], dtype=u.dtype)
-            fy = np.zeros_like(fx)
-            fz = np.zeros_like(fx)
+            fshape = (NEQ,) + u.shape[1:]
+            if self._work is not None:
+                fx = self._work.zeros(fshape, dtype=u.dtype, key="ovl:fx")
+                fy = self._work.zeros(fshape, dtype=u.dtype, key="ovl:fy")
+                fz = self._work.zeros(fshape, dtype=u.dtype, key="ovl:fz")
+            else:
+                fx = np.zeros(fshape, dtype=u.dtype)
+                fy = np.zeros_like(fx)
+                fz = np.zeros_like(fx)
             self._pointwise_fluxes_into(u, bnd, fx, fy, fz)
         with self._region("surface"):
-            uf = np.zeros((NEQ, nel, 6, n, n), dtype=u.dtype)
-            ff = np.zeros_like(uf)
-            lam = np.zeros((nel, 6, n, n), dtype=u.dtype)
+            tshape = (NEQ, nel, 6, n, n)
+            if self._work is not None:
+                uf = self._work.zeros(tshape, dtype=u.dtype, key="tr:uf")
+                ff = self._work.zeros(tshape, dtype=u.dtype, key="tr:ff")
+                lam = self._work.zeros(
+                    tshape[1:], dtype=u.dtype, key="tr:lam"
+                )
+            else:
+                uf = np.zeros(tshape, dtype=u.dtype)
+                ff = np.zeros_like(uf)
+                lam = np.zeros((nel, 6, n, n), dtype=u.dtype)
             self._surface_traces_into(u, fx, fy, fz, bnd, uf, ff, lam)
 
         # Phase 2: post the exchange (gs_op_begin; nothing waits yet).
@@ -325,7 +371,9 @@ class CMTSolver:
 
         # Phase 5: numerical flux + SAT correction.
         with self._region("surface"):
-            return self._surface_correction(div, uf, ff, usum, fsum, lam_max)
+            return self._surface_correction(
+                div, uf, ff, usum, fsum, lam_max, out=out
+            )
 
     # -- phase implementations ----------------------------------------------
 
@@ -357,7 +405,14 @@ class CMTSolver:
                 flux_flops(m, nel_b) + 2 * NEQ * dealias_flops(n, nel=nel_b)
             )
         else:
-            fx, fy, fz = euler_fluxes(u, eos)
+            fout = None
+            if self._work is not None:
+                fout = (
+                    self._work.like(u, key="flux:x"),
+                    self._work.like(u, key="flux:y"),
+                    self._work.like(u, key="flux:z"),
+                )
+            fx, fy, fz = euler_fluxes(u, eos, out=fout)
             self._charge(flux_flops(n, nel_b))
         if self.config.viscosity is not None:
             from .viscous import viscous_flops, viscous_fluxes
@@ -366,9 +421,11 @@ class CMTSolver:
                 u, eos, self.config.viscosity, self.dmat, self.jac,
                 variant=self.config.kernel_variant,
             )
-            fx = fx - fvx
-            fy = fy - fvy
-            fz = fz - fvz
+            # fx/fy/fz are owned (fresh or workspace), so subtracting
+            # in place performs the same elementwise op as `fx - fvx`.
+            fx -= fvx
+            fy -= fvy
+            fz -= fvz
             self._charge(viscous_flops(n, nel_b))
         return fx, fy, fz
 
@@ -390,8 +447,13 @@ class CMTSolver:
     def _flux_divergence(self, fx, fy, fz) -> np.ndarray:
         """Full flux divergence (the ``ax_`` derivative hot spot)."""
         n, nel = self.n, self.nel
+        out = work = None
+        if self._work is not None:
+            out = self._work.like(fx, key="div:out")
+            work = self._work.buffer(fx.shape[1:], fx.dtype, key="div:tmp")
         div = flux_divergence_multi(
-            fx, fy, fz, self.dmat, self.jac, variant=self.config.kernel_variant
+            fx, fy, fz, self.dmat, self.jac,
+            variant=self.config.kernel_variant, out=out, work=work,
         )
         self._charge(
             divergence_flops(n, nel, NEQ),
@@ -399,14 +461,40 @@ class CMTSolver:
         )
         return div
 
+    def _trace_buffers(self, uf_template: np.ndarray):
+        """Reusable (usum, fsum) result pair for the trace exchange."""
+        if self._work is None:
+            return np.empty_like(uf_template), np.empty_like(uf_template)
+        return (
+            self._work.like(uf_template, key="tr:usum"),
+            self._work.like(uf_template, key="tr:fsum"),
+        )
+
     def _surface_traces(self, u, fx, fy, fz):
         """full2face_cmt: state, normal-flux, and wavespeed traces."""
         n, nel = self.n, self.nel
-        uf = full2face_multi(u)
-        fxf = full2face_multi(fx)
-        fyf = full2face_multi(fy)
-        fzf = full2face_multi(fz)
-        ff = np.empty_like(uf)
+        ws = self._work
+        if ws is None:
+            uf = full2face_multi(u)
+            fxf = full2face_multi(fx)
+            fyf = full2face_multi(fy)
+            fzf = full2face_multi(fz)
+            ff = np.empty_like(uf)
+        else:
+            tshape = (NEQ, nel, 6, n, n)
+            uf = full2face_multi(
+                u, out=ws.buffer(tshape, u.dtype, key="tr:uf")
+            )
+            fxf = full2face_multi(
+                fx, out=ws.buffer(tshape, u.dtype, key="tr:fxf")
+            )
+            fyf = full2face_multi(
+                fy, out=ws.buffer(tshape, u.dtype, key="tr:fyf")
+            )
+            fzf = full2face_multi(
+                fz, out=ws.buffer(tshape, u.dtype, key="tr:fzf")
+            )
+            ff = ws.buffer(tshape, u.dtype, key="tr:ff")
         ff[:, :, 0:2] = fxf[:, :, 0:2]
         ff[:, :, 2:4] = fyf[:, :, 2:4]
         ff[:, :, 4:6] = fzf[:, :, 4:6]
@@ -435,8 +523,7 @@ class CMTSolver:
     def _exchange_traces(self, uf, ff, lam):
         """Nearest-neighbour trace exchange via the gs library."""
         h = self.face_handle
-        usum = np.empty_like(uf)
-        fsum = np.empty_like(ff)
+        usum, fsum = self._trace_buffers(uf)
         for c in range(NEQ):
             usum[c] = gs_op(h, uf[c], op=SUM, site=SITE_FACE_EXCHANGE)
             fsum[c] = gs_op(h, ff[c], op=SUM, site=SITE_FACE_EXCHANGE)
@@ -470,8 +557,7 @@ class CMTSolver:
 
     def _finish_exchanges(self, exchanges, uf, ff, lam):
         """Finish the posted exchanges against the *completed* traces."""
-        usum = np.empty_like(uf)
-        fsum = np.empty_like(ff)
+        usum, fsum = self._trace_buffers(uf)
         it = iter(exchanges)
         for c in range(NEQ):
             usum[c] = gs_op_finish(next(it), uf[c])
@@ -488,7 +574,9 @@ class CMTSolver:
             lam_max = lam_max + dlam
         return usum, fsum, lam_max
 
-    def _surface_correction(self, div, uf, ff, usum, fsum, lam_max):
+    def _surface_correction(
+        self, div, uf, ff, usum, fsum, lam_max, out=None
+    ):
         """Numerical flux + SAT correction.  Neighbour traces are
         (sum - mine); the dissipation sign folds the face orientation."""
         n, nel = self.n, self.nel
@@ -501,7 +589,7 @@ class CMTSolver:
             lam=sign[None] * lam_max[None],
         )
         sat_faces = self._sat_scale.reshape(1, 1, 6, 1, 1) * (fstar - ff)
-        rhs = -div
+        rhs = np.negative(div, out=out)
         for c in range(NEQ):
             face2full_add(rhs[c], sat_faces[c])
         self._charge(numflux_flops(n, nel, ncomp=NEQ))
@@ -560,6 +648,10 @@ class CMTSolver:
         self.face_handle.method = method
         self._bnd_elements = assignment.boundary_local_indices(rank)
         self._int_elements = assignment.interior_local_indices(rank)
+        if self._work is not None:
+            # The local element count changed: every cached buffer
+            # shape is stale, so drop the pool and let it regrow.
+            self._work.clear()
         if self.boundary is not None:
             from .boundary import BoundaryHandler
 
@@ -610,7 +702,12 @@ class CMTSolver:
     def step(self, state: FlowState, dt: float) -> FlowState:
         """Advance one explicit RK step (+ adaptive shock filter)."""
         with self._region("update"):
-            unew = self._stepper(state.u, self.rhs, dt)
+            if self._work is not None:
+                unew = self._stepper(
+                    state.u, self._rhs_into, dt, work=self._work
+                )
+            else:
+                unew = self._stepper(state.u, self.rhs, dt)
             # RK axpy arithmetic: ~2 flops and one read-modify-write
             # per point per stage.
             from .rk import STAGES

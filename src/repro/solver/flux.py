@@ -45,25 +45,36 @@ def euler_flux(
 
 
 def euler_fluxes(
-    u: np.ndarray, eos: IdealGas
+    u: np.ndarray,
+    eos: IdealGas,
+    out: "Tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """All three directional fluxes, sharing one pressure evaluation."""
+    """All three directional fluxes, sharing one pressure evaluation.
+
+    ``out``, when given, is a triple of preallocated ``(5, ...)``
+    result arrays (one per direction) that receive the fluxes in
+    place — same stores, bitwise-identical values.
+    """
     rho = u[RHO]
     mom = u[MX : MX + 3]
     energy = u[ENERGY]
     p = eos.pressure(rho, mom, energy)
     h = energy + p
-    out = []
+    fluxes = []
     for axis in range(3):
         va = mom[axis] / rho
-        f = np.empty_like(u)
+        f = np.empty_like(u) if out is None else out[axis]
+        if f.shape != u.shape:
+            raise ValueError(
+                f"out[{axis}] has shape {f.shape}, field has {u.shape}"
+            )
         f[RHO] = mom[axis]
         for c in range(3):
             f[MX + c] = mom[c] * va
         f[MX + axis] += p
         f[ENERGY] = h * va
-        out.append(f)
-    return tuple(out)  # type: ignore[return-value]
+        fluxes.append(f)
+    return tuple(fluxes)  # type: ignore[return-value]
 
 
 def wavespeed(u: np.ndarray, eos: IdealGas, axis: int) -> np.ndarray:

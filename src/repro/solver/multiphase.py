@@ -24,7 +24,7 @@ gas with the DG solver, then apply the accumulated particle sources.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

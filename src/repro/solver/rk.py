@@ -14,9 +14,11 @@ plus forward Euler as a one-stage reference for convergence tests.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
+
+from ..kernels.workspace import Workspace
 
 RhsFn = Callable[[np.ndarray], np.ndarray]
 
@@ -24,22 +26,69 @@ RhsFn = Callable[[np.ndarray], np.ndarray]
 STAGES = {"euler": 1, "ssprk2": 2, "ssprk3": 3}
 
 
-def step_euler(u: np.ndarray, rhs: RhsFn, dt: float) -> np.ndarray:
+def step_euler(
+    u: np.ndarray, rhs: RhsFn, dt: float, work: Optional[Workspace] = None
+) -> np.ndarray:
     """Forward Euler step."""
-    return u + dt * rhs(u)
+    if work is None:
+        return u + dt * rhs(u)
+    t = work.like(u, key="rk:t")
+    np.multiply(rhs(u), dt, out=t)
+    return np.add(u, t, out=np.empty_like(u))
 
 
-def step_ssprk2(u: np.ndarray, rhs: RhsFn, dt: float) -> np.ndarray:
+def step_ssprk2(
+    u: np.ndarray, rhs: RhsFn, dt: float, work: Optional[Workspace] = None
+) -> np.ndarray:
     """Two-stage, second-order SSP RK (Heun)."""
-    u1 = u + dt * rhs(u)
-    return 0.5 * u + 0.5 * (u1 + dt * rhs(u1))
+    if work is None:
+        u1 = u + dt * rhs(u)
+        return 0.5 * u + 0.5 * (u1 + dt * rhs(u1))
+    t = work.like(u, key="rk:t")
+    u1 = work.like(u, key="rk:u1")
+    np.multiply(rhs(u), dt, out=t)
+    np.add(u, t, out=u1)
+    np.multiply(rhs(u1), dt, out=t)
+    np.add(u1, t, out=t)
+    t *= 0.5
+    out = np.multiply(u, 0.5, out=np.empty_like(u))
+    out += t
+    return out
 
 
-def step_ssprk3(u: np.ndarray, rhs: RhsFn, dt: float) -> np.ndarray:
-    """Three-stage, third-order SSP RK (Shu-Osher)."""
-    u1 = u + dt * rhs(u)
-    u2 = 0.75 * u + 0.25 * (u1 + dt * rhs(u1))
-    return (u + 2.0 * (u2 + dt * rhs(u2))) / 3.0
+def step_ssprk3(
+    u: np.ndarray, rhs: RhsFn, dt: float, work: Optional[Workspace] = None
+) -> np.ndarray:
+    """Three-stage, third-order SSP RK (Shu-Osher).
+
+    With a :class:`~repro.kernels.workspace.Workspace` the stage
+    vectors live in reusable scratch and only the returned state is a
+    fresh array (it outlives the step as the new solution).  The
+    in-place pipeline performs the *same* elementwise operations in the
+    same order, so both paths are bitwise identical; tests enforce it.
+    """
+    if work is None:
+        u1 = u + dt * rhs(u)
+        u2 = 0.75 * u + 0.25 * (u1 + dt * rhs(u1))
+        return (u + 2.0 * (u2 + dt * rhs(u2))) / 3.0
+    t = work.like(u, key="rk:t")
+    u1 = work.like(u, key="rk:u1")
+    u2 = work.like(u, key="rk:u2")
+    # u1 = u + dt L(u)
+    np.multiply(rhs(u), dt, out=t)
+    np.add(u, t, out=u1)
+    # u2 = 3/4 u + 1/4 (u1 + dt L(u1))
+    np.multiply(rhs(u1), dt, out=t)
+    np.add(u1, t, out=t)
+    t *= 0.25
+    np.multiply(u, 0.75, out=u2)
+    u2 += t
+    # u = (u + 2 (u2 + dt L(u2))) / 3
+    np.multiply(rhs(u2), dt, out=t)
+    np.add(u2, t, out=t)
+    t *= 2.0
+    np.add(u, t, out=t)
+    return np.divide(t, 3.0, out=np.empty_like(u))
 
 
 _STEPPERS = {

@@ -24,7 +24,7 @@ import numpy as np
 from ..kernels import derivative_matrix
 from .divergence import gradient_physical
 from .eos import IdealGas
-from .state import ENERGY, MX, NEQ, RHO
+from .state import ENERGY, MX, RHO
 
 SourceFn = Callable[[np.ndarray], np.ndarray]
 

@@ -19,17 +19,23 @@ FACE_NORMAL_AXIS = tuple(axis for axis, _ in FACE_AXIS_SIDE)
 FACE_NORMAL_SIGN = tuple(-1.0 if side == 0 else 1.0 for _, side in FACE_AXIS_SIDE)
 
 
-def full2face(u: np.ndarray) -> np.ndarray:
+def full2face(u: np.ndarray, out: "np.ndarray | None" = None) -> np.ndarray:
     """Extract all six face traces of element volume data.
 
     ``u`` is ``(nel, N, N, N)``; the result is ``(nel, 6, N, N)`` with
     the face-local coordinates of the topology table (so both elements
     adjacent to a geometric face index its points identically).
+    ``out``, when given, receives the traces in place.
     """
     if u.ndim != 4:
         raise ValueError(f"expected (nel, N, N, N), got {u.shape}")
     nel, n = u.shape[0], u.shape[1]
-    out = np.empty((nel, NFACES, n, n), dtype=u.dtype)
+    if out is None:
+        out = np.empty((nel, NFACES, n, n), dtype=u.dtype)
+    elif out.shape != (nel, NFACES, n, n):
+        raise ValueError(
+            f"out has shape {out.shape}, need {(nel, NFACES, n, n)}"
+        )
     out[:, 0] = u[:, 0, :, :]
     out[:, 1] = u[:, -1, :, :]
     out[:, 2] = u[:, :, 0, :]
@@ -61,14 +67,24 @@ def face2full_add(resid: np.ndarray, faces: np.ndarray) -> None:
     resid[:, :, :, -1] += faces[:, 5]
 
 
-def full2face_multi(u: np.ndarray) -> np.ndarray:
+def full2face_multi(
+    u: np.ndarray, out: "np.ndarray | None" = None
+) -> np.ndarray:
     """Vectorized :func:`full2face` over a leading component axis.
 
     ``u`` is ``(ncomp, nel, N, N, N)`` -> ``(ncomp, nel, 6, N, N)``.
+    ``out``, when given, receives the traces in place (same stores per
+    component as the allocating call, so results are bitwise identical).
     """
     if u.ndim != 5:
         raise ValueError(f"expected (ncomp, nel, N, N, N), got {u.shape}")
-    return np.stack([full2face(u[c]) for c in range(u.shape[0])], axis=0)
+    if out is None:
+        return np.stack(
+            [full2face(u[c]) for c in range(u.shape[0])], axis=0
+        )
+    for c in range(u.shape[0]):
+        full2face(u[c], out=out[c])
+    return out
 
 
 def full2face_elements(u: np.ndarray, elements: np.ndarray) -> np.ndarray:

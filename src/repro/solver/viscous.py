@@ -33,7 +33,7 @@ from typing import Tuple
 import numpy as np
 
 from .divergence import gradient_physical
-from .state import ENERGY, MX, NEQ, RHO
+from .state import ENERGY, MX, RHO
 
 
 @dataclass(frozen=True)

@@ -5,7 +5,6 @@ allreduce method are interchangeable — identical results for any
 numbering, any rank count, any supported reduction.
 """
 
-from collections import defaultdict
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Face topology: neighbours, boundary handling, rank adjacency."""
 
-import pytest
 
 from repro.mesh import (
     BoxMesh,

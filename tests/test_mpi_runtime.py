@@ -3,14 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mpi import (
-    AbortError,
-    DeadlockError,
-    MPIError,
-    Runtime,
-    TimePolicy,
-    spmd,
-)
+from repro.mpi import DeadlockError, MPIError, Runtime, TimePolicy, spmd
 
 
 class TestLifecycle:

@@ -7,8 +7,6 @@ from repro.mesh import BoxMesh, Partition
 from repro.mpi import Runtime
 from repro.solver import (
     CMTSolver,
-    ENERGY,
-    MX,
     RHO,
     SolverConfig,
     from_primitives,

@@ -11,7 +11,6 @@ claim the Nek family is built on.
 """
 
 import numpy as np
-import pytest
 
 from repro.mesh import BoxMesh, Partition
 from repro.mpi import Runtime

@@ -1,7 +1,5 @@
 """Message tracing and traffic analysis."""
 
-import numpy as np
-import pytest
 
 from repro.analysis.traffic import (
     hop_weighted_bytes,
@@ -13,7 +11,7 @@ from repro.analysis.traffic import (
 )
 from repro.core import CMTBoneConfig, run_cmtbone
 from repro.mpi import Runtime
-from repro.mpi.trace import MessageTrace, TraceEvent
+from repro.mpi.trace import MessageTrace
 from repro.perfmodel import FlatTopology
 
 

@@ -6,7 +6,6 @@ from repro.core import CMTBoneConfig
 from repro.validation import (
     AppSignature,
     PHASES,
-    ValidationScore,
     cmtbone_signature,
     score,
     solver_signature,
