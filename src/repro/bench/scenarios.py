@@ -15,6 +15,9 @@ The registry covers the paper's measurement axes:
   paths, which must stay bitwise identical *and* faster).
 * ``comms`` — the three-way gather-scatter method auto-tune (Fig. 7)
   and the split-phase overlap schedule's hidden-communication account.
+* backend scenarios (``kernels/backend_deriv4``, ``comms/backend_gs``)
+  — threads vs procs execution: wall speedup of the process backend on
+  real kernels and exact virtual-time parity on the gs exchange.
 * ``solver`` — Sod shock-tube step throughput, the solver-side
   workspace ablation, and the fault-recovery / load-balancing
   virtual-time campaigns.
@@ -260,12 +263,14 @@ def _kernels_workspace() -> List[Metric]:
 
 
 def _cmtbone_run(
-    nranks: int, machine: Optional[str] = None, **overrides: object
+    nranks: int,
+    machine: Optional[str] = None,
+    backend: str = "threads",
+    **overrides: object,
 ):
     """One proxy-mode CMT-bone job; returns the per-rank result list."""
-    from ..core.cmtbone import run_cmtbone
+    from ..core.cmtbone import launch_cmtbone
     from ..core.config import CMTBoneConfig
-    from ..mpi import Runtime
     from ..perfmodel.machine import MachineModel
 
     kwargs: Dict[str, object] = dict(
@@ -278,8 +283,10 @@ def _cmtbone_run(
     kwargs.update(overrides)
     cfg = CMTBoneConfig(**kwargs)
     m = MachineModel.preset(machine) if machine else _machine()
-    rt = Runtime(nranks=nranks, machine=m)
-    return rt.run(run_cmtbone, args=(cfg,))
+    results, _rt = launch_cmtbone(
+        cfg, nranks=nranks, machine=m, backend=backend
+    )
+    return results
 
 
 @register("comms/gs_methods", "comms", repeats=2, nranks=8)
@@ -339,6 +346,120 @@ def _comms_overlap() -> List[Metric]:
             unit="x",
             better="higher",
         ),
+    ]
+
+
+# ---------------------------------------------------------------------
+# backends — threads vs procs execution (tentpole of the backend PR)
+# ---------------------------------------------------------------------
+
+
+def _backend_deriv_main(comm, n: int, nel: int, iters: int) -> float:
+    """Per-rank real derivative work for the backend comparison."""
+    from ..kernels import derivative_matrix
+    from ..kernels import derivatives as dk
+
+    rng = np.random.default_rng(1000 + comm.rank)
+    u = rng.standard_normal((nel, n, n, n))
+    dmat = derivative_matrix(n)
+    out = (np.empty_like(u), np.empty_like(u), np.empty_like(u))
+    for _ in range(iters):
+        dk.grad(u, dmat, variant="fused", out=out)
+    comm.barrier()
+    return float(out[0][0, 0, 0, 0])
+
+
+@register(
+    "kernels/backend_deriv4",
+    "kernels",
+    repeats=2,
+    nranks=4,
+    n=12,
+    nel=28,
+    variant="fused",
+)
+def _kernels_backend_deriv() -> List[Metric]:
+    """Threads vs procs backend on the derivative kernel at 4 ranks.
+
+    The same real (GIL-heavy on threads) gradient workload runs once
+    per backend; ``procs_speedup_x`` is the whole point of the process
+    backend — on a multi-core host it approaches the core count, on a
+    single-core host it hovers near (or below) 1.  Wall metrics are
+    host-fingerprint-gated as usual; the count metric pins cross-backend
+    result agreement.
+    """
+    from ..mpi import Runtime
+
+    n, nel, iters, nranks = 12, 28, 6, 4
+    walls: Dict[str, float] = {}
+    checks: Dict[str, List[float]] = {}
+    for backend in ("threads", "procs"):
+        rt = Runtime(nranks=nranks, machine=_machine(), backend=backend)
+        t0 = time.perf_counter()
+        checks[backend] = rt.run(
+            _backend_deriv_main, args=(n, nel, iters)
+        )
+        walls[backend] = time.perf_counter() - t0
+    return [
+        Metric("threads_wall_s", walls["threads"], kind="wall", unit="s"),
+        Metric("procs_wall_s", walls["procs"], kind="wall", unit="s"),
+        Metric(
+            "procs_speedup_x",
+            walls["threads"] / walls["procs"],
+            kind="wall",
+            unit="x",
+            better="higher",
+            rel_tol=1.0,
+        ),
+        Metric(
+            "results_identical",
+            float(checks["threads"] == checks["procs"]),
+            kind="count",
+            unit="bool",
+            better="higher",
+        ),
+    ]
+
+
+@register("comms/backend_gs", "comms", repeats=2, nranks=4)
+def _comms_backend_gs() -> List[Metric]:
+    """Virtual-time parity of the gs exchange across backends.
+
+    The acceptance bar for any new backend: the modelled communication
+    account of a CMT-bone job must be *identical* whether the ranks are
+    threads or processes.  ``vtime_identical`` gates exact equality of
+    every rank's (total, comm) pair; the per-backend virtual totals are
+    additionally gated at the comparator's virtual tolerance.
+    """
+    vt: Dict[str, List[tuple]] = {}
+    walls: Dict[str, float] = {}
+    for backend in ("threads", "procs"):
+        t0 = time.perf_counter()
+        res = _cmtbone_run(4, gs_method="pairwise", backend=backend)
+        walls[backend] = time.perf_counter() - t0
+        vt[backend] = [(r.vtime_total, r.vtime_comm) for r in res]
+    return [
+        Metric(
+            "vtime_threads_s",
+            max(t for t, _ in vt["threads"]),
+            kind="virtual",
+            unit="s",
+        ),
+        Metric(
+            "vtime_procs_s",
+            max(t for t, _ in vt["procs"]),
+            kind="virtual",
+            unit="s",
+        ),
+        Metric(
+            "vtime_identical",
+            float(vt["threads"] == vt["procs"]),
+            kind="count",
+            unit="bool",
+            better="higher",
+        ),
+        Metric("threads_wall_s", walls["threads"], kind="wall", unit="s"),
+        Metric("procs_wall_s", walls["procs"], kind="wall", unit="s"),
     ]
 
 

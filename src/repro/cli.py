@@ -79,6 +79,17 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="exchange method (default: auto-tune)")
     p.add_argument("--proxy", action="store_true",
                    help="skip real array math; model compute time only")
+    _add_backend(p)
+
+
+def _add_backend(p: argparse.ArgumentParser) -> None:
+    from .mpi import available_backends
+
+    p.add_argument("--backend", default="threads",
+                   choices=available_backends(),
+                   help="execution backend: threads (default) or procs "
+                        "(one OS process per rank; escapes the GIL — "
+                        "see docs/backends.md)")
 
 
 def _add_lb_flags(p: argparse.ArgumentParser) -> None:
@@ -202,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "identical final fields (exit 1 otherwise)")
     p_sod.add_argument("--imbalance", type=float, default=0.0,
                        help="compute-load jitter fraction (default 0)")
+    _add_backend(p_sod)
     _add_lb_flags(p_sod)
 
     from .bench.schema import GROUPS as BENCH_GROUPS
@@ -272,7 +284,8 @@ def cmd_cmtbone(args) -> int:
         lb_every=args.lb_every,
     )
     runtime = Runtime(
-        nranks=args.ranks, machine=MachineModel.preset(args.machine)
+        nranks=args.ranks, machine=MachineModel.preset(args.machine),
+        backend=args.backend,
     )
 
     def app_main(comm):
@@ -332,7 +345,8 @@ def cmd_nekbone(args) -> int:
         work_mode="proxy" if args.proxy else "real",
     )
     runtime = Runtime(
-        nranks=args.ranks, machine=MachineModel.preset(args.machine)
+        nranks=args.ranks, machine=MachineModel.preset(args.machine),
+        backend=args.backend,
     )
     results = runtime.run(run_nekbone, args=(config,))
     r0 = results[0]
@@ -371,7 +385,8 @@ def cmd_fig7(args) -> int:
         return cmt.autotune, nek.autotune
 
     runtime = Runtime(
-        nranks=args.ranks, machine=MachineModel.preset(args.machine)
+        nranks=args.ranks, machine=MachineModel.preset(args.machine),
+        backend=args.backend,
     )
     cmt_t, nek_t = runtime.run(main)[0]
     print(cmt_cfg.build_partition(args.ranks).describe())
@@ -401,8 +416,10 @@ def cmd_validate(args) -> int:
         overlap=args.overlap,
     )
     machine = MachineModel.preset(args.machine)
-    mini = cmtbone_signature(config, args.ranks, machine=machine)
-    parent = solver_signature(config, args.ranks, machine=machine)
+    mini = cmtbone_signature(config, args.ranks, machine=machine,
+                             backend=args.backend)
+    parent = solver_signature(config, args.ranks, machine=machine,
+                              backend=args.backend)
     s = score(mini, parent)
     label = "calibrated" if args.calibrated else "uncalibrated"
     print(f"=== mini-app validation ({label}, {args.ranks} ranks, "
@@ -532,6 +549,7 @@ def cmd_sod(args) -> int:
         checkpoint_dir=ckpt_dir,
         fault_plan=plan,
         machine=machine,
+        backend=args.backend,
     )
     print()
     print(report.summary())
@@ -550,7 +568,7 @@ def cmd_sod(args) -> int:
     if args.verify:
         clean, _ = run_with_recovery(
             setup, nranks=args.ranks, nsteps=args.steps, dt=args.dt,
-            machine=machine,
+            machine=machine, backend=args.backend,
         )
         for r, (a, b) in enumerate(zip(clean, results)):
             if not np.array_equal(a.u, b.u):

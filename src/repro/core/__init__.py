@@ -7,9 +7,9 @@ auto-tuning and built-in gprof/mpiP-style profiling.  :class:`Nekbone`
 is the CG mini-app used as the comparison baseline in Fig. 7.
 """
 
-from .cmtbone import CMTBone, CMTBoneResult, run_cmtbone
+from .cmtbone import CMTBone, CMTBoneResult, launch_cmtbone, run_cmtbone
 from .config import CMTBoneConfig, NekboneConfig
-from .nekbone import Nekbone, NekboneResult, run_nekbone
+from .nekbone import Nekbone, NekboneResult, launch_nekbone, run_nekbone
 from .reports import (
     autotune_of,
     cmtbone_profile_report,
@@ -33,6 +33,8 @@ __all__ = [
     "dominant_region",
     "fig7_rows",
     "fig7_table",
+    "launch_cmtbone",
+    "launch_nekbone",
     "nekbone_profile_report",
     "run_cmtbone",
     "run_nekbone",

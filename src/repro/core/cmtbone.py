@@ -368,3 +368,32 @@ def run_cmtbone(comm: Comm, config: Optional[CMTBoneConfig] = None
                 ) -> CMTBoneResult:
     """SPMD entry point: ``Runtime(nranks=P).run(run_cmtbone, args=(cfg,))``."""
     return CMTBone(comm, config).run()
+
+
+def launch_cmtbone(
+    config: Optional[CMTBoneConfig] = None,
+    nranks: int = 8,
+    machine=None,
+    backend="threads",
+    time_policy=None,
+):
+    """Build a Runtime on the chosen execution backend and run CMT-bone.
+
+    Convenience wrapper used by the CLI and the bench registry:
+    returns ``(per_rank_results, runtime)`` so callers can reach both
+    the :class:`CMTBoneResult` list and the post-run reporting
+    (``clock_stats``/``job_profile``).  With ``backend="procs"`` the ranks run
+    as forked OS processes and real kernel work executes in parallel
+    across cores; virtual-time results are identical either way (see
+    ``docs/backends.md``).
+    """
+    from ..mpi import Runtime, TimePolicy
+
+    cfg = config if config is not None else CMTBoneConfig()
+    rt = Runtime(
+        nranks=nranks,
+        machine=machine,
+        time_policy=time_policy if time_policy is not None else TimePolicy.MODELED,
+        backend=backend,
+    )
+    return rt.run(run_cmtbone, args=(cfg,)), rt

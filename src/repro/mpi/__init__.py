@@ -1,12 +1,13 @@
 """``repro.mpi`` — a from-scratch simulated MPI for mini-app studies.
 
 This package provides the message-passing substrate the CMT-bone
-reproduction runs on.  Each simulated rank is a Python thread with a
-private mailbox and a *virtual clock*; communication costs come from a
-LogGP-style latency/bandwidth model, so runs are deterministic and the
-paper's communication figures (gather-scatter method comparison, MPI
-time fractions, top call sites, message sizes) can be regenerated
-without cluster hardware.
+reproduction runs on.  Each simulated rank is a Python thread (or,
+with ``backend="procs"``, a forked OS process) with a private mailbox
+and a *virtual clock*; communication costs come from a LogGP-style
+latency/bandwidth model, so runs are deterministic and the paper's
+communication figures (gather-scatter method comparison, MPI time
+fractions, top call sites, message sizes) can be regenerated without
+cluster hardware.  See ``docs/backends.md`` for backend selection.
 
 Public surface:
 
@@ -18,6 +19,12 @@ Public surface:
 * Profiling types: :class:`JobProfile`, :class:`SiteAggregate`.
 """
 
+from .backend import (
+    Backend,
+    ProcsBackend,
+    ThreadsBackend,
+    available_backends,
+)
 from .clock import ClockStats, OverlapInterval, TimePolicy, VirtualClock
 from .communicator import Comm
 from .datatypes import (
@@ -62,6 +69,7 @@ __all__ = [
     "ANY_TAG",
     "AbortError",
     "BAND",
+    "Backend",
     "BOR",
     "BUILTIN_OPS",
     "CallRecord",
@@ -78,6 +86,7 @@ __all__ = [
     "MessageTrace",
     "OverlapInterval",
     "PROD",
+    "ProcsBackend",
     "RankCrashError",
     "RankError",
     "RankProfile",
@@ -90,9 +99,11 @@ __all__ = [
     "SendRequest",
     "SiteAggregate",
     "Status",
+    "ThreadsBackend",
     "TraceEvent",
     "TimePolicy",
     "VirtualClock",
+    "available_backends",
     "payload_nbytes",
     "spmd",
     "testall",

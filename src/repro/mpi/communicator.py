@@ -353,7 +353,14 @@ class Comm:
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         """Nonblocking probe for a matching unexpected message."""
-        src_world = self.group[source] if source != ANY_SOURCE else ANY_SOURCE
+        if source != ANY_SOURCE:
+            # Same validation as a receive: without it, a negative
+            # source would silently index the group from the end and
+            # probe a different rank than the recv it predicts.
+            self._check_rank(source, "source")
+            src_world = self.group[source]
+        else:
+            src_world = ANY_SOURCE
         env = self._runtime.mailbox(self.world_rank).probe(
             self.cid, src_world, tag
         )
@@ -729,7 +736,10 @@ class _ShadowRegion:
 
 #: Context-id offset for collective-internal traffic (keeps it from
 #: ever matching user point-to-point receives, even with wildcards).
-_INTERNAL_CID = 1 << 30
+#: Derived user cids are 56-bit hashes (see ``Runtime.context_id``), so
+#: the offset sits above that range: internal cids occupy a disjoint
+#: band and can never collide with any user communicator's cid.
+_INTERNAL_CID = 1 << 60
 
 _TAG_BARRIER = 1 << 24
 _TAG_BCAST = (1 << 24) + 64

@@ -172,6 +172,12 @@ def waitany(
     tracked = False
     try:
         while True:
+            # Completion wins over abort, matching wait_event: a
+            # request that already tests complete is a committed local
+            # fact, so report it; only a sweep that finds nothing
+            # completable observes the job abort.  This keeps
+            # post-crash progress (and hence crashed-attempt virtual
+            # makespans) a function of what peers actually sent.
             for i, req in enumerate(requests):
                 if req.test():
                     return i, req.wait(site=site)

@@ -1,10 +1,18 @@
-"""SPMD job runtime: one Python thread per simulated rank.
+"""SPMD job runtime: per-rank state, semantics, and backend dispatch.
 
-:class:`Runtime` launches ``nranks`` threads, each executing the user's
-``main(comm)`` function against its own :class:`~repro.mpi.communicator.Comm`.
-A watchdog thread detects deadlock (every live rank blocked with no
-matching progress) and aborts the job with a diagnostic snapshot instead
-of hanging the test suite.
+:class:`Runtime` owns the per-rank state (mailboxes, virtual clocks,
+profiles) and delegates *execution* to a selectable
+:class:`~repro.mpi.backend.Backend`:
+
+* ``threads`` (default) — one Python thread per simulated rank.
+* ``procs`` — one forked OS process per rank with shared-memory
+  envelope delivery; real kernel work escapes the GIL and runs truly
+  in parallel (see :mod:`repro.mpi.backend`).
+
+Either way, a watchdog detects deadlock (every live rank blocked with
+no matching progress) and aborts the job with a diagnostic snapshot
+instead of hanging the test suite, and virtual-time metrics are
+identical across backends.
 
 Typical use::
 
@@ -22,21 +30,15 @@ Typical use::
 
 from __future__ import annotations
 
+import hashlib
 import threading
-import traceback
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from .clock import ClockStats, TimePolicy, VirtualClock
 from .communicator import Comm
 from .errors import AbortError, DeadlockError, MPIError, RankCrashError
 from .profiler import JobProfile, RankProfile
 from .transport import BlockTracker, ChannelSeq, Mailbox
-
-#: Watchdog polling period (wall seconds).
-_WATCHDOG_PERIOD = 0.5
-#: Number of consecutive no-progress all-blocked observations before the
-#: watchdog declares deadlock (guards against sampling races).
-_WATCHDOG_STRIKES = 3
 
 _WORLD_CID = 1
 
@@ -53,16 +55,19 @@ class Runtime:
         trace_messages: bool = False,
         fault_plan: Optional[Any] = None,
         fault_base_step: int = 0,
+        backend: Union[str, Any] = "threads",
     ):
         if nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {nranks}")
         # Imported here to avoid a hard cycle at module import time.
         from ..perfmodel.machine import MachineModel
+        from .backend import resolve_backend
 
         self.nranks = nranks
         self.machine = machine if machine is not None else MachineModel.default()
         self.time_policy = time_policy
         self.deadlock_detection = deadlock_detection
+        self.backend = resolve_backend(backend)
         #: Active fault injector, or ``None`` for a fault-free job.
         #: ``fault_base_step`` aligns the plan's global step numbers
         #: with a restarted driver's local ones (see recovery loop).
@@ -85,9 +90,6 @@ class Runtime:
         self._mailboxes = [Mailbox(r) for r in range(nranks)]
         self._clocks = [VirtualClock() for _ in range(nranks)]
         self._profiles = [RankProfile(r) for r in range(nranks)]
-        self._cid_lock = threading.Lock()
-        self._cid_registry: Dict[Tuple, int] = {}
-        self._next_cid = _WORLD_CID + 1
         self._finished = [False] * nranks
         self._finished_lock = threading.Lock()
         self._ran = False
@@ -100,16 +102,21 @@ class Runtime:
     def context_id(self, key: Tuple) -> int:
         """Deterministically map a derivation key to a context id.
 
-        Every member of a ``split``/``dup`` computes the same ``key``,
-        so the first caller allocates the id and the rest look it up.
+        Every member of a ``split``/``dup`` computes the same ``key``
+        (parent cid, per-parent derivation counter, operation tag), so
+        every member maps it to the same id.  The id is a pure, stable
+        hash of the key — *not* a first-come registry allocation — so
+        ranks running in separate OS processes (the ``procs`` backend)
+        agree on it without any shared allocator, even when disjoint
+        subcommunicators derive different numbers of comms.  56-bit
+        digests keep accidental collisions negligible, and internal
+        collective contexts live in a disjoint range (see
+        ``_INTERNAL_CID`` in the communicator).
         """
-        with self._cid_lock:
-            cid = self._cid_registry.get(key)
-            if cid is None:
-                cid = self._next_cid
-                self._next_cid += 1
-                self._cid_registry[key] = cid
-            return cid
+        digest = hashlib.blake2b(
+            repr(key).encode("utf-8"), digest_size=7
+        ).digest()
+        return _WORLD_CID + 1 + int.from_bytes(digest, "big")
 
     def world_comm(self, rank: int) -> Comm:
         """Build the COMM_WORLD handle for ``rank``."""
@@ -140,68 +147,21 @@ class Runtime:
         if self._ran:
             raise MPIError("Runtime is single-shot; create a new instance")
         self._ran = True
-        kwargs = kwargs or {}
-        results: List[Any] = [None] * self.nranks
-        errors: List[Optional[BaseException]] = [None] * self.nranks
-        tracebacks: List[str] = [""] * self.nranks
-
-        def worker(rank: int) -> None:
-            comm = self.world_comm(rank)
-            try:
-                results[rank] = main(comm, *args, **kwargs)
-            except RankCrashError as exc:
-                # An injected crash is a *primary* failure: set the
-                # abort event so every blocked peer wakes with
-                # AbortError within one _WAIT_POLL tick, but skip the
-                # traceback wrap so the recovery loop catches the
-                # RankCrashError itself (with rank/step/vtime intact).
-                errors[rank] = exc
-                self.abort_event.set()
-            except AbortError as exc:
-                errors[rank] = exc
-            except BaseException as exc:  # noqa: BLE001 - reported to caller
-                errors[rank] = exc
-                tracebacks[rank] = traceback.format_exc()
-                self.abort_event.set()
-            finally:
-                with self._finished_lock:
-                    self._finished[rank] = True
-
-        if self.nranks == 1:
-            worker(0)
-        else:
-            threads = [
-                threading.Thread(
-                    target=worker, args=(r,), name=f"rank-{r}", daemon=True
-                )
-                for r in range(self.nranks)
-            ]
-            watchdog = None
-            if self.deadlock_detection:
-                watchdog = threading.Thread(
-                    target=self._watch, name="watchdog", daemon=True
-                )
-                watchdog.start()
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
-            self.abort_event.set()  # stop the watchdog
-            if watchdog is not None:
-                watchdog.join()
-
+        outcome = self.backend.execute(
+            self, main, tuple(args), dict(kwargs or {})
+        )
         if self.deadlock_report is not None:
             raise DeadlockError(self.deadlock_report)
-        primary = self._select_error(errors)
+        primary = self._select_error(outcome.errors)
         if primary is not None:
-            rank = errors.index(primary)
-            tb = tracebacks[rank]
+            rank = outcome.errors.index(primary)
+            tb = outcome.tracebacks[rank]
             if tb:
                 raise MPIError(
                     f"rank {rank} failed:\n{tb}"
                 ) from primary
             raise primary
-        return results
+        return outcome.results
 
     def _select_error(
         self, errors: Sequence[Optional[BaseException]]
@@ -228,39 +188,6 @@ class Runtime:
     def _live_count(self) -> int:
         with self._finished_lock:
             return self.nranks - sum(self._finished)
-
-    def _watch(self) -> None:
-        """Deadlock watchdog: abort when nothing can ever progress."""
-        strikes = 0
-        last_progress = -1
-        while not self.abort_event.wait(_WATCHDOG_PERIOD):
-            live = self._live_count()
-            if live == 0:
-                return
-            blocked = self.tracker.blocked
-            progress = self.tracker.progress_value
-            if blocked >= live and progress == last_progress:
-                strikes += 1
-                if strikes >= _WATCHDOG_STRIKES:
-                    self._abort_deadlock()
-                    return
-            else:
-                strikes = 0
-            last_progress = progress
-
-    def _abort_deadlock(self) -> None:
-        snap = {
-            r: self._mailboxes[r].snapshot() for r in range(self.nranks)
-        }
-        lines = ["deadlock detected; per-rank pending state:"]
-        for r, s in snap.items():
-            if s["posted"] or s["unexpected"]:
-                lines.append(
-                    f"  rank {r}: waiting_on={s['posted']} "
-                    f"unmatched_inbox={s['unexpected']}"
-                )
-        self._deadlock_report = "\n".join(lines)
-        self.abort_event.set()
 
     @property
     def deadlock_report(self) -> Optional[str]:
@@ -301,8 +228,14 @@ def spmd(
     *args: Any,
     machine: Optional[Any] = None,
     time_policy: TimePolicy = TimePolicy.MODELED,
+    backend: Union[str, Any] = "threads",
     **kwargs: Any,
 ) -> List[Any]:
     """One-line helper: run ``main`` over ``nranks`` and return results."""
-    rt = Runtime(nranks=nranks, machine=machine, time_policy=time_policy)
+    rt = Runtime(
+        nranks=nranks,
+        machine=machine,
+        time_policy=time_policy,
+        backend=backend,
+    )
     return rt.run(main, args=args, kwargs=kwargs)

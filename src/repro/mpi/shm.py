@@ -1,0 +1,258 @@
+"""Shared-memory plumbing for the process-parallel execution backend.
+
+The ``procs`` backend (:mod:`repro.mpi.backend`) runs every simulated
+rank as an OS process, so envelope delivery can no longer be a direct
+method call on the destination's :class:`~repro.mpi.transport.Mailbox`.
+This module provides the two pieces of cross-process state it needs:
+
+* :class:`ShmRing` — a multi-producer single-consumer ring buffer in a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment.  Each
+  rank owns one ring; every peer pickles envelopes into it and the
+  owner's delivery thread drains it into the ordinary in-process
+  mailbox, so the matching semantics (posted/unexpected queues,
+  non-overtaking per channel) are byte-for-byte the thread backend's.
+* :class:`SharedBlockTracker` — the
+  :class:`~repro.mpi.transport.BlockTracker` API over process-shared
+  counters, so the parent's deadlock watchdog can observe every rank.
+
+Memory-ordering note: the ring's ``head``/``tail`` are aligned 64-bit
+counters.  The reader never consumes a record before the writer's
+semaphore release (which is a full synchronisation point), and writers
+read ``head`` only to bound free space — a stale value is merely
+conservative.  The single racy access is the reader's 8-byte ``head``
+store observed by writers, which is atomic for aligned 64-bit stores on
+every platform CPython's ``mmap`` targets.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Callable, Optional
+
+from .errors import AbortError
+
+#: Default per-rank ring capacity (bytes of pickled envelope payload).
+DEFAULT_RING_CAPACITY = 1 << 20
+
+#: Records larger than this fraction of the ring spill to a dedicated
+#: one-shot shared-memory segment (the ring then carries only its name).
+_SPILL_FRACTION = 4
+
+#: Writer back-off while the ring is full (wall seconds).
+_PUSH_POLL = 0.0005
+
+#: Ring header: two little-endian uint64 (head, tail), 8-byte aligned.
+_HDR = 16
+
+#: Record kinds (first byte of every record body).
+_KIND_INLINE = b"I"
+_KIND_SPILL = b"S"
+
+
+class ShmRing:
+    """MPSC ring buffer over a shared-memory segment.
+
+    One reader (the owning rank's delivery thread), many writers (every
+    peer rank's sending thread).  Writers serialise on ``writer_lock``;
+    the reader is lock-free and paced by ``data_sem``, which counts
+    whole records.  ``head``/``tail`` are monotone byte offsets (they
+    never wrap — positions are taken modulo the capacity), so free
+    space is simply ``capacity - (tail - head)``.
+
+    Oversized records (bigger than ``capacity // _SPILL_FRACTION``)
+    spill into a dedicated one-shot ``SharedMemory`` segment created by
+    the writer and unlinked by the reader, so the ring never deadlocks
+    on a record that cannot fit.
+    """
+
+    def __init__(self, ctx, capacity: int = DEFAULT_RING_CAPACITY):
+        if capacity < 4096:
+            raise ValueError(f"ring capacity too small: {capacity}")
+        self.capacity = capacity
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=_HDR + capacity
+        )
+        self._buf = self._shm.buf
+        struct.pack_into("<QQ", self._buf, 0, 0, 0)
+        self.writer_lock = ctx.Lock()
+        self.data_sem = ctx.Semaphore(0)
+
+    # -- head/tail accessors ------------------------------------------
+
+    def _head(self) -> int:
+        return struct.unpack_from("<Q", self._buf, 0)[0]
+
+    def _set_head(self, v: int) -> None:
+        struct.pack_into("<Q", self._buf, 0, v)
+
+    def _tail(self) -> int:
+        return struct.unpack_from("<Q", self._buf, 8)[0]
+
+    def _set_tail(self, v: int) -> None:
+        struct.pack_into("<Q", self._buf, 8, v)
+
+    # -- circular byte copies -----------------------------------------
+
+    def _write(self, pos: int, data: bytes) -> None:
+        off = pos % self.capacity
+        first = min(len(data), self.capacity - off)
+        self._buf[_HDR + off:_HDR + off + first] = data[:first]
+        rest = len(data) - first
+        if rest:
+            self._buf[_HDR:_HDR + rest] = data[first:]
+
+    def _read(self, pos: int, n: int) -> bytes:
+        off = pos % self.capacity
+        first = min(n, self.capacity - off)
+        out = bytes(self._buf[_HDR + off:_HDR + off + first])
+        rest = n - first
+        if rest:
+            out += bytes(self._buf[_HDR:_HDR + rest])
+        return out
+
+    # -- producer side -------------------------------------------------
+
+    def push(
+        self,
+        data: bytes,
+        abort_event=None,
+        give_up: Optional[Callable[[], bool]] = None,
+        what: str = "send",
+    ) -> bool:
+        """Append one record; block (politely) while the ring is full.
+
+        Raises :class:`AbortError` if ``abort_event`` fires while
+        waiting for space; returns ``False`` (record dropped) when
+        ``give_up()`` turns true — the backend passes "the destination
+        rank has finished", in which case the message can never be
+        received anyway.  Returns ``True`` on success.
+        """
+        if len(data) + 5 > self.capacity // _SPILL_FRACTION:
+            rec = _KIND_SPILL + self._spill(data)
+        else:
+            rec = _KIND_INLINE + data
+        need = 4 + len(rec)
+        while True:
+            with self.writer_lock:
+                head = self._head()
+                tail = self._tail()
+                if self.capacity - (tail - head) >= need:
+                    self._write(tail, struct.pack("<I", len(rec)))
+                    self._write(tail + 4, rec)
+                    self._set_tail(tail + need)
+                    break
+            if abort_event is not None and abort_event.is_set():
+                raise AbortError(f"job aborted while blocked in {what}")
+            if give_up is not None and give_up():
+                return False
+            time.sleep(_PUSH_POLL)
+        self.data_sem.release()
+        return True
+
+    @staticmethod
+    def _spill(data: bytes) -> bytes:
+        seg = shared_memory.SharedMemory(create=True, size=max(len(data), 1))
+        seg.buf[: len(data)] = data
+        name = seg.name
+        seg.close()
+        return struct.pack("<Q", len(data)) + name.encode("ascii")
+
+    # -- consumer side -------------------------------------------------
+
+    def pop(self, timeout: float) -> Optional[bytes]:
+        """Take one record, or ``None`` if nothing arrives in time."""
+        if not self.data_sem.acquire(timeout=timeout):
+            return None
+        head = self._head()
+        (n,) = struct.unpack("<I", self._read(head, 4))
+        rec = self._read(head + 4, n)
+        self._set_head(head + 4 + n)
+        if rec[:1] == _KIND_SPILL:
+            return self._unspill(rec[1:])
+        return rec[1:]
+
+    @staticmethod
+    def _unspill(body: bytes) -> bytes:
+        (size,) = struct.unpack("<Q", body[:8])
+        name = body[8:].decode("ascii")
+        seg = shared_memory.SharedMemory(name=name)
+        try:
+            return bytes(seg.buf[:size])
+        finally:
+            seg.close()
+            seg.unlink()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def drain_spills(self) -> None:
+        """Unlink spill segments referenced by unread records.
+
+        Called by the parent during cleanup so an aborted job does not
+        leak shared-memory segments (the reader normally unlinks each
+        spill as it consumes it).
+        """
+        while self.data_sem.acquire(timeout=0):
+            head = self._head()
+            (n,) = struct.unpack("<I", self._read(head, 4))
+            rec = self._read(head + 4, n)
+            self._set_head(head + 4 + n)
+            if rec[:1] == _KIND_SPILL:
+                try:
+                    self._unspill(rec[1:])
+                except FileNotFoundError:  # pragma: no cover - defensive
+                    pass
+
+    def destroy(self) -> None:
+        """Release the segment (parent side, after every child exited)."""
+        self._buf = None
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - defensive
+            pass
+
+
+def dump_envelope(env) -> bytes:
+    """Pickle one :class:`~repro.mpi.transport.Envelope` for the wire."""
+    return pickle.dumps(env, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_envelope(data: bytes):
+    return pickle.loads(data)
+
+
+class SharedBlockTracker:
+    """:class:`~repro.mpi.transport.BlockTracker` API over shared counters.
+
+    ``blocked`` and ``progress`` are ``multiprocessing.Value`` objects
+    created by the parent; every rank process and the parent watchdog
+    observe the same counts, which is what makes deadlock detection
+    work across address spaces.
+    """
+
+    def __init__(self, blocked, progress):
+        self._blocked = blocked
+        self._progress = progress
+
+    def bump(self) -> None:
+        with self._progress.get_lock():
+            self._progress.value += 1
+
+    @property
+    def progress_value(self) -> int:
+        return self._progress.value
+
+    def enter_blocked(self) -> None:
+        with self._blocked.get_lock():
+            self._blocked.value += 1
+
+    def exit_blocked(self) -> None:
+        with self._blocked.get_lock():
+            self._blocked.value -= 1
+
+    @property
+    def blocked(self) -> int:
+        return self._blocked.value

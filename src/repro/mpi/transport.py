@@ -89,6 +89,26 @@ class Envelope:
     seq: int
 
 
+def envelope_matches(
+    cid: int, source: int, tag: int, env: Envelope
+) -> bool:
+    """Does ``env`` satisfy a receive posted as ``(cid, source, tag)``?
+
+    The single matching rule shared by :class:`PendingRecv` and
+    :meth:`Mailbox.probe`, so a probe can never disagree with the
+    receive it predicts (and never has to allocate a throwaway
+    ``PendingRecv`` — with a kernel-side ``threading.Event`` — just to
+    ask the question).
+    """
+    if env.cid != cid:
+        return False
+    if source != ANY_SOURCE and env.src != source:
+        return False
+    if tag != ANY_TAG and env.tag != tag:
+        return False
+    return True
+
+
 class PendingRecv:
     """A posted receive waiting for a matching envelope."""
 
@@ -103,17 +123,37 @@ class PendingRecv:
 
     def matches(self, env: Envelope) -> bool:
         """Does ``env`` satisfy this posted receive?"""
-        if env.cid != self.cid:
-            return False
-        if self.source != ANY_SOURCE and env.src != self.source:
-            return False
-        if self.tag != ANY_TAG and env.tag != self.tag:
-            return False
-        return True
+        return envelope_matches(self.cid, self.source, self.tag, env)
 
 
 class Mailbox:
-    """Per-rank matching engine (posted receives + unexpected queue)."""
+    """Per-rank matching engine (posted receives + unexpected queue).
+
+    Concurrency invariants — all state transitions happen under
+    ``lock``, which matters doubly for the process backend, whose
+    dedicated delivery thread widens the window in which ``deliver``
+    runs concurrently with the owning rank's ``post_recv``/``probe``:
+
+    * an envelope is matched to at most one :class:`PendingRecv`, and a
+      :class:`PendingRecv` receives at most one envelope — ``deliver``
+      only fills receives still in ``posted`` with ``envelope is
+      None``, and removes them from the queue in the same critical
+      section;
+    * ``pr.event.set()`` is called only after ``pr.envelope`` is
+      assigned, inside the lock, so a waiter woken by the event always
+      observes the payload (no lost wakeup);
+    * an envelope is either handed to a posted receive or appended to
+      ``unexpected`` — never both, never neither — so no message is
+      dropped or duplicated by a probe/post_recv/deliver interleaving;
+    * per-source arrival order is preserved: ``deliver`` appends in
+      call order and both scans walk their queue front-to-back, so the
+      MPI non-overtaking guarantee holds per ``(source, cid, tag)``
+      channel;
+    * ``probe`` is read-only: it takes the lock, scans, and touches
+      nothing, so a concurrent ``deliver`` can at worst make it answer
+      "no message" for an envelope that arrives a moment later —
+      exactly ``MPI_Iprobe`` semantics.
+    """
 
     def __init__(self, rank: int):
         self.rank = rank
@@ -147,10 +187,9 @@ class Mailbox:
 
     def probe(self, cid: int, source: int, tag: int) -> Optional[Envelope]:
         """Non-destructively look for a matching unexpected message."""
-        probe_pr = PendingRecv(cid, source, tag)
         with self.lock:
             for env in self.unexpected:
-                if probe_pr.matches(env):
+                if envelope_matches(cid, source, tag, env):
                     return env
         return None
 
@@ -215,6 +254,21 @@ def wait_event(
     a peer's death within one poll tick — the bound the fault-injection
     tests assert (an injected crash mid-exchange must never hang the
     surviving ranks; see ``tests/test_faults.py``).
+
+    Abort-vs-completion ordering: **completion wins**.  If the
+    completion event is set when this call samples the outcome, it
+    returns success even when the job abort is also already set — on
+    the fast path (event set before we block) and the slow path (event
+    set while we poll) alike.  A completed operation is a committed
+    local fact: the envelope was matched and delivered under the
+    mailbox lock, so reporting success cannot be wrong, and only waits
+    that are genuinely still blocked observe the abort.  The consistent
+    rule is also what keeps post-crash virtual clocks deterministic: a
+    surviving rank consumes exactly the messages its dead peer managed
+    to send — a function of the fault plan, never of which thread
+    sampled the abort flag first.  The crashed-attempt makespans the
+    recovery loop charges (and the ``solver/fault_campaign`` bench
+    scenario gates as a deterministic virtual metric) depend on this.
     """
     if event.is_set():
         return
@@ -222,7 +276,9 @@ def wait_event(
         raise AbortError(f"job aborted while blocked in {what}")
     tracker.enter_blocked()
     try:
-        while not event.wait(_WAIT_POLL):
+        while True:
+            if event.wait(_WAIT_POLL):
+                return
             if abort_event.is_set():
                 raise AbortError(f"job aborted while blocked in {what}")
     finally:

@@ -933,6 +933,7 @@ def run_with_recovery(
     machine=None,
     max_restarts: int = 8,
     monitor_every: int = 0,
+    backend: str = "threads",
 ) -> tuple:
     """Run a solver campaign to completion through injected crashes.
 
@@ -951,6 +952,11 @@ def run_with_recovery(
     physics is bitwise identical to a fault-free run: checkpoints
     round-trip the state exactly and global step numbering (and hence
     dt sequencing and checkpoint cadence) is preserved across restarts.
+
+    ``backend`` selects the execution backend (``"threads"`` or
+    ``"procs"``) for every attempt's Runtime; crash marshalling,
+    checkpoint commit protocol and fault accounting are
+    backend-transparent (see ``docs/backends.md``).
     """
     from ..mpi import RankCrashError, Runtime
     from ..perfmodel.machine import MachineModel
@@ -1007,6 +1013,7 @@ def run_with_recovery(
             machine=machine_,
             fault_plan=plan,
             fault_base_step=start_step,
+            backend=backend,
         )
         try:
             results = rt.run(main)

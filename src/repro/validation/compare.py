@@ -102,10 +102,16 @@ def cmtbone_signature(
     config: CMTBoneConfig,
     nranks: int,
     machine: Optional[MachineModel] = None,
+    backend: str = "threads",
 ) -> AppSignature:
-    """Run the mini-app on the workload and extract its signature."""
+    """Run the mini-app on the workload and extract its signature.
+
+    The signature is built entirely from virtual-time quantities, so it
+    is identical whichever execution ``backend`` carries the ranks.
+    """
     runtime = Runtime(
-        nranks=nranks, machine=machine or MachineModel.preset("compton")
+        nranks=nranks, machine=machine or MachineModel.preset("compton"),
+        backend=backend,
     )
     results = runtime.run(lambda comm: CMTBone(comm, config).run())
 
@@ -137,6 +143,7 @@ def solver_signature(
     config: CMTBoneConfig,
     nranks: int,
     machine: Optional[MachineModel] = None,
+    backend: str = "threads",
 ) -> AppSignature:
     """Run the parent-application stand-in (real DG solver) matched.
 
@@ -170,7 +177,8 @@ def solver_signature(
         return prof, comm.clock.now
 
     runtime = Runtime(
-        nranks=nranks, machine=machine or MachineModel.preset("compton")
+        nranks=nranks, machine=machine or MachineModel.preset("compton"),
+        backend=backend,
     )
     results = runtime.run(main)
 

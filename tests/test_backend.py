@@ -1,0 +1,335 @@
+"""Execution backends: the procs backend vs the threads reference.
+
+The process backend must be a drop-in replacement: same results, same
+error/deadlock/crash semantics, and *identical* virtual-time and
+profile numbers (they are pure functions of the machine model, never of
+wall-clock scheduling).  These tests run the same jobs under both
+backends and compare, and exercise the procs-only machinery — shared
+memory rings (including oversize spills), exit-record marshalling,
+process-safe abort, and the recovery loop (abort, injected-crash
+recovery, checkpoint/restart) on processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.mpi import (
+    ANY_SOURCE,
+    DeadlockError,
+    MPIError,
+    ProcsBackend,
+    RankCrashError,
+    Runtime,
+    ThreadsBackend,
+    available_backends,
+    spmd,
+)
+from repro.mpi.backend import resolve_backend
+
+BACKENDS = ("threads", "procs")
+
+
+class TestSelection:
+    def test_available(self):
+        assert available_backends() == ["procs", "threads"]
+
+    def test_resolve_name_and_instance(self):
+        assert isinstance(resolve_backend("threads"), ThreadsBackend)
+        assert isinstance(resolve_backend("procs"), ProcsBackend)
+        inst = ProcsBackend(ring_capacity=1 << 16)
+        assert resolve_backend(inst) is inst
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(MPIError, match="unknown backend"):
+            Runtime(nranks=2, backend="gpu")
+
+    def test_runtime_exposes_backend(self):
+        assert Runtime(nranks=1).backend.name == "threads"
+        assert Runtime(nranks=1, backend="procs").backend.name == "procs"
+
+    def test_spmd_backend_kwarg(self):
+        assert spmd(2, lambda comm: comm.rank, backend="procs") == [0, 1]
+
+
+class TestProcsBasics:
+    def test_results_in_rank_order(self):
+        res = Runtime(nranks=4, backend="procs").run(
+            lambda comm: comm.rank * 10
+        )
+        assert res == [0, 10, 20, 30]
+
+    def test_args_kwargs_forwarded(self):
+        def main(comm, a, b=0):
+            return a + b + comm.rank
+
+        res = Runtime(nranks=2, backend="procs").run(
+            main, args=(5,), kwargs={"b": 7}
+        )
+        assert res == [12, 13]
+
+    def test_single_rank(self):
+        assert Runtime(nranks=1, backend="procs").run(
+            lambda comm: comm.rank
+        ) == [0]
+
+    def test_numpy_payloads(self):
+        def main(comm):
+            other = 1 - comm.rank
+            comm.send(np.full(100, comm.rank, dtype=float), dest=other)
+            return float(comm.recv(source=other).sum())
+
+        assert Runtime(nranks=2, backend="procs").run(main) == [100.0, 0.0]
+
+    def test_collectives(self):
+        def main(comm):
+            total = comm.allreduce(comm.rank)
+            gathered = comm.allgather(comm.rank)
+            return total, gathered
+
+        res = Runtime(nranks=4, backend="procs").run(main)
+        assert res == [(6, [0, 1, 2, 3])] * 4
+
+    def test_split_and_dup(self):
+        def main(comm):
+            dup = comm.dup()
+            sub = comm.split(color=comm.rank % 2, key=comm.rank)
+            return dup.allreduce(1), sub.allreduce(comm.rank), sub.size
+
+        res = Runtime(nranks=4, backend="procs").run(main)
+        assert res == [(4, 2, 2), (4, 4, 2), (4, 2, 2), (4, 4, 2)]
+
+    def test_large_message_spills(self):
+        """Payloads bigger than the ring go through spill segments."""
+        backend = ProcsBackend(ring_capacity=1 << 14)  # 16 KiB ring
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(100_000, dtype=float), dest=1)
+                return None
+            return float(comm.recv(source=0).sum())
+
+        res = Runtime(nranks=2, backend=backend).run(main)
+        assert res[1] == float(np.arange(100_000).sum())
+
+    def test_many_messages_wrap_the_ring(self):
+        """Sustained traffic must wrap the ring buffer correctly."""
+        backend = ProcsBackend(ring_capacity=1 << 13)  # 8 KiB ring
+
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(200):
+                    comm.send(np.full(64, i, dtype=float), dest=1, tag=i % 7)
+                return None
+            total = 0.0
+            for i in range(200):
+                total += float(comm.recv(source=0, tag=i % 7)[0])
+            return total
+
+        res = Runtime(nranks=2, backend=backend).run(main)
+        assert res[1] == float(sum(range(200)))
+
+
+class TestParity:
+    """Virtual-time/profile metrics must be identical across backends."""
+
+    @staticmethod
+    def _job(comm):
+        comm.compute(seconds=0.001 * (comm.rank + 1))
+        comm.barrier()
+        part = comm.allreduce(np.ones(50) * comm.rank)
+        sub = comm.split(color=comm.rank % 2, key=comm.rank)
+        sub.allreduce(1)
+        comm.send(comm.rank, dest=(comm.rank + 1) % comm.size, tag=3)
+        comm.recv(source=(comm.rank - 1) % comm.size, tag=3)
+        return float(part.sum())
+
+    def _run(self, backend):
+        rt = Runtime(nranks=4, backend=backend, trace_messages=True)
+        res = rt.run(self._job)
+        return rt, res
+
+    def test_clock_profile_and_trace_identical(self):
+        rt_t, res_t = self._run("threads")
+        rt_p, res_p = self._run("procs")
+        assert res_t == res_p
+        for a, b in zip(rt_t.clock_stats(), rt_p.clock_stats()):
+            assert (a.total, a.compute, a.comm, a.hidden_comm) == (
+                b.total, b.compute, b.comm, b.hidden_comm
+            )
+        assert rt_t.job_profile().mpi_time == rt_p.job_profile().mpi_time
+        assert rt_t.trace.events() == rt_p.trace.events()
+
+    def test_cmtbone_proxy_identical(self):
+        from repro.core import CMTBoneConfig, launch_cmtbone
+
+        cfg = CMTBoneConfig(
+            n=6, local_shape=(2, 2, 2), nsteps=3, work_mode="proxy",
+            gs_method="pairwise", monitor_every=1,
+        )
+        per_backend = {}
+        for backend in BACKENDS:
+            results, _rt = launch_cmtbone(cfg, nranks=4, backend=backend)
+            per_backend[backend] = [
+                (r.vtime_total, r.vtime_comm, tuple(r.monitor_values))
+                for r in results
+            ]
+        assert per_backend["threads"] == per_backend["procs"]
+
+    def test_context_ids_deterministic(self):
+        """Derived comm ids are pure hashes: equal across backends even
+        when disjoint subcommunicators derive different comm counts."""
+
+        def main(comm):
+            half = comm.split(color=comm.rank // 2, key=comm.rank)
+            if comm.rank < 2:
+                half = half.dup()  # first group derives one extra comm
+            again = comm.split(color=comm.rank % 2, key=comm.rank)
+            return half.cid, again.allreduce(comm.rank)
+
+        per_backend = {
+            b: Runtime(nranks=4, backend=b).run(main) for b in BACKENDS
+        }
+        assert per_backend["threads"] == per_backend["procs"]
+
+
+class TestProcsFailures:
+    def test_exception_reraised_with_rank(self):
+        def main(comm):
+            if comm.rank == 2:
+                raise RuntimeError("boom on 2")
+            comm.barrier()
+
+        with pytest.raises(MPIError, match="boom on 2"):
+            Runtime(nranks=4, backend="procs").run(main)
+
+    def test_blocked_peers_released_on_error(self):
+        def main(comm):
+            if comm.rank == 0:
+                raise ValueError("dead")
+            comm.recv(source=0)
+
+        with pytest.raises(MPIError):
+            Runtime(nranks=3, backend="procs").run(main)
+
+    def test_deadlock_detected(self):
+        def main(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size, tag=1)
+
+        rt = Runtime(nranks=2, backend="procs")
+        with pytest.raises(DeadlockError):
+            rt.run(main)
+        assert rt.deadlock_report is not None
+        assert "rank" in rt.deadlock_report
+
+    def test_single_rank_deadlock_detected(self):
+        with pytest.raises(DeadlockError):
+            Runtime(nranks=1, backend="procs").run(
+                lambda comm: comm.recv(source=0)
+            )
+
+    def test_hard_death_reported(self):
+        """A rank that dies without an exit record must not hang the job."""
+        import os
+
+        def main(comm):
+            if comm.rank == 1:
+                os._exit(17)
+            comm.barrier()
+
+        with pytest.raises(MPIError, match="terminated unexpectedly"):
+            Runtime(nranks=2, backend="procs").run(main)
+
+    def test_unpicklable_result_reported(self):
+        def main(comm):
+            return lambda: None  # lambdas don't pickle
+
+        with pytest.raises(MPIError, match="picklable"):
+            Runtime(nranks=2, backend="procs").run(main)
+
+
+class TestProcsRecovery:
+    """Satellite: abort, crash recovery, checkpoint/restart on procs."""
+
+    def test_injected_crash_marshalled(self):
+        plan = FaultPlan.parse("crash:rank=1,step=2")
+        rt = Runtime(nranks=3, backend="procs", fault_plan=plan)
+
+        def main(comm):
+            for step in range(5):
+                comm.faults.check_step_crash(comm, step)
+                comm.barrier()
+            return "done"
+
+        with pytest.raises(RankCrashError) as exc:
+            rt.run(main)
+        assert exc.value.rank == 1
+        assert exc.value.step == 2
+        # The parent-side injector sees the child's fired crash, which
+        # is what the recovery loop uses to disarm it on restart.
+        assert [c.rank for c in rt.faults.fired_crashes] == [1]
+        assert len(rt.faults.summary()["crashes"]) == 1
+
+    def test_clock_stats_available_after_crash(self):
+        """The recovery loop charges lost work from post-crash clocks."""
+        plan = FaultPlan.parse("crash:rank=0,step=1")
+        rt = Runtime(nranks=2, backend="procs", fault_plan=plan)
+
+        def main(comm):
+            for step in range(3):
+                comm.compute(seconds=0.01)
+                comm.faults.check_step_crash(comm, step)
+                comm.barrier()
+
+        with pytest.raises(RankCrashError):
+            rt.run(main)
+        stats = rt.clock_stats()
+        assert max(s.total for s in stats) > 0.0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_with_recovery_checkpoint_restart(self, tmp_path, backend):
+        """Full campaign: crash, restore from checkpoint, finish —
+        bitwise identical to a fault-free run, on either backend."""
+        from repro.cli import _sod_setup
+        from repro.solver import run_with_recovery
+
+        setup = _sod_setup(2, n=5, nelx=8, gs_method="pairwise")
+        common = dict(nranks=2, nsteps=8, dt=2e-4)
+        plan = FaultPlan.parse("crash:rank=1,step=5")
+        faulty, report = run_with_recovery(
+            setup,
+            checkpoint_every=3,
+            checkpoint_dir=tmp_path / backend,
+            fault_plan=plan,
+            backend=backend,
+            **common,
+        )
+        assert report.restarts == 1
+        assert report.crashes
+        clean, _ = run_with_recovery(setup, backend=backend, **common)
+        for a, b in zip(clean, faulty):
+            np.testing.assert_array_equal(a.u, b.u)
+
+    def test_recovery_report_identical_across_backends(self, tmp_path):
+        """The whole virtual-time campaign accounting must agree."""
+        from repro.cli import _sod_setup
+        from repro.solver import run_with_recovery
+
+        setup = _sod_setup(2, n=5, nelx=8, gs_method="pairwise")
+        reports = {}
+        for backend in BACKENDS:
+            _, reports[backend] = run_with_recovery(
+                setup,
+                nranks=2,
+                nsteps=6,
+                dt=2e-4,
+                checkpoint_every=2,
+                checkpoint_dir=tmp_path / backend,
+                fault_plan=FaultPlan.parse("crash:rank=0,step=3"),
+                backend=backend,
+            )
+        a, b = reports["threads"], reports["procs"]
+        assert a.total_virtual_seconds == b.total_virtual_seconds
+        assert a.lost_work_seconds == b.lost_work_seconds
+        assert a.steps_lost == b.steps_lost
+        assert a.restarts == b.restarts

@@ -374,6 +374,51 @@ class TestAbortPropagation:
             Runtime(nranks=2, fault_plan=plan).run(main)
         assert err.value.rank == 1 and err.value.step == 1
 
+    def test_completion_wins_over_abort_consistently(self):
+        """``wait_event`` abort-vs-completion ordering: a completed
+        operation reports success even when the job abort is also set,
+        identically on the fast path (event set before blocking) and
+        the slow path (event set while polling).  A completed op is a
+        committed local fact; only genuinely-blocked waits raise — the
+        rule that keeps post-crash virtual clocks (and the recovery
+        loop's lost-work accounting) independent of thread scheduling."""
+        import threading
+
+        from repro.mpi.errors import AbortError
+        from repro.mpi.transport import BlockTracker, wait_event
+
+        tracker = BlockTracker()
+
+        # Fast path: both already set -> success, not AbortError.
+        event, abort = threading.Event(), threading.Event()
+        event.set()
+        abort.set()
+        wait_event(event, tracker, abort)  # must not raise
+        assert tracker.blocked == 0
+
+        # Slow path: completion lands while we poll, with the abort
+        # flag already up -> still success, same rule as the fast path.
+        event2, abort2 = threading.Event(), threading.Event()
+        abort2.set()
+        # The entry check must reject a wait that is not yet complete.
+        with pytest.raises(AbortError):
+            wait_event(event2, tracker, abort2)
+        assert tracker.blocked == 0
+
+        event3, abort3 = threading.Event(), threading.Event()
+
+        def fire():
+            abort3.set()  # abort first ...
+            event3.set()  # ... completion after: completion still wins
+
+        timer = threading.Timer(0.02, fire)
+        timer.start()
+        try:
+            wait_event(event3, tracker, abort3)  # must not raise
+        finally:
+            timer.cancel()
+        assert tracker.blocked == 0
+
 
 # ---------------------------------------------------------------------------
 # chaos sweep

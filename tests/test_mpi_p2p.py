@@ -195,6 +195,55 @@ class TestSendrecvProbe:
 
         assert run(2, main)[1] == (True, False)
 
+    def test_probe_is_read_only(self):
+        """Probe must never consume or reorder the inbox: after any
+        number of probes, every message is still receivable in per-source
+        FIFO order (MPI_Iprobe semantics).  Regression for the old
+        implementation that matched via a throwaway ``PendingRecv``."""
+
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(i, dest=1, tag=i % 3)
+                comm.barrier()
+                return None
+            comm.barrier()
+            # Hammer the mailbox with probes, wildcard and specific.
+            for _ in range(20):
+                assert comm.probe(source=0, tag=ANY_TAG)
+                assert comm.probe(source=ANY_SOURCE, tag=0)
+                assert not comm.probe(source=0, tag=77)
+            # Everything still there, in order, per tag stream.
+            got = [comm.recv(source=0, tag=t % 3) for t in range(10)]
+            assert not comm.probe(source=0, tag=ANY_TAG)
+            return got
+
+        assert run(2, main)[1] == list(range(10))
+
+    def test_probe_under_concurrent_delivery_stress(self):
+        """Multi-rank stress: rank 0 interleaves probes with wildcard
+        receives while three senders deliver concurrently.  Asserts all
+        messages arrive, per-source FIFO holds, and no residual match
+        survives the drain."""
+        nmsg = 30
+
+        def main(comm):
+            if comm.rank != 0:
+                for i in range(nmsg):
+                    comm.send((comm.rank, i), dest=0, tag=7)
+                return None
+            per_source = {r: [] for r in range(1, comm.size)}
+            for _ in range((comm.size - 1) * nmsg):
+                comm.probe(source=ANY_SOURCE, tag=7)  # must not consume
+                src, i = comm.recv(source=ANY_SOURCE, tag=7)
+                per_source[src].append(i)
+            assert not comm.probe(source=ANY_SOURCE, tag=ANY_TAG)
+            return per_source
+
+        per_source = run(4, main)[0]
+        for src, seq in per_source.items():
+            assert seq == list(range(nmsg)), f"source {src} out of order"
+
 
 class TestRankValidation:
     def test_bad_dest(self):
@@ -202,6 +251,17 @@ class TestRankValidation:
 
         def main(comm):
             comm.send(1, dest=5)
+
+        with pytest.raises(MPIError):
+            run(2, main)
+
+    def test_bad_probe_source(self):
+        """Regression: ``probe`` skipped rank validation, so a negative
+        source silently matched nothing instead of raising."""
+        from repro.mpi import MPIError
+
+        def main(comm):
+            comm.probe(source=-2)
 
         with pytest.raises(MPIError):
             run(2, main)

@@ -80,6 +80,18 @@ class TestDeadlockDetection:
         assert rt.deadlock_report is not None
         assert "rank" in rt.deadlock_report
 
+    def test_single_rank_deadlock_detected(self):
+        """Regression: ``nranks=1`` used to run the job inline on the
+        calling thread without ever starting the deadlock watchdog, so
+        a self-deadlocked single-rank job hung forever.  The single-rank
+        path now goes through the same worker-thread + watchdog machinery
+        as the multi-rank path."""
+        rt = Runtime(nranks=1)
+        with pytest.raises(DeadlockError):
+            rt.run(lambda comm: comm.recv(source=0, tag=1))
+        assert rt.deadlock_report is not None
+        assert "rank 0" in rt.deadlock_report
+
     def test_mismatched_tags_deadlock(self):
         def main(comm):
             if comm.rank == 0:
