@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..autotune import host_fingerprint
 from .scenarios import Scenario, select_scenarios
 from .schema import (
     GROUPS,
@@ -53,9 +54,10 @@ class RunOptions:
     progress: Optional[Callable[[str], None]] = None
 
 
-def host_fingerprint() -> str:
-    """Identity the comparator uses to decide if wall gating is fair."""
-    return f"{platform.node()}/{platform.machine()}/{platform.system()}"
+# host_fingerprint is shared with the kernel autotune cache (both key
+# wall measurements by the machine that produced them); it lives in
+# repro.autotune and is re-exported here for the comparator.
+__all__ = ["host_fingerprint"]
 
 
 def _git_describe() -> Dict[str, object]:

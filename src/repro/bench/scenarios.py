@@ -257,6 +257,57 @@ def _kernels_workspace() -> List[Metric]:
     ]
 
 
+@register("kernels/kir_deriv_sweep", "kernels", repeats=2, variant="auto")
+def _kernels_kir_sweep() -> List[Metric]:
+    """Autotuned generated kernels vs the hand-written fused GEMMs.
+
+    Sweeps the paper's N = 5..25 operating points and times the full
+    gradient under the ``fused`` reference and the ``auto`` variant
+    (contraction-IR codegen + per-host autotuned schedule, see
+    docs/kernel-ir.md).  The per-N speedup ratios are the gate: the
+    tuned generated kernel must stay at least as fast as ``fused``
+    (its candidate set *contains* the fused algorithm, so losing means
+    the tuner picked a stale or wrong schedule).  Numerical agreement
+    is checked normwise at 1e-10 and gated exactly as a count metric.
+    """
+    from ..kernels import derivative_matrix
+    from ..kernels import derivatives as dk
+
+    metrics: List[Metric] = []
+    match = True
+    for n in (5, 10, 15, 20, 25):
+        nel = max(1, 24576 // n**3)
+        rng = np.random.default_rng(1000 + n)
+        u = rng.standard_normal((nel, n, n, n))
+        dmat = derivative_matrix(n)
+        out = (np.empty_like(u), np.empty_like(u), np.empty_like(u))
+        fused_w = _wall(
+            lambda: dk.grad(u, dmat, variant="fused", out=out), 3
+        )
+        gen_w = _wall(
+            lambda: dk.grad(u, dmat, variant="auto", out=out), 3
+        )
+        for a, b in zip(
+            dk.grad(u, dmat, variant="fused"),
+            dk.grad(u, dmat, variant="auto"),
+        ):
+            if np.abs(b - a).max() > 1e-10 * np.abs(a).max():
+                match = False
+        metrics.extend([
+            Metric(f"fused_wall_s_n{n:02d}", fused_w, kind="wall",
+                   unit="s"),
+            Metric(f"generated_wall_s_n{n:02d}", gen_w, kind="wall",
+                   unit="s"),
+            Metric(f"gen_vs_fused_x_n{n:02d}", fused_w / gen_w,
+                   kind="wall", unit="x", better="higher", rel_tol=1.0),
+        ])
+    metrics.append(
+        Metric("numerics_match", float(match), kind="count",
+               unit="bool", better="higher")
+    )
+    return metrics
+
+
 # ---------------------------------------------------------------------
 # comms — gather-scatter method comparison + overlap accounting
 # ---------------------------------------------------------------------

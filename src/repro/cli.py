@@ -136,9 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default=False,
                        help="split-phase schedule: overlap the gs "
                             "exchange with the update compute")
-    p_cmt.add_argument("--variant", default="fused",
-                       choices=["basic", "fused", "einsum"],
-                       help="derivative-kernel variant (default fused)")
+    p_cmt.add_argument("--kernel-variant", "--variant", dest="variant",
+                       default="fused",
+                       choices=["auto", "basic", "fused", "einsum",
+                                "generated"],
+                       help="derivative-kernel variant (default fused); "
+                            "'generated' compiles from the contraction "
+                            "IR, 'auto' additionally autotunes the "
+                            "schedule per host (see docs/kernel-ir.md)")
     p_cmt.add_argument("--gantt", action="store_true",
                        help="render a per-rank execution timeline")
     _add_lb_flags(p_cmt)
@@ -213,6 +218,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "identical final fields (exit 1 otherwise)")
     p_sod.add_argument("--imbalance", type=float, default=0.0,
                        help="compute-load jitter fraction (default 0)")
+    p_sod.add_argument("--kernel-variant", dest="kernel_variant",
+                       default="fused",
+                       choices=["auto", "basic", "fused", "einsum",
+                                "generated"],
+                       help="derivative-kernel variant (default fused)")
     _add_backend(p_sod)
     _add_lb_flags(p_sod)
 
@@ -457,7 +467,8 @@ def cmd_kernels(args) -> int:
 
 def _sod_setup(nranks: int, n: int, nelx: int, gs_method: str,
                imbalance: float = 0.0, lb_policy=None,
-               reuse_workspace: bool = True):
+               reuse_workspace: bool = True,
+               kernel_variant: str = "fused"):
     """Build the ``setup(comm)`` factory for the Sod campaign."""
     import numpy as np
 
@@ -493,6 +504,7 @@ def _sod_setup(nranks: int, n: int, nelx: int, gs_method: str,
                 compute_imbalance=imbalance,
                 lb=lb_policy,
                 reuse_workspace=reuse_workspace,
+                kernel_variant=kernel_variant,
             ),
         )
         coords = np.stack(
@@ -538,7 +550,8 @@ def cmd_sod(args) -> int:
     machine = MachineModel.preset(args.machine)
     setup = _sod_setup(args.ranks, args.points, args.elements,
                        args.gs_method, imbalance=args.imbalance,
-                       lb_policy=_lb_policy(args))
+                       lb_policy=_lb_policy(args),
+                       kernel_variant=args.kernel_variant)
 
     results, report = run_with_recovery(
         setup,

@@ -18,7 +18,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..mpi.datatypes import MAX, MIN, SUM
+from ..autotune import rank_stats, time_trials
+from ..mpi.datatypes import SUM
 from .handle import GSHandle
 from .ops import METHOD_LABELS, METHODS, gs_op
 
@@ -64,16 +65,15 @@ def time_method(
     comm = handle.comm
     rng = np.random.default_rng(seed + comm.rank)
     u = rng.standard_normal(handle.shape)
-    for _ in range(warmup):
-        gs_op(handle, u, op=SUM, method=method, site=f"gs_autotune:{method}")
-    comm.barrier(site="gs_autotune")
-    t0 = comm.time()
-    for _ in range(trials):
-        gs_op(handle, u, op=SUM, method=method, site=f"gs_autotune:{method}")
-    dt = (comm.time() - t0) / trials
-    avg = comm.allreduce(dt, op=SUM, site="gs_autotune") / comm.size
-    mn = comm.allreduce(dt, op=MIN, site="gs_autotune")
-    mx = comm.allreduce(dt, op=MAX, site="gs_autotune")
+    dt = time_trials(
+        lambda: gs_op(handle, u, op=SUM, method=method,
+                      site=f"gs_autotune:{method}"),
+        trials=trials,
+        warmup=warmup,
+        timer=comm.time,
+        sync=lambda: comm.barrier(site="gs_autotune"),
+    )
+    avg, mn, mx = rank_stats(comm, dt, site="gs_autotune")
     return MethodTiming(method=method, avg=avg, mn=mn, mx=mx)
 
 

@@ -2,23 +2,34 @@
 
 The computational heart of CMT-bone: GLL quadrature machinery, the
 reference-element derivative/interpolation operators, the ``O(N^4)``
-derivative kernel in its ``basic``/``fused``/``einsum`` variants, the
+derivative kernel in its ``basic``/``fused``/``einsum`` variants plus
+the IR-generated ``generated``/``auto`` tier (:mod:`repro.kir`), the
 dealiasing transfer pair, and the PAPI-style analytic cost counters
 behind the Figs. 5-6 reproduction.
 """
 
 from .counters import (
     CYCLES_PER_INST,
+    GENERATED_VARIANT_CLASS,
     INST_PER_FLOP,
     KernelCost,
+    ir_counts,
     kernel_cost,
     roofline_seconds,
     speedup,
     working_set_bytes,
 )
-from .dealias import dealias_flops, roundtrip, to_coarse, to_fine
+from .dealias import (
+    DEALIAS_VARIANTS,
+    dealias_flops,
+    roundtrip,
+    to_coarse,
+    to_fine,
+)
 from .derivatives import (
+    ALL_VARIANTS,
     DIRECTIONS,
+    GENERATED_VARIANTS,
     VARIANTS,
     derivative,
     dudr,
@@ -46,8 +57,12 @@ from .operators import (
 from .workspace import Workspace
 
 __all__ = [
+    "ALL_VARIANTS",
     "CYCLES_PER_INST",
+    "DEALIAS_VARIANTS",
     "DIRECTIONS",
+    "GENERATED_VARIANTS",
+    "GENERATED_VARIANT_CLASS",
     "INST_PER_FLOP",
     "KernelCost",
     "VARIANTS",
@@ -66,6 +81,7 @@ __all__ = [
     "grad",
     "grad_workspace",
     "interpolation_matrix",
+    "ir_counts",
     "kernel_cost",
     "lagrange_basis_at",
     "legendre_and_derivative",

@@ -71,6 +71,24 @@ CYCLES_PER_INST: Dict[Tuple[str, str], float] = {
 _FALLBACK_IPF = 1.0
 _FALLBACK_CPI = 0.6
 
+#: Microarchitectural class of each generated-kernel variant/schedule:
+#: the IR schedule determines the loop structure, which is what the
+#: calibrated coefficients describe.  ``gemm`` (and the reassociated /
+#: transpose-batched forms, which are also single batched GEMMs per
+#: contraction) prices as ``fused``; ``plane`` is the unfused triple
+#: loop, i.e. ``basic``.  ``auto`` deliberately prices as the *default*
+#: schedule rather than the host-tuned winner so modelled (virtual)
+#: metrics stay host-independent and bench comparisons deterministic.
+GENERATED_VARIANT_CLASS: Dict[str, str] = {
+    "generated": "fused",
+    "auto": "fused",
+    "gemm": "fused",
+    "plane": "basic",
+    "einsum": "einsum",
+    "tbatch": "fused",
+    "gemm_rev": "fused",
+}
+
 #: L1-resident working set gives full-speed CPI; larger working sets
 #: pay this multiplicative stall penalty on strided directions.
 _L1_MISS_CPI_PENALTY = 1.15
@@ -110,6 +128,24 @@ def working_set_bytes(n: int) -> int:
     return 8 * (2 * n**3 + n**2)
 
 
+def ir_counts(direction: str, n: int, nel: int) -> Tuple[float, float]:
+    """(flops, mem_bytes) derived from the contraction IR.
+
+    Walks the direction's IR program: each ``Contract`` contributes
+    ``2 * |out| * |contracted|`` flops, and memory traffic counts the
+    streamed (element-batched) tensors once each.  For the derivative
+    programs these equal the hand formulas ``2 N^4 nel`` and
+    ``16 N^3 nel`` exactly — the test suite asserts this for every N —
+    but unlike the hand formulas they stay correct automatically for
+    any new program added to the registry.
+    """
+    from ..kir import build_program, direction_program, program_flops, \
+        program_mem_bytes
+
+    prog = build_program(direction_program(direction), n)
+    return program_flops(prog, nel), program_mem_bytes(prog, nel)
+
+
 def kernel_cost(
     direction: str,
     variant: str,
@@ -128,14 +164,24 @@ def kernel_cost(
     """
     if direction not in derivatives.DIRECTIONS:
         raise ValueError(f"unknown direction {direction!r}")
-    if variant not in derivatives.VARIANTS:
+    if variant in derivatives.VARIANTS:
+        coeff_variant = variant
+        fl = derivatives.flops(n, nel) * steps
+        mb = derivatives.mem_bytes(n, nel) * steps
+    elif variant in GENERATED_VARIANT_CLASS:
+        # Generated kernels are priced from their IR: structural
+        # flop/byte counts come from the contraction list itself, the
+        # microarchitectural coefficients from the schedule's class.
+        coeff_variant = GENERATED_VARIANT_CLASS[variant]
+        fl, mb = ir_counts(direction, n, nel)
+        fl *= steps
+        mb *= steps
+    else:
         raise ValueError(f"unknown variant {variant!r}")
     machine = machine or MachineModel.preset("opteron6378")
-    ipf, cpi = _coeffs(direction, variant)
+    ipf, cpi = _coeffs(direction, coeff_variant)
     if direction in ("s", "r") and working_set_bytes(n) > machine.cpu.l1_dcache:
         cpi *= _L1_MISS_CPI_PENALTY
-    fl = derivatives.flops(n, nel) * steps
-    mb = derivatives.mem_bytes(n, nel) * steps
     instructions = fl * ipf
     cycles = instructions * cpi
     seconds = cycles / machine.cpu.ghz

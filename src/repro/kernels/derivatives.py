@@ -27,6 +27,14 @@ Two implementation strategies mirror the paper's loop study:
 ``einsum``
     numpy's contraction engine with path optimization; used as an
     independent cross-check in tests.
+``generated`` / ``auto``
+    Compiled from the contraction IR (:mod:`repro.kir`) instead of
+    hand-written: ``generated`` lowers the default GEMM schedule
+    (bitwise identical to ``fused``, and its ``plane``/``einsum``
+    schedules are bitwise identical to ``basic``/``einsum``); ``auto``
+    picks the fastest schedule per host via the persistent autotune
+    cache.  The hand-written variants above remain the references the
+    generated code is verified against.
 
 By default every variant returns a newly allocated ``(nel, N, N, N)``
 array; all are bit-for-bit interchangeable (same contraction order up
@@ -49,8 +57,14 @@ import numpy as np
 
 from .workspace import Workspace
 
-#: Variant names accepted by the public entry points.
+#: Hand-written variant names (kept as reference implementations).
 VARIANTS = ("basic", "fused", "einsum")
+#: Variants served by the generated-kernel library (:mod:`repro.kir`):
+#: ``generated`` is the static default schedule (GEMM form, the same
+#: algorithm as ``fused``), ``auto`` is the per-host autotuned winner.
+GENERATED_VARIANTS = ("generated", "auto")
+#: Everything the public entry points accept.
+ALL_VARIANTS = VARIANTS + GENERATED_VARIANTS
 #: Reference-direction names in CMT-nek order.
 DIRECTIONS = ("r", "s", "t")
 
@@ -221,6 +235,30 @@ _IMPLS: Dict[Tuple[str, str], Callable[..., np.ndarray]] = {
 }
 
 
+def _generated_derivative(
+    u: np.ndarray,
+    dmat: np.ndarray,
+    direction: str,
+    variant: str,
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    """Route one direction through the :mod:`repro.kir` library.
+
+    Validation (shape, contiguity, aliasing) stays here so generated
+    kernels keep exactly the hand-written variants' contract; the
+    library memoizes resolution, so the steady-state overhead is one
+    dict lookup.
+    """
+    from ..kir import default_library, direction_program
+
+    nel, n = _check(u, dmat)
+    out = _check_out(u, out)
+    kernel = default_library().resolve(
+        direction_program(direction), n, nel, variant=variant
+    )
+    return kernel.fn(u, dmat, out=out)
+
+
 def derivative(
     u: np.ndarray,
     dmat: np.ndarray,
@@ -229,12 +267,18 @@ def derivative(
     out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Dispatch ``d u / d{direction}`` to the requested variant."""
+    if variant in GENERATED_VARIANTS:
+        if direction not in DIRECTIONS:
+            raise ValueError(
+                f"unknown direction {direction!r}; directions: {DIRECTIONS}"
+            )
+        return _generated_derivative(u, dmat, direction, variant, out)
     try:
         impl = _IMPLS[(direction, variant)]
     except KeyError:
         raise ValueError(
             f"unknown derivative ({direction!r}, {variant!r}); "
-            f"directions: {DIRECTIONS}, variants: {VARIANTS}"
+            f"directions: {DIRECTIONS}, variants: {ALL_VARIANTS}"
         ) from None
     return impl(u, dmat, out=out)
 
@@ -279,7 +323,20 @@ def grad(
 
     ``out``, when given, is a triple of preallocated result arrays
     (one per direction), e.g. from :func:`grad_workspace`.
+
+    The generated variants use the single fused ``grad`` IR program
+    (one kernel for all three directions) instead of three dispatches.
     """
+    if variant in GENERATED_VARIANTS:
+        from ..kir import default_library
+
+        nel, n = _check(u, dmat)
+        outs = tuple(
+            _check_out(u, o)
+            for o in ((None, None, None) if out is None else out)
+        )
+        kernel = default_library().resolve("grad", n, nel, variant=variant)
+        return kernel.fn(u, dmat, out=outs)
     o_r, o_s, o_t = (None, None, None) if out is None else out
     return (
         derivative(u, dmat, "r", variant, out=o_r),

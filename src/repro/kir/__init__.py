@@ -1,0 +1,112 @@
+"""Kernel IR: contraction programs, rewrite passes, numpy codegen.
+
+The tensor-product kernels of CMT-bone (derivative evaluation, the
+spectral interpolation pair behind over-integration dealiasing) are
+all instances of one pattern: a small stationary operator matrix
+contracted along one axis of a streamed ``(nel, N, N, N)`` tensor.
+This package represents that pattern explicitly —
+
+* :mod:`repro.kir.ir` — the contraction IR (tensors, ``Contract`` /
+  ``Add`` / ``Scale`` / ``Permute`` ops, validated ``Program``s) plus
+  the program builders for ``dudr``/``duds``/``dudt``, ``grad`` and
+  the dealias interpolations, and IR-derived flop/byte counts;
+* :mod:`repro.kir.passes` — rewrite passes (GEMM batching, unroll by
+  plane, middle-axis transposition, contraction-chain reassociation)
+  composed into named schedules;
+* :mod:`repro.kir.lower` — lowering of scheduled programs to
+  executable numpy source (``compile``/``exec``, cached) with a
+  documented seam for future cffi/numba backends;
+* :mod:`repro.kir.autotune` — per-host persistent schedule selection;
+* :mod:`repro.kir.library` — the ``(program, N, Nel, variant)`` ->
+  callable dispatch tier used by :mod:`repro.kernels`.
+
+See ``docs/kernel-ir.md`` for the grammar and the pass pipeline.
+"""
+
+from .autotune import (
+    CACHE_STATS,
+    TuneResult,
+    cache_key,
+    default_cache_path,
+    load_cache,
+    save_cache,
+    tune_program,
+)
+from .ir import (
+    BATCH_AXIS,
+    Add,
+    Contract,
+    Permute,
+    Program,
+    PROGRAMS,
+    Scale,
+    Tensor,
+    build_program,
+    direction_program,
+    program_flops,
+    program_mem_bytes,
+    tensor,
+)
+from .library import (
+    DEFAULT_SCHEDULE,
+    KernelLibrary,
+    LIBRARY_VARIANTS,
+    default_library,
+    reset_default_library,
+)
+from .lower import (
+    DEFAULT_LOWERING,
+    LOWERINGS,
+    LoweredKernel,
+    NumpyLowering,
+    compiled_kernel_count,
+    lower,
+    lowered_kernel,
+)
+from .passes import (
+    ORDER_PRESERVING,
+    SCHEDULES,
+    Scheduled,
+    applicable_schedules,
+    schedule,
+)
+
+__all__ = [
+    "BATCH_AXIS",
+    "Add",
+    "CACHE_STATS",
+    "Contract",
+    "DEFAULT_LOWERING",
+    "DEFAULT_SCHEDULE",
+    "KernelLibrary",
+    "LIBRARY_VARIANTS",
+    "LOWERINGS",
+    "LoweredKernel",
+    "NumpyLowering",
+    "ORDER_PRESERVING",
+    "PROGRAMS",
+    "Permute",
+    "Program",
+    "SCHEDULES",
+    "Scale",
+    "Scheduled",
+    "Tensor",
+    "TuneResult",
+    "applicable_schedules",
+    "build_program",
+    "cache_key",
+    "compiled_kernel_count",
+    "default_cache_path",
+    "default_library",
+    "direction_program",
+    "load_cache",
+    "lower",
+    "lowered_kernel",
+    "program_flops",
+    "program_mem_bytes",
+    "reset_default_library",
+    "save_cache",
+    "schedule",
+    "tensor",
+    "tune_program",
+]

@@ -1,0 +1,301 @@
+"""Persistent per-host autotuning of generated kernel schedules.
+
+Mirrors the gather-scatter setup-time tuner (``repro.gs.autotune``,
+paper Section VI) at the kernel tier: for a concrete ``(program, N,
+Nel)`` problem, time every applicable schedule from
+:data:`repro.kir.passes.SCHEDULES` and remember the winner.
+
+Because kernel timings depend only on the machine (not the run), the
+winner table is persisted to a small JSON file keyed by a host
+fingerprint, so the measurement cost is paid once per host::
+
+    {
+      "version": 1,
+      "hosts": {
+        "<node>/<machine>/<system>": {
+          "dudr:n10:nel64:numpy": {
+            "schedule": "gemm",
+            "timings": {"gemm": 1.2e-4, "plane": 9.8e-4, ...},
+            "checked": ["gemm", "plane", ...]
+          }
+        }
+      }
+    }
+
+The file location is ``$REPRO_CACHE_DIR/kernel-autotune.json`` when
+the environment variable is set (tests and CI point it at a temp
+directory), else ``~/.cache/repro/kernel-autotune.json``.  Writes are
+atomic (tmp file + ``os.replace``); a missing, corrupt, or
+wrong-version file degrades to an empty cache with a warning rather
+than an error.  :data:`CACHE_STATS` counts hits and misses so a warm
+second run is observable.
+
+Candidates are screened for correctness before they are timed: each
+schedule's output must match the reference schedule to ``allclose``
+with ``rtol=1e-10`` (schedules in
+:data:`repro.kir.passes.ORDER_PRESERVING` are additionally
+bitwise-identical to their hand-written counterparts by construction,
+which the test suite asserts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autotune import best_time, host_fingerprint
+from .ir import BATCH_AXIS, Program
+from .lower import DEFAULT_LOWERING, LoweredKernel, lowered_kernel
+from .passes import ORDER_PRESERVING, applicable_schedules
+
+CACHE_VERSION = 1
+CACHE_FILENAME = "kernel-autotune.json"
+
+#: Normwise relative tolerance for the candidate correctness screen
+#: (``max|got - ref| <= SCREEN_RTOL * max|ref|`` — elementwise rtol is
+#: meaningless at near-zero entries of a reassociated contraction).
+SCREEN_RTOL = 1e-10
+
+
+def _screen_close(got: np.ndarray, ref: np.ndarray) -> bool:
+    scale = float(np.max(np.abs(ref))) if ref.size else 0.0
+    if scale == 0.0:
+        return not np.any(got)
+    return float(np.max(np.abs(got - ref))) <= SCREEN_RTOL * scale
+
+
+@dataclass
+class CacheStats:
+    """Process-wide cache telemetry (reset per test)."""
+
+    hits: int = 0
+    misses: int = 0
+    load_errors: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.load_errors = 0
+
+
+CACHE_STATS = CacheStats()
+
+
+def default_cache_path() -> str:
+    """Resolve the autotune cache file path (env-overridable)."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if not root:
+        root = os.path.join(os.path.expanduser("~"), ".cache", "repro")
+    return os.path.join(root, CACHE_FILENAME)
+
+
+def cache_key(
+    program: str, n: int, nel: int, lowering: str = DEFAULT_LOWERING
+) -> str:
+    return f"{program}:n{n}:nel{nel}:{lowering}"
+
+
+def load_cache(path: str) -> Dict[str, Dict[str, dict]]:
+    """Read the host table; tolerate missing/corrupt/stale files."""
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return {}
+    except (OSError, json.JSONDecodeError) as exc:
+        CACHE_STATS.load_errors += 1
+        warnings.warn(
+            f"kernel autotune cache {path!r} unreadable ({exc}); "
+            "retuning from scratch",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return {}
+    if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+        CACHE_STATS.load_errors += 1
+        warnings.warn(
+            f"kernel autotune cache {path!r} has unsupported layout; "
+            "retuning from scratch",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return {}
+    hosts = data.get("hosts")
+    return hosts if isinstance(hosts, dict) else {}
+
+
+def save_cache(path: str, hosts: Dict[str, Dict[str, dict]]) -> None:
+    """Atomically persist the host table (tmp + rename)."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    payload = {"version": CACHE_VERSION, "hosts": hosts}
+    fd, tmp = tempfile.mkstemp(
+        prefix=CACHE_FILENAME + ".", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """Outcome of tuning one ``(program, n, nel)`` problem."""
+
+    program: str
+    n: int
+    nel: int
+    lowering: str
+    schedule: str
+    #: schedule -> best seconds per call (empty when served from cache
+    #: with no re-measurement).
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: schedules that passed the correctness screen.
+    checked: Tuple[str, ...] = ()
+    from_cache: bool = False
+
+
+def _synth_inputs(prog: Program, nel: int, seed: int) -> List[np.ndarray]:
+    """Random float64 inputs matching the program's declared shapes."""
+    rng = np.random.default_rng(seed)
+    arrays: List[np.ndarray] = []
+    for t in prog.inputs:
+        shape = tuple(nel if d is None else d for d in t.dims)
+        arrays.append(rng.standard_normal(shape))
+    return arrays
+
+
+def _as_tuple(result) -> Tuple[np.ndarray, ...]:
+    return result if isinstance(result, tuple) else (result,)
+
+
+def tune_program(
+    prog: Program,
+    nel: int,
+    lowering: str = DEFAULT_LOWERING,
+    cache_path: Optional[str] = None,
+    use_cache: bool = True,
+    repeats: int = 2,
+    trials: int = 3,
+    seed: int = 20260807,
+    candidates: Optional[Sequence[str]] = None,
+) -> TuneResult:
+    """Pick the fastest correct schedule for ``prog`` at size ``nel``.
+
+    With ``use_cache`` (the default), a valid persisted entry for this
+    host and problem short-circuits the measurement entirely and bumps
+    ``CACHE_STATS.hits``; otherwise the candidates are screened, timed
+    with :func:`repro.autotune.best_time`, and the winner is written
+    back to the cache file.
+    """
+    n = prog.params.get("n", 0)
+    path = cache_path if cache_path is not None else default_cache_path()
+    names = list(candidates) if candidates is not None \
+        else applicable_schedules(prog)
+    if not names:
+        raise ValueError(f"{prog.name}: no applicable schedules")
+    key = cache_key(prog.name, n, nel, lowering)
+    host = host_fingerprint()
+    hosts = load_cache(path) if use_cache else {}
+    entry = hosts.get(host, {}).get(key)
+    if use_cache and isinstance(entry, dict):
+        sched = entry.get("schedule")
+        if sched in names:
+            CACHE_STATS.hits += 1
+            timings = entry.get("timings")
+            return TuneResult(
+                program=prog.name,
+                n=n,
+                nel=nel,
+                lowering=lowering,
+                schedule=sched,
+                timings=dict(timings) if isinstance(timings, dict) else {},
+                checked=tuple(entry.get("checked", ())),
+                from_cache=True,
+            )
+    CACHE_STATS.misses += 1
+
+    inputs = _synth_inputs(prog, nel, seed)
+    kernels: Dict[str, LoweredKernel] = {
+        name: lowered_kernel(prog, name, lowering) for name in names
+    }
+    # Correctness screen against the first order-preserving candidate
+    # (falls back to the first candidate overall).
+    ref_name = next(
+        (s for s in names if s in ORDER_PRESERVING), names[0]
+    )
+    reference = _as_tuple(kernels[ref_name].fn(*inputs))
+    checked: List[str] = []
+    for name in names:
+        got = _as_tuple(kernels[name].fn(*inputs))
+        ok = all(
+            _screen_close(g, r) for g, r in zip(got, reference)
+        )
+        if ok:
+            checked.append(name)
+        else:
+            warnings.warn(
+                f"{prog.name} schedule {name!r} failed the correctness "
+                "screen; excluded from tuning",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    if not checked:
+        raise RuntimeError(
+            f"{prog.name}: every candidate schedule failed the screen"
+        )
+
+    timings: Dict[str, float] = {}
+    for name in checked:
+        fn = kernels[name].fn
+        timings[name] = best_time(
+            lambda: fn(*inputs), repeats=repeats, trials=trials
+        )
+    winner = min(timings, key=lambda s: timings[s])
+    result = TuneResult(
+        program=prog.name,
+        n=n,
+        nel=nel,
+        lowering=lowering,
+        schedule=winner,
+        timings=timings,
+        checked=tuple(checked),
+        from_cache=False,
+    )
+    if use_cache:
+        hosts = load_cache(path)
+        hosts.setdefault(host, {})[key] = {
+            "schedule": winner,
+            "timings": timings,
+            "checked": checked,
+        }
+        try:
+            save_cache(path, hosts)
+        except OSError as exc:
+            warnings.warn(
+                f"could not persist autotune cache to {path!r}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return result
+
+
+def batch_axis_extent(prog: Program, arrays: Sequence[np.ndarray]) -> int:
+    """Element count of the streamed operand (for cache keys)."""
+    for t, a in zip(prog.inputs, arrays):
+        if BATCH_AXIS in t.axes:
+            return int(a.shape[0])
+    raise ValueError(f"{prog.name}: no streamed input")

@@ -1,0 +1,131 @@
+"""KernelLibrary: (program, N, Nel, variant) -> compiled callable.
+
+This is the dispatch tier that ``repro.kernels`` talks to.  The
+library owns variant resolution policy:
+
+* ``"generated"`` — the statically chosen default schedule
+  (:data:`DEFAULT_SCHEDULE`, the fully fused GEMM form — the same
+  algorithm as the hand-written ``fused`` variant);
+* ``"auto"`` — per-host autotuned: the first request for a given
+  ``(program, n, nel)`` runs :func:`repro.kir.autotune.tune_program`
+  (served from the persistent cache when warm) and pins the winner;
+* a schedule name (``gemm``, ``plane``, ``einsum``, ``tbatch``,
+  ``gemm_rev``) — that exact schedule, mostly for tests and benches.
+
+Resolved callables are memoized, so steady-state dispatch is one dict
+lookup per call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .autotune import tune_program
+from .ir import build_program
+from .lower import DEFAULT_LOWERING, LoweredKernel, lowered_kernel
+from .passes import SCHEDULES, applicable_schedules
+
+#: Schedule used by the non-tuned ``generated`` variant.
+DEFAULT_SCHEDULE = "gemm"
+
+#: Variants the library accepts (beyond literal schedule names).
+LIBRARY_VARIANTS = ("generated", "auto")
+
+
+class KernelLibrary:
+    """Resolve kernel requests to compiled generated callables."""
+
+    def __init__(
+        self,
+        lowering: str = DEFAULT_LOWERING,
+        cache_path: Optional[str] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.lowering = lowering
+        self.cache_path = cache_path
+        self.use_cache = use_cache
+        self._resolved: Dict[
+            Tuple[str, int, Optional[int], int, str], LoweredKernel
+        ] = {}
+        self._tuned: Dict[Tuple[str, int, Optional[int], int], str] = {}
+
+    def resolve(
+        self,
+        program: str,
+        n: int,
+        nel: int,
+        variant: str = "generated",
+        m: Optional[int] = None,
+    ) -> LoweredKernel:
+        """Return the compiled kernel for one concrete problem.
+
+        ``variant`` is ``"generated"``, ``"auto"``, or a schedule
+        name.  ``nel`` only influences ``"auto"`` (the tuning key);
+        the other variants compile one kernel per ``(program, n)``.
+        """
+        sched = self._schedule_for(program, n, nel, variant, m)
+        key = (program, n, m, 0 if variant != "auto" else nel, sched)
+        hit = self._resolved.get(key)
+        if hit is None:
+            prog = build_program(program, n, m=m)
+            hit = lowered_kernel(prog, sched, self.lowering)
+            self._resolved[key] = hit
+        return hit
+
+    def _schedule_for(
+        self,
+        program: str,
+        n: int,
+        nel: int,
+        variant: str,
+        m: Optional[int],
+    ) -> str:
+        if variant == "generated":
+            return DEFAULT_SCHEDULE
+        if variant in SCHEDULES:
+            return variant
+        if variant != "auto":
+            raise ValueError(
+                f"unknown kernel variant {variant!r}; expected "
+                f"{LIBRARY_VARIANTS + tuple(SCHEDULES)}"
+            )
+        tkey = (program, n, m, nel)
+        sched = self._tuned.get(tkey)
+        if sched is None:
+            prog = build_program(program, n, m=m)
+            result = tune_program(
+                prog,
+                nel,
+                lowering=self.lowering,
+                cache_path=self.cache_path,
+                use_cache=self.use_cache,
+            )
+            sched = result.schedule
+            self._tuned[tkey] = sched
+        return sched
+
+    def schedules(self, program: str, n: int, m: Optional[int] = None):
+        """Applicable schedule names for a program (introspection)."""
+        return applicable_schedules(build_program(program, n, m=m))
+
+    def clear(self) -> None:
+        """Drop memoized resolutions (tests)."""
+        self._resolved.clear()
+        self._tuned.clear()
+
+
+_DEFAULT: Optional[KernelLibrary] = None
+
+
+def default_library() -> KernelLibrary:
+    """Process-wide library used by the ``repro.kernels`` dispatchers."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = KernelLibrary()
+    return _DEFAULT
+
+
+def reset_default_library() -> None:
+    """Forget the process-wide library (tests swap cache paths)."""
+    global _DEFAULT
+    _DEFAULT = None

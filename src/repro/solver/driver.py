@@ -75,6 +75,8 @@ class SolverConfig:
 
     flux_scheme: str = "lax_friedrichs"
     time_stepper: str = "ssprk3"
+    #: "basic"/"fused"/"einsum" (hand-written) or "generated"/"auto"
+    #: (compiled from the contraction IR; "auto" autotunes per host).
     kernel_variant: str = "fused"
     gs_method: Optional[str] = None     # None -> autotune at setup
     autotune_trials: int = 2
@@ -391,14 +393,50 @@ class CMTSolver:
         nel_b = u.shape[1]
         eos = self.eos
         if self.config.dealias:
-            from ..kernels.dealias import dealias_flops, to_coarse, to_fine
+            from ..kernels.dealias import (
+                dealias_flops,
+                dealias_order,
+                to_coarse,
+                to_fine,
+            )
 
-            uf_fine = np.stack([to_fine(u[c], n) for c in range(NEQ)])
-            ffx, ffy, ffz = euler_fluxes(uf_fine, eos)
-            m = uf_fine.shape[2]
-            fx = np.stack([to_coarse(ffx[c], n, m) for c in range(NEQ)])
-            fy = np.stack([to_coarse(ffy[c], n, m) for c in range(NEQ)])
-            fz = np.stack([to_coarse(ffz[c], n, m) for c in range(NEQ)])
+            variant = self.config.kernel_variant
+            dvariant = variant if variant in ("generated", "auto") else "fused"
+            m = dealias_order(n)
+            work = self._work
+            if work is not None:
+                uf_fine = work.buffer(
+                    (NEQ, nel_b, m, m, m), u.dtype, key="dealias:uf"
+                )
+                fout = (
+                    work.like(uf_fine, key="dealias:ffx"),
+                    work.like(uf_fine, key="dealias:ffy"),
+                    work.like(uf_fine, key="dealias:ffz"),
+                )
+                fx = work.like(u, key="flux:x")
+                fy = work.like(u, key="flux:y")
+                fz = work.like(u, key="flux:z")
+            else:
+                uf_fine = np.empty((NEQ, nel_b, m, m, m), dtype=u.dtype)
+                fout = None
+                fx = np.empty_like(u)
+                fy = np.empty_like(u)
+                fz = np.empty_like(u)
+            for c in range(NEQ):
+                to_fine(
+                    u[c], n, m, out=uf_fine[c], work=work, variant=dvariant
+                )
+            ffx, ffy, ffz = euler_fluxes(uf_fine, eos, out=fout)
+            for c in range(NEQ):
+                to_coarse(
+                    ffx[c], n, m, out=fx[c], work=work, variant=dvariant
+                )
+                to_coarse(
+                    ffy[c], n, m, out=fy[c], work=work, variant=dvariant
+                )
+                to_coarse(
+                    ffz[c], n, m, out=fz[c], work=work, variant=dvariant
+                )
             # NEQ fields up + 3*NEQ flux components down = 2*NEQ
             # roundtrip-pair equivalents.
             self._charge(

@@ -2,7 +2,10 @@
 
 import pytest
 
+from repro.kernels import derivatives
 from repro.kernels.counters import (
+    GENERATED_VARIANT_CLASS,
+    ir_counts,
     kernel_cost,
     roofline_seconds,
     speedup,
@@ -118,3 +121,55 @@ class TestInterface:
             kernel_cost(d, "fused", 6, 20, machine=m).seconds for d in "rst"
         )
         assert total == pytest.approx(parts)
+
+
+class TestIRPricing:
+    """Generated variants are priced from the contraction IR itself."""
+
+    @pytest.mark.parametrize("direction", ["r", "s", "t"])
+    @pytest.mark.parametrize("n", range(5, 26))
+    def test_ir_counts_match_hand_formulas(self, direction, n):
+        """IR-derived flops/bytes == 2N^4 nel / 16N^3 nel for every N."""
+        nel = 17
+        fl, mb = ir_counts(direction, n, nel)
+        assert fl == derivatives.flops(n, nel)
+        assert mb == derivatives.mem_bytes(n, nel)
+
+    @pytest.mark.parametrize("direction", ["r", "s", "t"])
+    @pytest.mark.parametrize("n", [5, 13, 25])
+    @pytest.mark.parametrize(
+        "variant", ["basic", "fused", "einsum"]
+    )
+    def test_hand_variant_counts_equal_ir(self, direction, n, variant):
+        """The hand variants and IR pricing agree on the structural
+        counts (the microarchitectural coefficients differ by class)."""
+        hand = kernel_cost(direction, variant, n, 9)
+        fl, mb = ir_counts(direction, n, 9)
+        assert hand.flops == fl
+        assert hand.mem_bytes == mb
+
+    @pytest.mark.parametrize("variant", sorted(GENERATED_VARIANT_CLASS))
+    def test_every_generated_variant_priced(self, variant):
+        c = kernel_cost("s", variant, 10, 12)
+        assert c.flops == derivatives.flops(10, 12)
+        assert c.instructions > 0 and c.cycles > 0 and c.seconds > 0
+
+    def test_generated_prices_as_fused_class(self):
+        """'generated'/'auto' deliberately price as the default GEMM
+        schedule so virtual metrics stay host-independent."""
+        for d in "rst":
+            fused = kernel_cost(d, "fused", 8, 20)
+            for v in ("generated", "auto", "gemm"):
+                gen = kernel_cost(d, v, 8, 20)
+                assert gen.seconds == fused.seconds
+                assert gen.instructions == fused.instructions
+
+    def test_plane_schedule_prices_as_basic(self):
+        basic = kernel_cost("t", "basic", 8, 20)
+        plane = kernel_cost("t", "plane", 8, 20)
+        assert plane.seconds == basic.seconds
+
+    def test_generated_variants_listed_in_kernels_namespace(self):
+        assert set(derivatives.GENERATED_VARIANTS) <= set(
+            GENERATED_VARIANT_CLASS
+        )

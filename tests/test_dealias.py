@@ -78,6 +78,58 @@ class TestRoundtrip:
         np.testing.assert_allclose(twice, once, atol=1e-10)
 
 
+class TestOutWorkspace:
+    """``out=``/``work=`` paths are bitwise identical to allocating."""
+
+    @pytest.mark.parametrize("n", [5, 8, 20])
+    def test_to_fine_out_bitwise(self, n):
+        from repro.kernels.dealias import dealias_order
+        from repro.kernels.workspace import Workspace
+
+        rng = np.random.default_rng(n)
+        u = rng.standard_normal((3, n, n, n))
+        m = dealias_order(n)
+        ref = to_fine(u, n)
+        out = np.empty((3, m, m, m))
+        work = Workspace()
+        res = to_fine(u, n, out=out, work=work)
+        assert res is out
+        assert np.array_equal(out, ref)
+        # second call through the same workspace: same answer
+        assert np.array_equal(to_fine(u, n, out=out, work=work), ref)
+
+    def test_roundtrip_workspace_bitwise(self):
+        from repro.kernels.workspace import Workspace
+
+        rng = np.random.default_rng(9)
+        u = rng.standard_normal((2, 6, 6, 6))
+        ref = roundtrip(u, 6)
+        work = Workspace()
+        got = roundtrip(u, 6, out=np.empty_like(u), work=work)
+        assert np.array_equal(got, ref)
+
+    def test_out_validation(self):
+        u = np.zeros((1, 5, 5, 5))
+        with pytest.raises(ValueError, match="shape"):
+            to_fine(u, 5, out=np.empty((1, 5, 5, 5)))
+        with pytest.raises(ValueError, match="C-contiguous"):
+            to_coarse(
+                np.zeros((1, 8, 8, 8)), 5,
+                out=np.empty((1, 5, 10, 5))[:, :, ::2, :],
+            )
+
+    def test_generated_variant_matches_fused(self):
+        rng = np.random.default_rng(4)
+        u = rng.standard_normal((2, 6, 6, 6))
+        assert np.array_equal(
+            to_fine(u, 6, variant="generated"), to_fine(u, 6)
+        )
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ValueError, match="variant"):
+            to_fine(np.zeros((1, 5, 5, 5)), 5, variant="magic")
+
+
 class TestHelpers:
     def test_shapes(self):
         assert shapes(4) == (4, 6)

@@ -1,0 +1,519 @@
+"""Kernel IR: contraction programs, passes, codegen, autotune, library.
+
+The heart of this suite is the bitwise acceptance matrix: for every
+registered program and every N in the paper's 5..25 sweep, each
+generated schedule must be bit-for-bit identical to the hand-written
+variant of the same loop structure (``gemm`` ≡ ``fused``, ``plane`` ≡
+``basic``, ``einsum`` ≡ ``einsum``) — codegen introduces *zero*
+numerical change.  Schedules with a genuinely different contraction
+order (``tbatch``, ``gemm_rev``) are held to a normwise 1e-10 screen
+instead, the same screen the autotuner applies to candidates.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import kir
+from repro.autotune import best_time, host_fingerprint, time_trials
+from repro.kernels import dealias as dl
+from repro.kernels import derivatives as dk
+from repro.kernels.operators import interpolation_matrix
+from repro.kernels.workspace import Workspace
+
+ALL_N = range(5, 26)
+
+
+def close(a, b, rtol=1e-10):
+    """Normwise comparison (elementwise rtol is meaningless at zeros)."""
+    return np.abs(np.asarray(a) - np.asarray(b)).max() <= (
+        rtol * np.abs(np.asarray(b)).max()
+    )
+
+
+def field(n, nel=2, seed=None):
+    rng = np.random.default_rng(100 * n if seed is None else seed)
+    return rng.standard_normal((nel, n, n, n))
+
+
+def dmatrix(n):
+    return np.random.default_rng(7 * n).standard_normal((n, n))
+
+
+# ---------------------------------------------------------------------
+# IR layer
+# ---------------------------------------------------------------------
+
+
+class TestIR:
+    def test_programs_registered(self):
+        assert set(kir.PROGRAMS) == {
+            "dudr", "duds", "dudt", "grad", "interp_fine", "interp_coarse"
+        }
+
+    @pytest.mark.parametrize("name", ["dudr", "duds", "dudt"])
+    def test_derivative_flops_match_hand_formula(self, name):
+        for n in ALL_N:
+            prog = kir.build_program(name, n)
+            assert kir.program_flops(prog, 9) == dk.flops(n, 9)
+            assert kir.program_mem_bytes(prog, 9) == dk.mem_bytes(n, 9)
+
+    def test_grad_counts_are_three_directions(self):
+        prog = kir.build_program("grad", 8)
+        assert kir.program_flops(prog, 4) == dk.flops(8, 4, ndirections=3)
+        # per-contraction streamed traffic: 3 x (read u + write out),
+        # the same model as the hand formula's ndirections=3
+        assert kir.program_mem_bytes(prog, 4) == dk.mem_bytes(
+            8, 4, ndirections=3
+        )
+
+    def test_interp_flops_match_dealias_formula(self):
+        for n in (5, 10, 17):
+            fine = kir.build_program("interp_fine", n)
+            coarse = kir.build_program("interp_coarse", n)
+            pair = kir.program_flops(fine, 3) + kir.program_flops(coarse, 3)
+            assert pair == dl.dealias_flops(n, nel=3)
+
+    def test_build_program_cached(self):
+        assert kir.build_program("dudr", 9) is kir.build_program("dudr", 9)
+
+    def test_contract_spec(self):
+        prog = kir.build_program("duds", 6)
+        (op,) = prog.body
+        assert op.spec == "jm,eimk->eijk"
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(KeyError):
+            kir.build_program("nope", 5)
+
+    def test_program_validation_rejects_unknown_reads(self):
+        t = kir.tensor
+        with pytest.raises(ValueError):
+            kir.Program(
+                name="bad",
+                inputs=(t("u", "eijk", i=4, j=4, k=4),),
+                outputs=(t("o", "eijk", i=4, j=4, k=4),),
+                body=(
+                    kir.Contract(
+                        out=t("o", "eijk", i=4, j=4, k=4),
+                        a=t("W", "im", i=4, m=4),  # W never declared
+                        b=t("u", "emjk", m=4, j=4, k=4),
+                        sum_axes=("m",),
+                    ),
+                ),
+                params={"n": 4},
+            )
+
+
+# ---------------------------------------------------------------------
+# passes / schedules
+# ---------------------------------------------------------------------
+
+
+class TestSchedules:
+    def test_default_schedule_is_first_candidate(self):
+        assert next(iter(kir.SCHEDULES)) == kir.DEFAULT_SCHEDULE
+
+    def test_derivative_schedules(self):
+        prog = kir.build_program("dudr", 6)
+        scheds = kir.applicable_schedules(prog)
+        assert "gemm" in scheds and "plane" in scheds and "einsum" in scheds
+
+    def test_tbatch_not_applicable_to_dudt(self):
+        # dudt contracts the last axis: already a right-apply GEMM, no
+        # middle-axis obstruction to transpose away.
+        prog = kir.build_program("dudt", 6)
+        assert "tbatch" not in kir.applicable_schedules(prog)
+
+    def test_tbatch_applicable_to_duds(self):
+        prog = kir.build_program("duds", 6)
+        assert "tbatch" in kir.applicable_schedules(prog)
+
+    def test_gemm_rev_only_for_chains(self):
+        assert "gemm_rev" not in kir.applicable_schedules(
+            kir.build_program("dudr", 6)
+        )
+        assert "gemm_rev" in kir.applicable_schedules(
+            kir.build_program("interp_fine", 6)
+        )
+
+    def test_unknown_schedule_raises(self):
+        with pytest.raises(KeyError):
+            kir.schedule(kir.build_program("dudr", 5), "warp")
+
+    def test_describe_mentions_every_op(self):
+        sched = kir.schedule(kir.build_program("interp_fine", 5), "gemm")
+        text = sched.describe()
+        assert "interp_fine" in text and "gemm" in text
+
+
+# ---------------------------------------------------------------------
+# lowering / codegen
+# ---------------------------------------------------------------------
+
+
+class TestLowering:
+    def test_source_attached_and_cached(self):
+        prog = kir.build_program("dudr", 7)
+        k1 = kir.lowered_kernel(prog, "gemm")
+        k2 = kir.lowered_kernel(prog, "gemm")
+        assert k1 is k2
+        assert "np.matmul" in k1.source
+        assert k1.fn.__kir_source__ == k1.source
+
+    def test_unknown_lowering_raises(self):
+        with pytest.raises(KeyError):
+            kir.lower(kir.schedule(kir.build_program("dudr", 5), "gemm"),
+                      lowering="cuda")
+
+    def test_dump_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_KIR_DUMP", str(tmp_path))
+        sched = kir.schedule(kir.build_program("duds", 11), "plane")
+        kir.lower(sched)
+        files = list(tmp_path.glob("*.py"))
+        assert len(files) == 1
+        text = files[0].read_text()
+        assert "duds" in text and "def " in text
+
+    def test_workspace_temps_reused(self):
+        prog = kir.build_program("interp_fine", 6)
+        fn = kir.lowered_kernel(prog, "gemm").fn
+        u = field(6)
+        J = np.asarray(interpolation_matrix(6, dl.dealias_order(6)))
+        work = Workspace()
+        a = fn(u, J, work=work).copy()
+        b = fn(u, J, work=work)
+        assert np.array_equal(a, b)
+        # the two intermediates came from the pool under kir: keys
+        keys = {k[0] for k in getattr(work, "_buffers", {})}
+        if keys:  # only introspect if the pool exposes its dict
+            assert any(str(k).startswith("kir:interp_fine") for k in keys)
+
+
+# ---------------------------------------------------------------------
+# the bitwise acceptance matrix
+# ---------------------------------------------------------------------
+
+
+class TestBitwiseMatrix:
+    """Generated == hand-written, bit for bit, N = 5..25."""
+
+    @pytest.mark.parametrize("direction", ["r", "s", "t"])
+    def test_derivative_programs(self, direction):
+        for n in ALL_N:
+            u, D = field(n), dmatrix(n)
+            prog = kir.build_program(kir.direction_program(direction), n)
+            refs = {
+                "gemm": dk.derivative(u, D, direction, "fused"),
+                "plane": dk.derivative(u, D, direction, "basic"),
+                "einsum": dk.derivative(u, D, direction, "einsum"),
+            }
+            for s in kir.applicable_schedules(prog):
+                got = kir.lowered_kernel(prog, s).fn(u, D)
+                if s in refs:
+                    assert np.array_equal(got, refs[s]), (n, direction, s)
+                else:
+                    assert close(got, refs["plane"]), (n, direction, s)
+
+    def test_grad_program(self):
+        for n in ALL_N:
+            u, D = field(n), dmatrix(n)
+            prog = kir.build_program("grad", n)
+            refs = {
+                "gemm": dk.grad(u, D, variant="fused"),
+                "plane": dk.grad(u, D, variant="basic"),
+                "einsum": dk.grad(u, D, variant="einsum"),
+            }
+            for s in kir.applicable_schedules(prog):
+                got = kir.lowered_kernel(prog, s).fn(u, D)
+                if s in refs:
+                    assert all(
+                        np.array_equal(g, r)
+                        for g, r in zip(got, refs[s])
+                    ), (n, "grad", s)
+                else:
+                    assert all(
+                        close(g, r) for g, r in zip(got, refs["plane"])
+                    ), (n, "grad", s)
+
+    def test_interp_programs(self):
+        for n in ALL_N:
+            u = field(n)
+            m = dl.dealias_order(n)
+            J = np.asarray(interpolation_matrix(n, m))
+            Jc = np.asarray(interpolation_matrix(m, n))
+            fine_ref = dl.to_fine(u, n)
+            coarse_ref = dl.to_coarse(fine_ref, n)
+            pf = kir.build_program("interp_fine", n)
+            pc = kir.build_program("interp_coarse", n)
+            for s in kir.applicable_schedules(pf):
+                got = kir.lowered_kernel(pf, s).fn(u, J)
+                if s == "gemm":
+                    assert np.array_equal(got, fine_ref), (n, s)
+                else:
+                    assert close(got, fine_ref), (n, s)
+            got = kir.lowered_kernel(pc, "gemm").fn(fine_ref, Jc)
+            assert np.array_equal(got, coarse_ref), n
+
+    def test_out_path_bitwise_matches_allocating(self):
+        for n in (5, 12, 20, 25):
+            u, D = field(n), dmatrix(n)
+            prog = kir.build_program("dudr", n)
+            for s in kir.applicable_schedules(prog):
+                fn = kir.lowered_kernel(prog, s).fn
+                out = np.empty_like(u)
+                fn(u, D, out=out)
+                assert np.array_equal(out, fn(u, D)), (n, s)
+
+
+# ---------------------------------------------------------------------
+# autotune + persistent cache
+# ---------------------------------------------------------------------
+
+
+@pytest.fixture
+def cache_path(tmp_path):
+    return str(tmp_path / "kernel-autotune.json")
+
+
+def quick_tune(prog, nel, path, **kw):
+    kw.setdefault("repeats", 1)
+    kw.setdefault("trials", 1)
+    return kir.tune_program(prog, nel, cache_path=path, **kw)
+
+
+class TestAutotune:
+    def test_cold_then_warm(self, cache_path):
+        kir.CACHE_STATS.reset()
+        prog = kir.build_program("dudr", 8)
+        cold = quick_tune(prog, 16, cache_path)
+        assert not cold.from_cache
+        assert kir.CACHE_STATS.misses == 1 and kir.CACHE_STATS.hits == 0
+        assert os.path.exists(cache_path)
+        warm = quick_tune(prog, 16, cache_path)
+        assert warm.from_cache
+        assert warm.schedule == cold.schedule
+        assert kir.CACHE_STATS.hits == 1 and kir.CACHE_STATS.misses == 1
+
+    def test_winner_beats_or_ties_candidates(self, cache_path):
+        prog = kir.build_program("duds", 10)
+        res = quick_tune(prog, 16, cache_path, repeats=2, trials=2)
+        assert res.timings[res.schedule] == min(res.timings.values())
+        assert set(res.checked) >= {"gemm"}
+
+    def test_cache_file_schema(self, cache_path):
+        prog = kir.build_program("dudt", 6)
+        quick_tune(prog, 8, cache_path)
+        with open(cache_path) as fh:
+            data = json.load(fh)
+        assert data["version"] == 1
+        entry = data["hosts"][host_fingerprint()][
+            kir.cache_key("dudt", 6, 8)
+        ]
+        assert entry["schedule"] in kir.SCHEDULES
+        assert entry["timings"][entry["schedule"]] > 0
+
+    def test_corrupt_cache_degrades_gracefully(self, cache_path):
+        prog = kir.build_program("dudr", 6)
+        with open(cache_path, "w") as fh:
+            fh.write("{ definitely not json")
+        kir.CACHE_STATS.reset()
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            res = quick_tune(prog, 8, cache_path)
+        assert not res.from_cache
+        assert kir.CACHE_STATS.load_errors >= 1
+        # and the retune healed the file
+        assert kir.load_cache(cache_path) != {}
+
+    def test_stale_version_degrades_gracefully(self, cache_path):
+        with open(cache_path, "w") as fh:
+            json.dump({"version": 99, "hosts": {}}, fh)
+        with pytest.warns(RuntimeWarning, match="unsupported"):
+            assert kir.load_cache(cache_path) == {}
+
+    def test_different_nel_is_a_different_key(self, cache_path):
+        kir.CACHE_STATS.reset()
+        prog = kir.build_program("dudr", 6)
+        quick_tune(prog, 8, cache_path)
+        quick_tune(prog, 24, cache_path)
+        assert kir.CACHE_STATS.misses == 2
+
+    def test_env_var_controls_default_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert kir.default_cache_path() == str(
+            tmp_path / "kernel-autotune.json"
+        )
+
+    def test_candidate_screen_excludes_wrong_results(self, cache_path):
+        # A broken lowering must be screened out, not tuned in.
+        prog = kir.build_program("dudr", 6)
+        real = kir.lowered_kernel(prog, "plane")
+        broken = kir.LoweredKernel(
+            program="dudr", schedule="plane", lowering="numpy",
+            fn=lambda u, D, out=None, work=None: np.zeros_like(u),
+            source="", )
+        import importlib
+
+        lower_mod = importlib.import_module("repro.kir.lower")
+        key = ("dudr", (("n", 6),), "plane", "numpy")
+        saved = lower_mod._KERNEL_CACHE.get(key)
+        lower_mod._KERNEL_CACHE[key] = broken
+        try:
+            with pytest.warns(RuntimeWarning, match="correctness"):
+                res = quick_tune(prog, 8, cache_path, use_cache=False)
+            assert "plane" not in res.checked
+            assert res.schedule != "plane"
+        finally:
+            if saved is not None:
+                lower_mod._KERNEL_CACHE[key] = saved
+            else:
+                del lower_mod._KERNEL_CACHE[key]
+        assert np.array_equal(
+            kir.lowered_kernel(prog, "plane").fn(field(6), dmatrix(6)),
+            real.fn(field(6), dmatrix(6)),
+        )
+
+
+# ---------------------------------------------------------------------
+# library + kernels-layer dispatch
+# ---------------------------------------------------------------------
+
+
+class TestLibrary:
+    def test_generated_resolves_default_schedule(self):
+        lib = kir.KernelLibrary(use_cache=False)
+        k = lib.resolve("dudr", 8, 16, variant="generated")
+        assert k.schedule == kir.DEFAULT_SCHEDULE
+        assert lib.resolve("dudr", 8, 16, variant="generated") is k
+
+    def test_explicit_schedule_variant(self):
+        lib = kir.KernelLibrary(use_cache=False)
+        assert lib.resolve("dudr", 8, 16, variant="plane").schedule == "plane"
+
+    def test_unknown_variant_raises(self):
+        lib = kir.KernelLibrary(use_cache=False)
+        with pytest.raises(ValueError, match="unknown kernel variant"):
+            lib.resolve("dudr", 8, 16, variant="blazing")
+
+    def test_auto_uses_tuner_and_memoizes(self, cache_path):
+        lib = kir.KernelLibrary(cache_path=cache_path)
+        kir.CACHE_STATS.reset()
+        k1 = lib.resolve("dudt", 6, 8, variant="auto")
+        k2 = lib.resolve("dudt", 6, 8, variant="auto")
+        assert k1 is k2
+        assert kir.CACHE_STATS.misses == 1  # tuned exactly once
+
+    def test_schedules_introspection(self):
+        lib = kir.KernelLibrary()
+        assert "gemm" in lib.schedules("interp_fine", 6)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("variant", ["generated", "auto"])
+    def test_derivative_matches_fused_bitwise(self, variant, cache_path,
+                                              monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        for n in (5, 10, 20):
+            u, D = field(n), dmatrix(n)
+            ref = {
+                d: dk.derivative(u, D, d, "fused") for d in "rst"
+            }
+            for d in "rst":
+                got = dk.derivative(u, D, d, variant)
+                if variant == "generated":
+                    assert np.array_equal(got, ref[d]), (n, d)
+                else:
+                    assert close(got, ref[d]), (n, d)
+
+    def test_grad_generated_single_program(self):
+        u, D = field(9), dmatrix(9)
+        gg = dk.grad(u, D, variant="generated")
+        gf = dk.grad(u, D, variant="fused")
+        assert all(np.array_equal(a, b) for a, b in zip(gg, gf))
+
+    def test_generated_keeps_out_contract(self):
+        u, D = field(6), dmatrix(6)
+        with pytest.raises(ValueError, match="alias"):
+            dk.dudr(u, D, variant="generated", out=u)
+        with pytest.raises(ValueError, match="C-contiguous"):
+            dk.dudr(u, D, variant="generated",
+                    out=np.empty_like(u).transpose(0, 2, 1, 3))
+        out = np.empty_like(u)
+        res = dk.dudr(u, D, variant="generated", out=out)
+        assert res is out
+
+    def test_unknown_variant_error_lists_generated(self):
+        u, D = field(5), dmatrix(5)
+        with pytest.raises(ValueError, match="generated"):
+            dk.dudr(u, D, variant="vectorized")
+
+    def test_dealias_generated_bitwise(self):
+        for n in (5, 12, 20):
+            u = field(n)
+            work = Workspace()
+            ref = dl.to_fine(u, n)
+            gen = dl.to_fine(u, n, variant="generated", work=work)
+            assert np.array_equal(gen, ref), n
+            back_ref = dl.to_coarse(ref, n)
+            back_gen = dl.to_coarse(
+                ref, n, variant="generated",
+                out=np.empty_like(u), work=work,
+            )
+            assert np.array_equal(back_gen, back_ref), n
+
+    def test_dealias_out_variants(self):
+        u = field(7)
+        n = 7
+        m = dl.dealias_order(n)
+        work = Workspace()
+        ref = dl.to_fine(u, n)
+        out = np.empty((u.shape[0], m, m, m))
+        assert dl.to_fine(u, n, out=out, work=work) is out
+        assert np.array_equal(out, ref)
+        # contiguous view over the same buffer: the alias guard, not
+        # the contiguity check, must fire
+        alias_out = ref.reshape(-1)[: ref.shape[0] * n**3].reshape(
+            ref.shape[0], n, n, n
+        )
+        with pytest.raises(ValueError, match="alias"):
+            dl.to_coarse(ref, n, out=alias_out)
+        with pytest.raises(ValueError, match="unknown dealias variant"):
+            dl.to_fine(u, n, variant="loopy")
+        rt_ref = dl.roundtrip(u, n)
+        rt = dl.roundtrip(u, n, out=np.empty_like(u), work=work)
+        assert np.array_equal(rt, rt_ref)
+
+
+# ---------------------------------------------------------------------
+# shared tuning helpers (repro.autotune)
+# ---------------------------------------------------------------------
+
+
+class TestSharedAutotune:
+    def test_host_fingerprint_shape(self):
+        fp = host_fingerprint()
+        assert fp.count("/") == 2 and len(fp) > 2
+
+    def test_time_trials_counts_calls(self):
+        calls = []
+        dt = time_trials(lambda: calls.append(1), trials=3, warmup=2)
+        assert len(calls) == 5
+        assert dt >= 0.0
+
+    def test_time_trials_sync_called(self):
+        syncs = []
+        time_trials(lambda: None, trials=1, warmup=0,
+                    sync=lambda: syncs.append(1))
+        assert syncs  # barrier ran at least once
+
+    def test_best_time_is_min_over_repeats(self):
+        ticker = iter(range(100))
+
+        def fake_timer():
+            return float(next(ticker))
+
+        dt = best_time(lambda: None, repeats=3, trials=1, warmup=0,
+                       timer=fake_timer)
+        assert dt >= 0.0
