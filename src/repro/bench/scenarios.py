@@ -735,3 +735,145 @@ def _solver_lb_imbalance() -> List[Metric]:
             unit="rebalances",
         ),
     ]
+
+
+# ---------------------------------------------------------------------
+# service: job-service throughput, latency, and setup-artifact cache
+# ---------------------------------------------------------------------
+
+
+def _service_specs(n_cmt: int, n_sod: int) -> list:
+    from ..service import JobSpec
+
+    specs = []
+    for i in range(n_cmt):
+        specs.append(JobSpec(
+            kind="cmtbone", name=f"cmt{i}", nranks=2,
+            machine=VIRTUAL_MACHINE,
+            params={"n": 5, "nel": 8, "nsteps": 3},
+        ))
+    for i in range(n_sod):
+        specs.append(JobSpec(
+            kind="sod", name=f"sod{i}", nranks=2,
+            machine=VIRTUAL_MACHINE,
+            params={"n": 5, "nelx": 8, "nsteps": 3},
+        ))
+    return specs
+
+
+@register(
+    "service/campaign_throughput",
+    "service",
+    repeats=2,
+    jobs=20,
+    workers=2,
+)
+
+
+def _service_campaign_throughput() -> List[Metric]:
+    """20 mixed jobs through the pool vs a fresh process per job.
+
+    The sequential baseline forks a one-shot worker per job (cold
+    cache), which is exactly the fixed cost the persistent pool
+    amortises; the speedup gates the service's reason to exist.
+    """
+    from ..service import JobSpec, run_campaign
+    from ..service.pool import WorkerPool
+
+    specs = _service_specs(15, 5)
+    report = run_campaign(specs, nworkers=2)
+    if report.failed:
+        raise RuntimeError(
+            f"campaign failed: {report.failed[0].error}"
+        )
+
+    seq_specs = _service_specs(15, 5)
+    t0 = time.perf_counter()
+    for spec in seq_specs:
+        with WorkerPool(nworkers=1) as pool:
+            pool.dispatch(0, [spec])
+            results = pool.collect(0, [spec])
+        if results[0].status != "done":
+            raise RuntimeError(f"sequential job failed: {results[0].error}")
+    seq_wall = time.perf_counter() - t0
+
+    return [
+        Metric(
+            "jobs_per_s",
+            report.jobs_per_second,
+            kind="wall",
+            unit="jobs/s",
+            better="higher",
+        ),
+        Metric("campaign_wall_s", report.wall_seconds, kind="wall"),
+        Metric("sequential_wall_s", seq_wall, kind="wall"),
+        Metric(
+            "pool_speedup_x",
+            seq_wall / report.wall_seconds,
+            kind="wall",
+            unit="x",
+            better="higher",
+            rel_tol=1.0,
+        ),
+        Metric("p50_latency_s", report.p50, kind="wall"),
+        Metric("p99_latency_s", report.p99, kind="wall"),
+        Metric(
+            "failed_jobs",
+            float(len(report.failed)),
+            kind="count",
+            unit="jobs",
+        ),
+    ]
+
+
+@register(
+    "service/artifact_cache",
+    "service",
+    repeats=2,
+    jobs=6,
+    workers=1,
+)
+
+
+def _service_artifact_cache() -> List[Metric]:
+    """Deterministic cache accounting: one worker, six identical jobs.
+
+    A single worker serialises the jobs, so exactly the first one pays
+    the cold setup and the other five hit the cache — and a hit must be
+    *bitwise* invisible in virtual time and physics digest.
+    """
+    from ..service import run_campaign
+
+    report = run_campaign(_service_specs(6, 0), nworkers=1)
+    if report.failed:
+        raise RuntimeError(f"campaign failed: {report.failed[0].error}")
+    digests = {r.digest for r in report.results}
+    vtimes = {r.vtime_total for r in report.results}
+    bitwise = len(digests) == 1 and len(vtimes) == 1
+    return [
+        Metric(
+            "cache_hits",
+            float(report.cache_hits),
+            kind="count",
+            unit="hits",
+            better="higher",
+        ),
+        Metric(
+            "cache_misses",
+            float(report.cache_misses),
+            kind="count",
+            unit="misses",
+        ),
+        Metric(
+            "hit_bitwise_identical",
+            float(bitwise),
+            kind="count",
+            unit="bool",
+            better="higher",
+        ),
+        Metric(
+            "vtime_job_s",
+            report.results[0].vtime_total,
+            kind="virtual",
+        ),
+    ]

@@ -210,7 +210,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sod.add_argument("--checkpoint-every", type=int, default=0,
                        help="write a checkpoint every N steps (0 = off)")
     p_sod.add_argument("--checkpoint-dir", default=None,
-                       help="checkpoint directory (default: a tempdir)")
+                       help="checkpoint base directory (default: a tempdir);"
+                            " checkpoints live in a job-<id> subdirectory")
+    p_sod.add_argument("--job-id", default=None,
+                       help="job identity for checkpoint namespacing "
+                            "(default: a generated unique id)")
     p_sod.add_argument("--gantt", action="store_true",
                        help="render the campaign recovery timeline")
     p_sod.add_argument("--verify", action="store_true",
@@ -272,6 +276,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print every compared metric, not just deviations",
     )
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the job service over a spool directory",
+    )
+    p_srv.add_argument("--spool", required=True,
+                       help="spool directory (queue/ and results/ live "
+                            "under it)")
+    p_srv.add_argument("--workers", type=int, default=2,
+                       help="persistent pool workers (default 2)")
+    p_srv.add_argument("--quota", type=int, default=None,
+                       help="max running jobs per submitter "
+                            "(default unlimited)")
+    p_srv.add_argument("--batch-max", type=int, default=4,
+                       help="max small jobs per worker dispatch "
+                            "(default 4)")
+    p_srv.add_argument("--poll", type=float, default=0.2,
+                       help="spool poll interval seconds (default 0.2)")
+    p_srv.add_argument("--drain", action="store_true",
+                       help="exit once the spool is empty and all "
+                            "accepted jobs finished")
+
+    p_sub = sub.add_parser(
+        "submit",
+        help="submit one job to a running service's spool",
+    )
+    p_sub.add_argument("--spool", required=True,
+                       help="spool directory of the target service")
+    p_sub.add_argument("--kind", choices=["cmtbone", "sod"],
+                       default="cmtbone", help="job kind")
+    p_sub.add_argument("--name", default="", help="display name")
+    p_sub.add_argument("--submitter", default="anon",
+                       help="submitter identity for quota accounting")
+    p_sub.add_argument("--priority", type=int, default=0,
+                       help="higher dispatches first (default 0)")
+    p_sub.add_argument("--ranks", type=int, default=2,
+                       help="simulated MPI ranks (default 2)")
+    p_sub.add_argument("--machine", default="compton",
+                       help="machine-model preset (default compton)")
+    p_sub.add_argument("--params", default=None,
+                       help='kind-specific params as JSON, e.g. '
+                            '\'{"n": 5, "nel": 8, "nsteps": 4}\'')
+    p_sub.add_argument("--wait", action="store_true",
+                       help="block until the result arrives and print it")
+    p_sub.add_argument("--timeout", type=float, default=300.0,
+                       help="--wait timeout seconds (default 300)")
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a batch of jobs through an in-process service",
+    )
+    p_camp.add_argument("--jobs", default=None,
+                        help="JSON file with a list of job spec objects")
+    p_camp.add_argument("--count", type=int, default=None,
+                        help="instead of --jobs: run COUNT copies of one "
+                             "spec built from the flags below")
+    p_camp.add_argument("--kind", choices=["cmtbone", "sod"],
+                        default="cmtbone")
+    p_camp.add_argument("--ranks", type=int, default=2)
+    p_camp.add_argument("--machine", default="compton")
+    p_camp.add_argument("--params", default=None,
+                        help="kind-specific params as JSON")
+    p_camp.add_argument("--workers", type=int, default=2,
+                        help="persistent pool workers (default 2)")
+    p_camp.add_argument("--quota", type=int, default=None)
+    p_camp.add_argument("--batch-max", type=int, default=4)
+    p_camp.add_argument("--json", dest="json_out", default=None,
+                        help="also write the full per-job results here")
 
     sub.add_parser("machines", help="list machine presets")
     return parser
@@ -563,6 +635,7 @@ def cmd_sod(args) -> int:
         fault_plan=plan,
         machine=machine,
         backend=args.backend,
+        job_id=args.job_id,
     )
     print()
     print(report.summary())
@@ -649,6 +722,173 @@ def cmd_bench(args) -> int:
     return status
 
 
+def _spool_dirs(spool):
+    """(queue_dir, results_dir) under the spool root, created."""
+    import pathlib
+
+    root = pathlib.Path(spool)
+    queue = root / "queue"
+    results = root / "results"
+    queue.mkdir(parents=True, exist_ok=True)
+    results.mkdir(parents=True, exist_ok=True)
+    return queue, results
+
+
+def _write_json_atomic(path, doc) -> None:
+    import json
+    import os
+
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+    import json
+
+    from .service import JobSpec, Service
+
+    queue_dir, results_dir = _spool_dirs(args.spool)
+
+    async def _serve() -> int:
+        accepted = 0
+        finished = 0
+        pending = {}
+        async with Service(
+            nworkers=args.workers, quota=args.quota,
+            batch_max=args.batch_max,
+        ) as svc:
+            print(f"serving spool {args.spool} with {args.workers} "
+                  f"workers (pids {svc.pool.worker_pids()})", flush=True)
+            while True:
+                for path in sorted(queue_dir.glob("*.json")):
+                    try:
+                        spec = JobSpec.from_json(
+                            json.loads(path.read_text())
+                        )
+                    except (ValueError, KeyError) as exc:
+                        print(f"rejecting {path.name}: {exc}",
+                              file=sys.stderr, flush=True)
+                        path.unlink()
+                        continue
+                    path.unlink()  # claimed
+                    pending[spec.job_id] = svc.submit(spec)
+                    accepted += 1
+                    print(f"accepted {spec.job_id} ({spec.kind} "
+                          f"{spec.name or '-'})", flush=True)
+                for job_id in [j for j, f in pending.items() if f.done()]:
+                    result = pending.pop(job_id).result()
+                    _write_json_atomic(
+                        results_dir / f"{job_id}.json", result.to_json()
+                    )
+                    finished += 1
+                    print(f"finished {job_id}: {result.status} "
+                          f"({result.exec_seconds:.3f}s on pid "
+                          f"{result.worker_pid})", flush=True)
+                if (args.drain and not pending
+                        and not list(queue_dir.glob("*.json"))):
+                    break
+                await asyncio.sleep(args.poll)
+        print(f"drained: {finished}/{accepted} jobs", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 130
+
+
+def cmd_submit(args) -> int:
+    import json
+    import time as _time
+
+    from .service import JobSpec
+
+    queue_dir, results_dir = _spool_dirs(args.spool)
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except json.JSONDecodeError as exc:
+        print(f"--params: {exc}", file=sys.stderr)
+        return 2
+    spec = JobSpec(
+        kind=args.kind, name=args.name, submitter=args.submitter,
+        priority=args.priority, nranks=args.ranks,
+        machine=args.machine, params=params,
+    )
+    _write_json_atomic(queue_dir / f"{spec.job_id}.json", spec.to_json())
+    print(spec.job_id)
+    if not args.wait:
+        return 0
+    result_path = results_dir / f"{spec.job_id}.json"
+    deadline = _time.monotonic() + args.timeout
+    while not result_path.exists():
+        if _time.monotonic() > deadline:
+            print(f"timed out waiting for {spec.job_id}",
+                  file=sys.stderr)
+            return 1
+        _time.sleep(0.1)
+    doc = json.loads(result_path.read_text())
+    print(f"{doc['status']}: vtime {doc['vtime_total']:.6g}s "
+          f"digest {doc['digest']} (worker pid {doc['worker_pid']})")
+    if doc.get("error"):
+        print(doc["error"], file=sys.stderr)
+    return 0 if doc["status"] == "done" else 1
+
+
+def cmd_campaign(args) -> int:
+    import json
+    import pathlib
+
+    from .service import JobSpec, run_campaign
+
+    if (args.jobs is None) == (args.count is None):
+        print("campaign needs exactly one of --jobs or --count",
+              file=sys.stderr)
+        return 2
+    if args.jobs is not None:
+        with open(args.jobs) as fh:
+            docs = json.load(fh)
+        if not isinstance(docs, list):
+            print("--jobs file must hold a JSON list of job specs",
+                  file=sys.stderr)
+            return 2
+        specs = [JobSpec.from_json(d) for d in docs]
+    else:
+        try:
+            params = json.loads(args.params) if args.params else {}
+        except json.JSONDecodeError as exc:
+            print(f"--params: {exc}", file=sys.stderr)
+            return 2
+        specs = [
+            JobSpec(kind=args.kind, name=f"{args.kind}-{i}",
+                    nranks=args.ranks, machine=args.machine,
+                    params=dict(params))
+            for i in range(args.count)
+        ]
+    report = run_campaign(
+        specs, nworkers=args.workers, quota=args.quota,
+        batch_max=args.batch_max,
+    )
+    print(report.summary())
+    if args.json_out:
+        _write_json_atomic(
+            pathlib.Path(args.json_out),
+            {
+                "wall_seconds": report.wall_seconds,
+                "jobs_per_second": report.jobs_per_second,
+                "p50_seconds": report.p50,
+                "p99_seconds": report.p99,
+                "cache_hits": report.cache_hits,
+                "cache_misses": report.cache_misses,
+                "queue": report.queue_stats,
+                "results": [r.to_json() for r in report.results],
+            },
+        )
+        print(f"wrote {args.json_out}")
+    return 1 if report.failed else 0
+
+
 def cmd_machines(_args) -> int:
     for name in MachineModel.available_presets():
         m = MachineModel.preset(name)
@@ -666,6 +906,9 @@ _COMMANDS = {
     "kernels": cmd_kernels,
     "sod": cmd_sod,
     "bench": cmd_bench,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "campaign": cmd_campaign,
     "machines": cmd_machines,
 }
 

@@ -99,7 +99,13 @@ class CMTBoneResult:
 class CMTBone:
     """One rank's CMT-bone instance (construct inside the SPMD main)."""
 
-    def __init__(self, comm: Comm, config: Optional[CMTBoneConfig] = None):
+    def __init__(
+        self,
+        comm: Comm,
+        config: Optional[CMTBoneConfig] = None,
+        setup_artifact=None,
+        setup_sink=None,
+    ):
         self.comm = comm
         self.config = config or CMTBoneConfig()
         self.partition: Partition = self.config.build_partition(comm.size)
@@ -114,17 +120,25 @@ class CMTBone:
         self.autotune: Optional[Dict[str, MethodTiming]] = None
         self.monitor_values: List[float] = []
 
-        with self.profiler.region(R_SETUP):
-            gids = dg_face_numbering(self.partition, comm.rank)
-            self.handle = gs_setup(gids, comm, site=R_SETUP)
-            if self.config.gs_method is not None:
-                self.handle.method = self.config.gs_method
-            elif comm.size > 1:
-                self.autotune = choose_method(
-                    self.handle, trials=self.config.autotune_trials
-                )
-            else:
-                self.handle.method = "pairwise"
+        if setup_artifact is not None:
+            # A cached post-setup snapshot replaces the whole setup
+            # region — handle, method choice, clock and profiler state
+            # (see :class:`repro.service.artifacts.SetupArtifact`).
+            setup_artifact.apply(self, comm)
+        else:
+            with self.profiler.region(R_SETUP):
+                gids = dg_face_numbering(self.partition, comm.rank)
+                self.handle = gs_setup(gids, comm, site=R_SETUP)
+                if self.config.gs_method is not None:
+                    self.handle.method = self.config.gs_method
+                elif comm.size > 1:
+                    self.autotune = choose_method(
+                        self.handle, trials=self.config.autotune_trials
+                    )
+                else:
+                    self.handle.method = "pairwise"
+            if setup_sink is not None:
+                setup_sink(self, comm)
 
         rng = np.random.default_rng(self.config.seed + comm.rank)
         #: Synthetic conserved fields: (neq, nel, N, N, N).

@@ -29,6 +29,7 @@ from .autotune import (
     cache_key,
     default_cache_path,
     load_cache,
+    merge_entry,
     save_cache,
     tune_program,
 )
@@ -101,6 +102,7 @@ __all__ = [
     "direction_program",
     "load_cache",
     "lower",
+    "merge_entry",
     "lowered_kernel",
     "program_flops",
     "program_mem_bytes",

@@ -25,10 +25,17 @@ fingerprint, so the measurement cost is paid once per host::
 The file location is ``$REPRO_CACHE_DIR/kernel-autotune.json`` when
 the environment variable is set (tests and CI point it at a temp
 directory), else ``~/.cache/repro/kernel-autotune.json``.  Writes are
-atomic (tmp file + ``os.replace``); a missing, corrupt, or
-wrong-version file degrades to an empty cache with a warning rather
-than an error.  :data:`CACHE_STATS` counts hits and misses so a warm
-second run is observable.
+atomic (tmp file + ``os.replace``) and *merged*: the persist path
+re-reads the file under an advisory ``<cache>.lock`` file lock and
+folds the new entry into the current disk state
+(:func:`merge_entry`), so two processes tuning different programs
+concurrently cannot overwrite each other's entries (last-writer-wins
+lost updates).  A missing, corrupt, or wrong-version file degrades to
+an empty cache with a warning rather than an error.
+:data:`CACHE_STATS` counts hits, misses, and ``races_merged`` — the
+number of persist cycles that found (and kept) a concurrent writer's
+entries — so both a warm second run and a survived write race are
+observable.
 
 Candidates are screened for correctness before they are timed: each
 schedule's output must match the reference schedule to ``allclose``
@@ -44,8 +51,14 @@ import json
 import os
 import tempfile
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # advisory file locking (POSIX); degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -77,11 +90,17 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     load_errors: int = 0
+    #: Persist cycles that found (and preserved) entries written to
+    #: disk by a concurrent tuner since this process last read the
+    #: file — each count is a lost-update race that merge-under-lock
+    #: turned into a merge instead (see :func:`merge_entry`).
+    races_merged: int = 0
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.load_errors = 0
+        self.races_merged = 0
 
 
 CACHE_STATS = CacheStats()
@@ -149,6 +168,61 @@ def save_cache(path: str, hosts: Dict[str, Dict[str, dict]]) -> None:
         except OSError:
             pass
         raise
+
+
+@contextmanager
+def _cache_lock(path: str):
+    """Advisory exclusive lock serialising read-merge-write cycles.
+
+    The lock lives in a sibling ``<cache>.lock`` file so lockers never
+    contend with the atomic ``os.replace`` of the cache file itself.
+    On platforms without :mod:`fcntl` the lock degrades to a no-op and
+    only the merge-before-replace in :func:`merge_entry` protects
+    concurrent writers (best effort).
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        yield
+        return
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    with open(path + ".lock", "w") as fh:
+        fcntl.flock(fh, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh, fcntl.LOCK_UN)
+
+
+def merge_entry(
+    path: str,
+    host: str,
+    key: str,
+    entry: dict,
+    known: Optional[Dict[str, Dict[str, dict]]] = None,
+) -> None:
+    """Fold one tuned entry into the on-disk cache without losing races.
+
+    A bare load→modify→:func:`save_cache` between two processes tuning
+    *different* programs is a lost-update race: the last writer's
+    ``os.replace`` discards the other's entry.  This helper re-reads
+    the file under an advisory lock and merges into the *current* disk
+    state, so concurrent tuners interleave instead of clobbering.
+
+    ``known`` is the caller's earlier snapshot of the file (what it
+    believed was on disk before measuring); any key present on disk now
+    but absent from ``known`` was written concurrently, and detecting
+    one bumps ``CACHE_STATS.races_merged``.
+    """
+    with _cache_lock(path):
+        hosts = load_cache(path)
+        if known is not None:
+            for h, entries in hosts.items():
+                seen = known.get(h, {})
+                if any(k not in seen for k in entries):
+                    CACHE_STATS.races_merged += 1
+                    break
+        hosts.setdefault(host, {})[key] = entry
+        save_cache(path, hosts)
 
 
 @dataclass(frozen=True)
@@ -276,14 +350,18 @@ def tune_program(
         from_cache=False,
     )
     if use_cache:
-        hosts = load_cache(path)
-        hosts.setdefault(host, {})[key] = {
-            "schedule": winner,
-            "timings": timings,
-            "checked": checked,
-        }
         try:
-            save_cache(path, hosts)
+            merge_entry(
+                path,
+                host,
+                key,
+                {
+                    "schedule": winner,
+                    "timings": timings,
+                    "checked": checked,
+                },
+                known=hosts,
+            )
         except OSError as exc:
             warnings.warn(
                 f"could not persist autotune cache to {path!r}: {exc}",

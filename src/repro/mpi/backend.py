@@ -20,12 +20,15 @@ scheduling.  Only wall-clock measurements differ.
 
 from __future__ import annotations
 
+import os
 import threading
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+from .clock import VirtualClock
 from .errors import AbortError, MPIError, RankCrashError
+from .profiler import RankProfile
 from .shm import (
     DEFAULT_RING_CAPACITY,
     SharedBlockTracker,
@@ -317,6 +320,75 @@ def _rank_process(
         conn.close()
 
 
+def _pool_rank_loop(
+    runtime, rank, abort, tracker, finished, rings, cmd, rec
+) -> None:
+    """Persistent-worker body: serve jobs until told to stop.
+
+    The fork happens once (at pool creation); each ``("job", ...)``
+    command re-arms this process's private Runtime copy — fresh
+    mailbox, clock, profile, and sequence counters, plus the machine
+    model and time policy shipped with the job — and runs the rank
+    exactly as the one-shot :func:`_rank_process` would.  Between jobs
+    the process blocks on the command pipe, so re-arming replaces a
+    fork + interpreter warm-up with one ``recv``.
+    """
+    while True:
+        try:
+            msg = cmd.recv()
+        except EOFError:  # parent vanished
+            return
+        if msg[0] == "stop":
+            return
+        _, main, args, kwargs, machine, time_policy = msg
+        record: dict = {"rank": rank}
+        local_box = Mailbox(rank)
+        stop = threading.Event()
+        deliverer = None
+        try:
+            runtime.machine = machine
+            runtime.time_policy = time_policy
+            runtime.abort_event = abort
+            runtime.tracker = tracker
+            runtime.seq = ChannelSeq()
+            runtime._clocks[rank] = VirtualClock()
+            runtime._profiles[rank] = RankProfile(rank)
+            runtime._mailboxes = [
+                local_box
+                if r == rank
+                else _RingMailbox(rings[r], abort, finished, r)
+                for r in range(runtime.nranks)
+            ]
+            deliverer = threading.Thread(
+                target=_delivery_loop,
+                args=(rings[rank], local_box, tracker, stop),
+                name=f"deliver-{rank}",
+                daemon=True,
+            )
+            deliverer.start()
+            comm = runtime.world_comm(rank)
+            result, error, tb = run_rank(main, comm, args, kwargs, abort)
+            record.update(result=result, error=error, traceback=tb)
+        except BaseException as exc:  # noqa: BLE001 - setup failure
+            record.update(
+                result=None, error=exc, traceback=traceback.format_exc()
+            )
+            abort.set()
+        finally:
+            finished[rank] = 1
+            stop.set()
+            if deliverer is not None:
+                # The ring must be quiescent before the next job resets
+                # it, so (unlike the one-shot path) the drain thread is
+                # joined before the record ships.
+                deliverer.join()
+            record["clock"] = runtime._clocks[rank]
+            record["profile"] = runtime._profiles[rank]
+            record["snapshot"] = local_box.snapshot()
+            record["pid"] = os.getpid()
+            _send_record(rec, record, rank, abort)
+
+
 class ProcsBackend(Backend):
     """One forked OS process per rank; shared-memory envelope delivery.
 
@@ -329,6 +401,18 @@ class ProcsBackend(Backend):
 
     Requirements: the ``fork`` start method (POSIX), and picklable
     message payloads, per-rank return values, and exceptions.
+
+    With ``reusable=True`` the backend keeps a persistent pool of rank
+    workers: the first :meth:`execute` forks them, and every later job
+    *re-arms* the same processes over a command pipe instead of
+    re-forking (amortising fork + import + allocator warm-up across a
+    job stream — the point of the service layer's worker pool).  The
+    same backend instance must then be passed to every Runtime
+    (``Runtime(backend=pool)``), all jobs must use the same ``nranks``,
+    ``main``/``args`` must be picklable, and fault injection / message
+    tracing are refused (those are one-shot-job features).  Call
+    :meth:`close` when done; a worker that dies hard poisons the pool
+    and the next execute raises.
     """
 
     name = "procs"
@@ -337,9 +421,15 @@ class ProcsBackend(Backend):
         self,
         ring_capacity: int = DEFAULT_RING_CAPACITY,
         join_timeout: float = 30.0,
+        reusable: bool = False,
     ):
         self.ring_capacity = ring_capacity
         self.join_timeout = join_timeout
+        self.reusable = reusable
+        self._pool: Optional[dict] = None
+        self._broken = False
+        #: Jobs served by the current pool (diagnostics / tests).
+        self.jobs_served = 0
 
     @staticmethod
     def _context():
@@ -353,6 +443,8 @@ class ProcsBackend(Backend):
         return mp.get_context("fork")
 
     def execute(self, runtime, main, args, kwargs) -> ExecutionOutcome:
+        if self.reusable:
+            return self._execute_pooled(runtime, main, args, kwargs)
         ctx = self._context()
         n = runtime.nranks
         abort = ctx.Event()
@@ -411,6 +503,10 @@ class ProcsBackend(Backend):
                     p.join(timeout=5.0)
             for ring in rings:
                 ring.drain_spills()
+                # Fallback for hard worker death: unlink spill segments
+                # whose ring record never got published (or whose
+                # reader died before the unlink).
+                ring.sweep_spills()
                 ring.destroy()
         return self._marshal(runtime, records, fired, n)
 
@@ -496,6 +592,142 @@ class ProcsBackend(Backend):
         if fired.is_set():
             runtime._deadlock_report = format_deadlock_report(snapshots)
         return ExecutionOutcome(results, errors, tracebacks)
+
+    # -- persistent worker pool (reusable=True) ------------------------
+
+    def _ensure_pool(self, runtime) -> dict:
+        if self._broken:
+            raise MPIError(
+                "this reusable procs pool is broken (a worker died "
+                "hard); create a fresh ProcsBackend"
+            )
+        if self._pool is not None:
+            if self._pool["nranks"] != runtime.nranks:
+                raise MPIError(
+                    f"reusable procs pool was forked for "
+                    f"{self._pool['nranks']} ranks; cannot run a "
+                    f"{runtime.nranks}-rank job on it"
+                )
+            return self._pool
+        ctx = self._context()
+        n = runtime.nranks
+        abort = ctx.Event()
+        tracker = SharedBlockTracker(ctx.Value("q", 0), ctx.Value("q", 0))
+        finished = ctx.Array("b", n, lock=False)
+        rings = [ShmRing(ctx, self.ring_capacity) for _ in range(n)]
+        cmd_pipes = [ctx.Pipe(duplex=False) for _ in range(n)]
+        rec_pipes = [ctx.Pipe(duplex=False) for _ in range(n)]
+        procs = []
+        for r in range(n):
+            p = ctx.Process(
+                target=_pool_rank_loop,
+                args=(
+                    runtime, r, abort, tracker, finished, rings,
+                    cmd_pipes[r][0], rec_pipes[r][1],
+                ),
+                name=f"pool-rank-{r}",
+                daemon=True,
+            )
+            p.start()
+            rec_pipes[r][1].close()  # child keeps the write end
+            procs.append(p)
+        self._pool = {
+            "nranks": n,
+            "abort": abort,
+            "tracker": tracker,
+            "finished": finished,
+            "rings": rings,
+            "cmd_pipes": cmd_pipes,
+            "rec_pipes": rec_pipes,
+            "procs": procs,
+        }
+        return self._pool
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live pool workers (empty before the first job)."""
+        if self._pool is None:
+            return []
+        return [p.pid for p in self._pool["procs"]]
+
+    def _execute_pooled(self, runtime, main, args, kwargs
+                        ) -> ExecutionOutcome:
+        if runtime.faults is not None or runtime.trace is not None:
+            raise MPIError(
+                "a reusable procs pool does not support fault injection "
+                "or message tracing; run those jobs on a fresh one-shot "
+                "backend"
+            )
+        pool = self._ensure_pool(runtime)
+        n = pool["nranks"]
+        # Re-arm shared state.  All workers are blocked on their command
+        # pipes here (the previous job's records were all collected), so
+        # nothing races these resets.
+        for ring in pool["rings"]:
+            ring.reset()
+        for r in range(n):
+            pool["finished"][r] = 0
+        pool["tracker"].reset()
+        pool["abort"].clear()
+        fired = threading.Event()
+        for r in range(n):
+            pool["cmd_pipes"][r][1].send(
+                ("job", main, args, kwargs,
+                 runtime.machine, runtime.time_policy)
+            )
+        watchdog = None
+        if runtime.deadlock_detection:
+
+            def live() -> int:
+                return n - sum(pool["finished"])
+
+            def fire() -> None:
+                fired.set()
+                pool["abort"].set()
+
+            watchdog = threading.Thread(
+                target=watch_loop,
+                args=(live, pool["tracker"], pool["abort"], fire),
+                name="watchdog",
+                daemon=True,
+            )
+            watchdog.start()
+        records = self._collect(
+            pool["procs"], pool["rec_pipes"], pool["abort"]
+        )
+        pool["abort"].set()  # stop the watchdog (cleared at next job)
+        if watchdog is not None:
+            watchdog.join()
+        self.jobs_served += 1
+        if any(rec.get("hard_exit") for rec in records.values()):
+            self._broken = True
+            self.close()
+        return self._marshal(runtime, records, fired, n)
+
+    def close(self) -> None:
+        """Shut the persistent pool down and release its resources."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for r in range(pool["nranks"]):
+            try:
+                pool["cmd_pipes"][r][1].send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for p in pool["procs"]:
+            p.join(timeout=self.join_timeout)
+            if p.is_alive():  # pragma: no cover - hard hang
+                p.terminate()
+                p.join(timeout=5.0)
+        for r in range(pool["nranks"]):
+            for conn in (pool["cmd_pipes"][r] + pool["rec_pipes"][r]):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+        for ring in pool["rings"]:
+            ring.drain_spills()
+            ring.sweep_spills()
+            ring.destroy()
 
 
 _BACKENDS = {

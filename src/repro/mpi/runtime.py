@@ -145,7 +145,10 @@ class Runtime:
         A :class:`Runtime` is single-shot: build a new one per job.
         """
         if self._ran:
-            raise MPIError("Runtime is single-shot; create a new instance")
+            raise MPIError(
+                "Runtime is single-shot; create a new instance "
+                "(or call reset() to re-arm this one)"
+            )
         self._ran = True
         outcome = self.backend.execute(
             self, main, tuple(args), dict(kwargs or {})
@@ -162,6 +165,34 @@ class Runtime:
                 ) from primary
             raise primary
         return outcome.results
+
+    def reset(self) -> "Runtime":
+        """Re-arm this Runtime for another :meth:`run` call.
+
+        Replaces every piece of per-job state — mailboxes, clocks,
+        profiles, sequence counters, finished flags, the abort event —
+        with fresh instances, so a second job starts from exactly the
+        state a newly constructed Runtime would have.  Fault injectors
+        and message traces are job-scoped and are *not* reset; re-arm
+        is refused while they are attached (build a fresh Runtime for
+        those).  Returns ``self`` for chaining
+        (``rt.reset().run(main)``).
+        """
+        if self.faults is not None or self.trace is not None:
+            raise MPIError(
+                "reset() does not support fault injection or message "
+                "tracing; create a fresh Runtime for those jobs"
+            )
+        self.tracker = BlockTracker()
+        self.seq = ChannelSeq()
+        self.abort_event = threading.Event()
+        self._mailboxes = [Mailbox(r) for r in range(self.nranks)]
+        self._clocks = [VirtualClock() for _ in range(self.nranks)]
+        self._profiles = [RankProfile(r) for r in range(self.nranks)]
+        self._finished = [False] * self.nranks
+        self._deadlock_report = None
+        self._ran = False
+        return self
 
     def _select_error(
         self, errors: Sequence[Optional[BaseException]]

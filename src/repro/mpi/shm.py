@@ -26,11 +26,14 @@ every platform CPython's ``mmap`` targets.
 
 from __future__ import annotations
 
+import itertools
+import os
 import pickle
+import secrets
 import struct
 import time
 from multiprocessing import shared_memory
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from .errors import AbortError
 
@@ -51,6 +54,23 @@ _HDR = 16
 _KIND_INLINE = b"I"
 _KIND_SPILL = b"S"
 
+#: Where POSIX shared memory shows up as files (spill-sweep fallback).
+_SHM_DIR = "/dev/shm"
+
+
+def _unlink_segment(name: str) -> bool:
+    """Best-effort unlink of one named segment; True if it was removed."""
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return False
+    seg.close()
+    try:
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - concurrent unlink
+        return False
+    return True
+
 
 class ShmRing:
     """MPSC ring buffer over a shared-memory segment.
@@ -66,6 +86,13 @@ class ShmRing:
     spill into a dedicated one-shot ``SharedMemory`` segment created by
     the writer and unlinked by the reader, so the ring never deadlocks
     on a record that cannot fit.
+
+    Spill segments are named ``<spill_prefix>_<pid>_<seq>`` — the
+    prefix is fixed before any child forks, so the parent can find and
+    unlink leftovers after a hard worker death (a writer that dies
+    between creating its spill segment and publishing the ring record
+    leaves a segment no reader will ever unlink; see
+    :meth:`sweep_spills`).
     """
 
     def __init__(self, ctx, capacity: int = DEFAULT_RING_CAPACITY):
@@ -79,6 +106,10 @@ class ShmRing:
         struct.pack_into("<QQ", self._buf, 0, 0, 0)
         self.writer_lock = ctx.Lock()
         self.data_sem = ctx.Semaphore(0)
+        #: Job-unique namespace for this ring's spill segments;
+        #: inherited by every forked writer.
+        self.spill_prefix = f"reprospill{secrets.token_hex(6)}"
+        self._spill_seq = itertools.count()
 
     # -- head/tail accessors ------------------------------------------
 
@@ -128,10 +159,15 @@ class ShmRing:
         waiting for space; returns ``False`` (record dropped) when
         ``give_up()`` turns true — the backend passes "the destination
         rank has finished", in which case the message can never be
-        received anyway.  Returns ``True`` on success.
+        received anyway.  Returns ``True`` on success.  A spill
+        segment created for a record that is then dropped (or whose
+        push aborts) is unlinked here — only *published* records hand
+        unlink responsibility to the reader.
         """
+        spill_name: Optional[str] = None
         if len(data) + 5 > self.capacity // _SPILL_FRACTION:
-            rec = _KIND_SPILL + self._spill(data)
+            spill_name, body = self._spill(data)
+            rec = _KIND_SPILL + body
         else:
             rec = _KIND_INLINE + data
         need = 4 + len(rec)
@@ -145,20 +181,26 @@ class ShmRing:
                     self._set_tail(tail + need)
                     break
             if abort_event is not None and abort_event.is_set():
+                if spill_name is not None:
+                    _unlink_segment(spill_name)
                 raise AbortError(f"job aborted while blocked in {what}")
             if give_up is not None and give_up():
+                if spill_name is not None:
+                    _unlink_segment(spill_name)
                 return False
             time.sleep(_PUSH_POLL)
         self.data_sem.release()
         return True
 
-    @staticmethod
-    def _spill(data: bytes) -> bytes:
-        seg = shared_memory.SharedMemory(create=True, size=max(len(data), 1))
+    def _spill(self, data: bytes) -> tuple:
+        """Write ``data`` to a fresh named segment; (name, record body)."""
+        name = f"{self.spill_prefix}_{os.getpid()}_{next(self._spill_seq)}"
+        seg = shared_memory.SharedMemory(
+            name=name, create=True, size=max(len(data), 1)
+        )
         seg.buf[: len(data)] = data
-        name = seg.name
         seg.close()
-        return struct.pack("<Q", len(data)) + name.encode("ascii")
+        return name, struct.pack("<Q", len(data)) + name.encode("ascii")
 
     # -- consumer side -------------------------------------------------
 
@@ -205,6 +247,45 @@ class ShmRing:
                 except FileNotFoundError:  # pragma: no cover - defensive
                     pass
 
+    def orphaned_spills(self) -> List[str]:
+        """Names of this ring's spill segments still present on disk.
+
+        After :meth:`drain_spills` has consumed every published record,
+        any remaining segment under this ring's prefix is an orphan: a
+        writer died between creating it and publishing the record (or a
+        reader died between reading the record and unlinking).  Only
+        meaningful where POSIX shared memory is file-backed.
+        """
+        try:
+            names = os.listdir(_SHM_DIR)
+        except OSError:  # pragma: no cover - no /dev/shm
+            return []
+        return sorted(n for n in names if n.startswith(self.spill_prefix))
+
+    def sweep_spills(self) -> int:
+        """Unlink orphaned spill segments; returns how many were removed.
+
+        The parent-side fallback for hard worker death: the reader
+        normally unlinks each spill as it consumes it and
+        :meth:`drain_spills` covers unread-but-published records, but a
+        segment whose record never made it into the ring is reachable
+        only by name.  The job-unique ``spill_prefix`` makes that
+        lookup safe (no other job's segments can match).
+        """
+        return sum(1 for name in self.orphaned_spills()
+                   if _unlink_segment(name))
+
+    def reset(self) -> None:
+        """Re-arm the ring for the next job (persistent worker pools).
+
+        Drops any unread records (unlinking their spills), rewinds
+        ``head``/``tail``, and leaves the semaphore at zero.  Callers
+        must guarantee no writer is active.
+        """
+        self.drain_spills()
+        self.sweep_spills()
+        struct.pack_into("<QQ", self._buf, 0, 0, 0)
+
     def destroy(self) -> None:
         """Release the segment (parent side, after every child exited)."""
         self._buf = None
@@ -236,6 +317,13 @@ class SharedBlockTracker:
     def __init__(self, blocked, progress):
         self._blocked = blocked
         self._progress = progress
+
+    def reset(self) -> None:
+        """Zero both counters (between jobs of a persistent worker pool)."""
+        with self._blocked.get_lock():
+            self._blocked.value = 0
+        with self._progress.get_lock():
+            self._progress.value = 0
 
     def bump(self) -> None:
         with self._progress.get_lock():

@@ -1,0 +1,56 @@
+"""Job-service layer: queue, persistent worker pool, artifact cache.
+
+Turns the mini-app from a one-shot CLI into a long-lived service that
+amortises per-job fixed costs (fork/import, ``gs_setup``, auto-tune)
+across a campaign of jobs.  See ``docs/service.md``.
+"""
+
+from .artifacts import (
+    ArtifactCache,
+    CacheEntry,
+    CacheStats,
+    SetupArtifact,
+    artifact_key,
+)
+from .execute import run_job, spec_artifact_key
+from .jobs import (
+    KINDS,
+    SMALL_JOB_UNITS,
+    STATUS_CANCELLED,
+    STATUS_DONE,
+    STATUS_FAILED,
+    JobResult,
+    JobSpec,
+    digest_arrays,
+    new_job_id,
+)
+from .pool import PoolError, WorkerPool
+from .scheduler import DEFAULT_BATCH_MAX, JobQueue, QueueStats
+from .service import CampaignReport, Service, run_campaign
+
+__all__ = [
+    "ArtifactCache",
+    "CacheEntry",
+    "CacheStats",
+    "CampaignReport",
+    "DEFAULT_BATCH_MAX",
+    "JobQueue",
+    "JobResult",
+    "JobSpec",
+    "KINDS",
+    "PoolError",
+    "QueueStats",
+    "SMALL_JOB_UNITS",
+    "STATUS_CANCELLED",
+    "STATUS_DONE",
+    "STATUS_FAILED",
+    "Service",
+    "SetupArtifact",
+    "WorkerPool",
+    "artifact_key",
+    "digest_arrays",
+    "new_job_id",
+    "run_campaign",
+    "run_job",
+    "spec_artifact_key",
+]

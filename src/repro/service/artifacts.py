@@ -1,0 +1,219 @@
+"""Content-addressed cache of expensive per-job setup artifacts.
+
+The dominant fixed cost of every CMT-bone job is its setup: the
+``gs_setup`` discovery (an all-to-all over the simulated MPI), the
+three-way exchange-method auto-tune, and the GLL operator builds.  Two
+jobs with the same ``(mesh, N, P, gs method, kernel variant)`` redo
+exactly the same work and — because the virtual-time model is
+deterministic — charge exactly the same virtual seconds for it.  This
+module caches that work inside a persistent service worker so the
+second job skips it.
+
+Keys are content hashes (:func:`artifact_key`) of the setup-relevant
+configuration, so any config change produces a different key — there
+is no invalidation protocol to get wrong.
+
+Correctness contract (what makes a cache hit *bitwise* invisible):
+
+* A per-rank :class:`SetupArtifact` snapshots the gather-scatter
+  handle's pure plan, the auto-tune result, and the **absolute** clock
+  and profiler state at the end of setup, captured on a rank whose
+  clock was at zero.  Restoring into a fresh job (clock also at zero)
+  therefore reproduces the exact post-setup state a cold run would
+  reach — no delta arithmetic, no floating-point re-accumulation.
+* Entries are published atomically only once **every** rank of the job
+  has stored its artifact (:meth:`ArtifactCache.store`), and the
+  hit/miss decision is taken once per job by the executor — never
+  per-rank — so ranks can't diverge on whether setup communication
+  happens (a partial entry from a dead job can otherwise deadlock a
+  later one).
+* Hits are refused when the consuming rank's clock is not at zero or
+  fault injection is active (the executor handles the latter).
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+def artifact_key(
+    mesh_shape: Tuple[int, ...],
+    n: int,
+    proc_shape: Tuple[int, ...],
+    gs_method: Optional[str],
+    kernel_variant: str,
+) -> str:
+    """Content hash of the setup-relevant configuration."""
+    payload = repr((
+        tuple(mesh_shape), int(n), tuple(proc_shape),
+        gs_method or "auto", kernel_variant,
+    ))
+    return hashlib.blake2b(
+        payload.encode("utf-8"), digest_size=12
+    ).hexdigest()
+
+
+def _clock_state(clock) -> Dict[str, float]:
+    return {
+        "now": clock.now,
+        "compute_time": clock.compute_time,
+        "comm_time": clock.comm_time,
+        "hidden_comm_time": clock.hidden_comm_time,
+        "retry_time": clock.retry_time,
+    }
+
+
+def _restore_clock(clock, state: Dict[str, float]) -> None:
+    clock.now = state["now"]
+    clock.compute_time = state["compute_time"]
+    clock.comm_time = state["comm_time"]
+    clock.hidden_comm_time = state["hidden_comm_time"]
+    clock.retry_time = state["retry_time"]
+
+
+@dataclass
+class SetupArtifact:
+    """One rank's share of a cached setup (see module docstring)."""
+
+    #: The rank's :class:`~repro.gs.handle.GSHandle` with its ``comm``
+    #: stripped — the plan arrays are a pure function of the numbering,
+    #: so rebinding to a new job's communicator is sound.
+    handle: object
+    #: Exchange method stamped on the handle after auto-tune/override.
+    method: str
+    #: Auto-tune table (``None`` when the method was forced).
+    autotune: Optional[dict]
+    #: Absolute clock state at end of setup (captured from zero).
+    clock_state: Dict[str, float] = field(default_factory=dict)
+    #: mpiP-style profile records at end of setup.
+    profile_records: dict = field(default_factory=dict)
+    profile_mpi_time: float = 0.0
+    #: Call-graph profiler region stats/edges covering setup.
+    region_stats: dict = field(default_factory=dict)
+    region_edges: dict = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, bone, comm) -> "SetupArtifact":
+        """Snapshot a rank's post-setup state (cold path, clock-from-zero).
+
+        ``bone`` is the :class:`~repro.core.cmtbone.CMTBone` instance
+        that just finished its setup region.
+        """
+        handle = copy.copy(bone.handle)
+        handle.comm = None
+        handle.setup_stats = dict(bone.handle.setup_stats)
+        return cls(
+            handle=handle,
+            method=bone.handle.method or "pairwise",
+            autotune=(
+                dict(bone.autotune) if bone.autotune is not None else None
+            ),
+            clock_state=_clock_state(comm.clock),
+            profile_records=copy.deepcopy(comm.profile.records),
+            profile_mpi_time=comm.profile.mpi_time,
+            region_stats=copy.deepcopy(bone.profiler.stats),
+            region_edges=dict(bone.profiler.edges),
+        )
+
+    def apply(self, bone, comm) -> None:
+        """Restore this rank's post-setup state into a fresh job.
+
+        Refuses to restore onto a clock that has already advanced —
+        absolute-state restore is only exact from zero.
+        """
+        if comm.clock.now != 0.0 or comm.profile.records:
+            raise RuntimeError(
+                "setup artifacts restore absolute state and require a "
+                "fresh rank (clock at zero, empty profile)"
+            )
+        handle = copy.copy(self.handle)
+        handle.comm = comm
+        handle.setup_stats = dict(self.handle.setup_stats)
+        handle.method = self.method
+        bone.handle = handle
+        bone.autotune = (
+            dict(self.autotune) if self.autotune is not None else None
+        )
+        _restore_clock(comm.clock, self.clock_state)
+        comm.profile.records = copy.deepcopy(self.profile_records)
+        comm.profile.mpi_time = self.profile_mpi_time
+        bone.profiler.stats = copy.deepcopy(self.region_stats)
+        bone.profiler.edges = dict(self.region_edges)
+
+
+@dataclass
+class CacheEntry:
+    """A published (complete) cache entry: one artifact per rank."""
+
+    nranks: int
+    ranks: Dict[int, SetupArtifact]
+    method: str
+
+    def artifact_for(self, rank: int) -> SetupArtifact:
+        return self.ranks[rank]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits, "misses": self.misses, "stores": self.stores
+        }
+
+
+class ArtifactCache:
+    """In-memory artifact store for one persistent service worker.
+
+    Complete entries live in ``_entries``; in-progress per-rank stores
+    accumulate in ``_pending`` and are published atomically once all
+    ``nranks`` shares arrive.  A lookup never sees a partial entry, so
+    the executor's once-per-job hit/miss decision is safe.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CacheEntry] = {}
+        self._pending: Dict[str, Dict[int, SetupArtifact]] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def lookup(self, key: str, nranks: int) -> Optional[CacheEntry]:
+        """Complete entry for ``key`` (counted as hit), or None (miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.nranks == nranks:
+                self.stats.hits += 1
+                return entry
+            self.stats.misses += 1
+            return None
+
+    def store(self, key: str, rank: int, artifact: SetupArtifact,
+              nranks: int) -> None:
+        """Add one rank's artifact; publish once all ranks are in."""
+        with self._lock:
+            if key in self._entries:
+                return
+            pending = self._pending.setdefault(key, {})
+            pending[rank] = artifact
+            self.stats.stores += 1
+            if len(pending) == nranks:
+                self._entries[key] = CacheEntry(
+                    nranks=nranks,
+                    ranks=self._pending.pop(key),
+                    method=artifact.method,
+                )
+
+    def keys(self):
+        with self._lock:
+            return sorted(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,224 @@
+"""Persistent pool of forked job workers.
+
+The pool is the mechanism half of the service (the
+:class:`~repro.service.scheduler.JobQueue` is the policy half).  Each
+worker is forked **once** and then serves job batches for its whole
+life over a pair of pipes, which amortises the fork/import/numpy-setup
+cost that a process-per-job design pays every time — and, more
+importantly, keeps the worker's in-memory
+:class:`~repro.service.artifacts.ArtifactCache` alive across jobs so
+repeated configurations skip their setup entirely.
+
+Protocol (all JSON-safe dicts over ``multiprocessing`` fork-context
+pipes):
+
+* parent → worker: ``("run", [spec_doc, ...])`` — a batch of one or
+  more job specs; or ``("stop",)``.
+* worker → parent: ``("result", result_doc)`` per job, then
+  ``("done", cache_stats, cached_keys)`` closing the batch.
+
+A worker that dies mid-batch (hard crash) is detected by pipe EOF +
+liveness; its in-flight jobs are failed and a fresh worker is forked
+in its slot, so one poisoned job cannot take the service down.
+
+Affinity: the parent tracks which artifact keys each worker holds and
+:meth:`WorkerPool.pick_worker` prefers an idle worker that already
+caches the batch's key — without it, a round-robin pool spreads
+identical configs across workers and every one pays the cold setup.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .artifacts import ArtifactCache
+from .execute import run_job, spec_artifact_key
+from .jobs import STATUS_FAILED, JobResult, JobSpec
+
+_CTX = mp.get_context("fork")
+
+
+def _worker_loop(cmd_conn, res_conn) -> None:
+    """Worker child main: serve ("run", batch) commands until stopped."""
+    cache = ArtifactCache()
+    while True:
+        try:
+            msg = cmd_conn.recv()
+        except EOFError:
+            return
+        if msg[0] == "stop":
+            return
+        if msg[0] != "run":  # pragma: no cover - protocol guard
+            continue
+        for doc in msg[1]:
+            result = run_job(JobSpec.from_json(doc), cache)
+            res_conn.send(("result", result.to_json()))
+        res_conn.send(("done", cache.stats.snapshot(), cache.keys()))
+
+
+@dataclass
+class _Worker:
+    proc: "mp.Process"
+    cmd_w: object   # parent's write end of the command pipe
+    res_r: object   # parent's read end of the result pipe
+    busy: bool = False
+    jobs_served: int = 0
+    batches_served: int = 0
+    #: Artifact keys this worker's cache held after its last batch.
+    cached_keys: Set[str] = field(default_factory=set)
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid or 0
+
+
+class PoolError(RuntimeError):
+    pass
+
+
+class WorkerPool:
+    """See module docstring."""
+
+    def __init__(self, nworkers: int = 2) -> None:
+        if nworkers < 1:
+            raise ValueError(f"nworkers must be >= 1, got {nworkers}")
+        self.nworkers = nworkers
+        self._workers: List[_Worker] = [
+            self._spawn() for _ in range(nworkers)
+        ]
+        self._closed = False
+        #: Workers that died mid-batch and were replaced.
+        self.respawns = 0
+
+    def _spawn(self) -> _Worker:
+        cmd_r, cmd_w = _CTX.Pipe(duplex=False)
+        res_r, res_w = _CTX.Pipe(duplex=False)
+        proc = _CTX.Process(
+            target=_worker_loop, args=(cmd_r, res_w),
+            name="repro-job-worker", daemon=True,
+        )
+        proc.start()
+        # The child inherited its own copies; drop the parent's.
+        cmd_r.close()
+        res_w.close()
+        return _Worker(proc=proc, cmd_w=cmd_w, res_r=res_r)
+
+    # -- introspection -------------------------------------------------
+
+    def worker_pids(self) -> List[int]:
+        return [w.pid for w in self._workers]
+
+    def idle_workers(self) -> List[int]:
+        return [i for i, w in enumerate(self._workers) if not w.busy]
+
+    def jobs_served(self) -> int:
+        return sum(w.jobs_served for w in self._workers)
+
+    # -- scheduling hooks ----------------------------------------------
+
+    def pick_worker(self, specs: List[JobSpec]) -> Optional[int]:
+        """Choose an idle worker for a batch, preferring cache affinity.
+
+        Returns a worker index, or None when every worker is busy.
+        """
+        idle = self.idle_workers()
+        if not idle:
+            return None
+        keys = {k for k in (spec_artifact_key(s) for s in specs)
+                if k is not None}
+        if keys:
+            for i in idle:
+                if keys & self._workers[i].cached_keys:
+                    return i
+        # Least-loaded cold worker: spreads distinct configs out so
+        # each warms a different part of the fleet.
+        return min(idle, key=lambda i: self._workers[i].jobs_served)
+
+    def dispatch(self, index: int, specs: List[JobSpec]) -> None:
+        """Hand a batch to worker ``index`` (must be idle)."""
+        if self._closed:
+            raise PoolError("pool is closed")
+        w = self._workers[index]
+        if w.busy:
+            raise PoolError(f"worker {index} is busy")
+        w.busy = True
+        w.cmd_w.send(("run", [s.to_json() for s in specs]))
+
+    def collect(self, index: int, specs: List[JobSpec]
+                ) -> List[JobResult]:
+        """Blocking: receive the batch's results from worker ``index``.
+
+        Call from an executor thread, never the event loop.  A worker
+        death yields ``failed`` results for the unfinished jobs and a
+        replacement worker in the slot.
+        """
+        w = self._workers[index]
+        results: List[JobResult] = []
+        try:
+            while True:
+                msg = w.res_r.recv()
+                if msg[0] == "result":
+                    results.append(JobResult.from_json(msg[1]))
+                elif msg[0] == "done":
+                    w.cached_keys = set(msg[2])
+                    break
+        except EOFError:
+            pass
+        if len(results) < len(specs):
+            # The worker died mid-batch: fail what never came back and
+            # put a fresh worker in the slot.
+            done = {r.job_id for r in results}
+            for spec in specs:
+                if spec.job_id not in done:
+                    results.append(JobResult(
+                        job_id=spec.job_id, kind=spec.kind,
+                        name=spec.name, status=STATUS_FAILED,
+                        worker_pid=w.pid,
+                        error=f"worker pid {w.pid} died mid-batch",
+                    ))
+            self._replace(index)
+            w = self._workers[index]
+        w.jobs_served += len(specs)
+        w.batches_served += 1
+        w.busy = False
+        return results
+
+    def _replace(self, index: int) -> None:
+        old = self._workers[index]
+        self._close_worker(old, force=True)
+        self._workers[index] = self._spawn()
+        self.respawns += 1
+
+    # -- shutdown ------------------------------------------------------
+
+    @staticmethod
+    def _close_worker(w: _Worker, force: bool = False) -> None:
+        try:
+            if not force and w.proc.is_alive():
+                w.cmd_w.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        w.proc.join(timeout=5.0)
+        if w.proc.is_alive():
+            w.proc.terminate()
+            w.proc.join(timeout=5.0)
+        for conn in (w.cmd_w, w.res_r):
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for w in self._workers:
+            self._close_worker(w)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

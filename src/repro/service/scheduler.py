@@ -1,0 +1,205 @@
+"""Priority job queue with quotas, cancellation, batched admission.
+
+The queue is the policy half of the service (:mod:`repro.service.pool`
+is the mechanism half).  It is designed for a single asyncio event
+loop: ``submit`` returns an :class:`asyncio.Future` that resolves to
+the job's :class:`~repro.service.jobs.JobResult`, and the service's
+drive loop calls :meth:`next_batch` whenever a worker goes idle.
+
+Policies implemented here:
+
+* **Priority** — higher ``JobSpec.priority`` dispatches first; ties
+  break in submission order (a stable monotone counter, so equal-
+  priority jobs are FIFO).
+* **Per-submitter quota** — at most ``quota`` jobs per submitter may
+  be running at once; a submitter's excess jobs stay queued even while
+  workers idle, so one noisy user cannot monopolise the pool.
+* **Cancellation** — a queued job can be cancelled (its future
+  resolves to a ``cancelled`` result immediately); a job already
+  handed to a worker cannot be preempted and reports ``False``.
+* **Batched admission** — *small* jobs (``JobSpec.is_small()``) are
+  admitted in groups of up to ``batch_max`` per dispatch, amortising
+  the per-dispatch pipe round-trip; a large job always travels alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .jobs import STATUS_CANCELLED, JobResult, JobSpec
+
+#: Default cap on small jobs admitted per worker dispatch.
+DEFAULT_BATCH_MAX = 4
+
+
+@dataclass
+class _QueuedJob:
+    spec: JobSpec
+    future: "asyncio.Future[JobResult]"
+    #: Wall time (perf_counter) at submission, for latency accounting.
+    submitted_at: float = 0.0
+    dispatched: bool = False
+    cancelled: bool = False
+
+
+@dataclass
+class QueueStats:
+    submitted: int = 0
+    dispatched: int = 0
+    cancelled: int = 0
+    #: Dispatches that carried more than one job.
+    batched_dispatches: int = 0
+    #: Times the quota held an otherwise-runnable job back.
+    quota_deferrals: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class JobQueue:
+    """See module docstring.  Not thread-safe: one event loop only."""
+
+    def __init__(
+        self,
+        quota: Optional[int] = None,
+        batch_max: int = DEFAULT_BATCH_MAX,
+    ) -> None:
+        if quota is not None and quota < 1:
+            raise ValueError(f"quota must be >= 1, got {quota}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        self.quota = quota
+        self.batch_max = batch_max
+        #: (-priority, seq) heap of queued job ids.
+        self._heap: List[tuple] = []
+        self._seq = itertools.count()
+        self._jobs: Dict[str, _QueuedJob] = {}
+        #: Currently-running job count per submitter (quota bookkeeping;
+        #: the service calls :meth:`job_finished` to decrement).
+        self._running: Dict[str, int] = {}
+        self.stats = QueueStats()
+
+    # -- submission / cancellation ------------------------------------
+
+    def submit(
+        self, spec: JobSpec, submitted_at: float = 0.0
+    ) -> "asyncio.Future[JobResult]":
+        """Queue a job; the returned future resolves to its result."""
+        if spec.job_id in self._jobs:
+            raise ValueError(f"duplicate job id {spec.job_id!r}")
+        loop = asyncio.get_event_loop()
+        entry = _QueuedJob(
+            spec=spec,
+            future=loop.create_future(),
+            submitted_at=submitted_at,
+        )
+        self._jobs[spec.job_id] = entry
+        heapq.heappush(self._heap, (-spec.priority, next(self._seq),
+                                    spec.job_id))
+        self.stats.submitted += 1
+        return entry.future
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job.  Running/finished jobs return False."""
+        entry = self._jobs.get(job_id)
+        if entry is None or entry.dispatched or entry.cancelled:
+            return False
+        entry.cancelled = True
+        self.stats.cancelled += 1
+        del self._jobs[job_id]  # its heap entry is now stale and skipped
+        if not entry.future.done():
+            entry.future.set_result(JobResult(
+                job_id=job_id,
+                kind=entry.spec.kind,
+                name=entry.spec.name,
+                status=STATUS_CANCELLED,
+            ))
+        return True
+
+    # -- admission ----------------------------------------------------
+
+    def _under_quota(self, submitter: str) -> bool:
+        if self.quota is None:
+            return True
+        return self._running.get(submitter, 0) < self.quota
+
+    def next_batch(self) -> List[_QueuedJob]:
+        """Pop the next dispatchable batch (possibly empty).
+
+        Takes the highest-priority eligible job; if it is *small*,
+        greedily extends the batch with further eligible small jobs (in
+        priority order) up to ``batch_max``.  Each admitted job counts
+        against its submitter's quota immediately.
+        """
+        batch: List[_QueuedJob] = []
+        skipped: List[tuple] = []
+        deferred = False
+        while self._heap and len(batch) < self.batch_max:
+            item = heapq.heappop(self._heap)
+            entry = self._jobs.get(item[2])
+            if entry is None or entry.cancelled or entry.dispatched:
+                continue  # stale heap entry
+            if not self._under_quota(entry.spec.submitter):
+                skipped.append(item)
+                deferred = True
+                continue
+            if batch and not entry.spec.is_small():
+                # Large jobs travel alone; keep for the next dispatch.
+                skipped.append(item)
+                break
+            batch.append(entry)
+            entry.dispatched = True
+            self._running[entry.spec.submitter] = (
+                self._running.get(entry.spec.submitter, 0) + 1
+            )
+            self.stats.dispatched += 1
+            if not entry.spec.is_small():
+                break  # a large job never gets companions
+        for item in skipped:
+            heapq.heappush(self._heap, item)
+        if deferred:
+            self.stats.quota_deferrals += 1
+        if len(batch) > 1:
+            self.stats.batched_dispatches += 1
+        return batch
+
+    # -- completion ---------------------------------------------------
+
+    def job_finished(self, job_id: str, result: JobResult) -> None:
+        """Resolve a dispatched job's future and release its quota."""
+        entry = self._jobs.pop(job_id, None)
+        if entry is None:
+            return
+        submitter = entry.spec.submitter
+        if entry.dispatched and self._running.get(submitter):
+            self._running[submitter] -= 1
+            if not self._running[submitter]:
+                del self._running[submitter]
+        if not entry.future.done():
+            entry.future.set_result(result)
+
+    # -- introspection ------------------------------------------------
+
+    def pending_count(self) -> int:
+        """Jobs queued but not yet dispatched or cancelled."""
+        return sum(
+            1 for e in self._jobs.values()
+            if not e.dispatched and not e.cancelled
+        )
+
+    def has_dispatchable(self) -> bool:
+        """True if any job is queued (it may still be quota-deferred:
+        callers must treat an empty :meth:`next_batch` as the signal to
+        wait, so deferrals get *counted* there rather than hidden
+        here)."""
+        return any(
+            not e.dispatched and not e.cancelled
+            for e in self._jobs.values()
+        )
+
+    def running_count(self) -> int:
+        return sum(self._running.values())

@@ -1,0 +1,229 @@
+"""The job service: asyncio drive loop over queue + worker pool.
+
+:class:`Service` owns a :class:`~repro.service.scheduler.JobQueue` and
+a :class:`~repro.service.pool.WorkerPool` and moves jobs between them:
+whenever a worker is idle and the queue has a dispatchable batch, the
+batch goes out, and the (blocking) pipe collection runs in a thread
+via ``loop.run_in_executor`` so the event loop stays free to accept
+submissions and cancellations concurrently.
+
+:func:`run_campaign` is the synchronous convenience wrapper: feed it a
+list of specs, it brings a service up, drains the jobs, and returns a
+:class:`CampaignReport` with throughput (jobs/sec) and latency
+percentiles — the numbers the service benchmarks gate on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .jobs import JobResult, JobSpec
+from .pool import WorkerPool
+from .scheduler import DEFAULT_BATCH_MAX, JobQueue
+
+
+class Service:
+    """See module docstring.  Use as an async context manager."""
+
+    def __init__(
+        self,
+        nworkers: int = 2,
+        quota: Optional[int] = None,
+        batch_max: int = DEFAULT_BATCH_MAX,
+    ) -> None:
+        self.queue = JobQueue(quota=quota, batch_max=batch_max)
+        self.pool = WorkerPool(nworkers=nworkers)
+        self._pump: Optional[asyncio.Task] = None
+        self._wake = asyncio.Event()
+        self._closing = False
+        self._inflight = 0
+
+    # -- client API ----------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> "asyncio.Future[JobResult]":
+        """Queue a job; resolves to its result (latency stamped)."""
+        fut = self.queue.submit(spec, submitted_at=time.perf_counter())
+        self._wake.set()
+        return fut
+
+    def cancel(self, job_id: str) -> bool:
+        return self.queue.cancel(job_id)
+
+    async def drain(self) -> None:
+        """Wait until everything submitted so far has finished."""
+        while (self.queue.pending_count() or self.queue.running_count()
+               or self._inflight):
+            self._wake.set()
+            await asyncio.sleep(0.001)
+
+    # -- drive loop ----------------------------------------------------
+
+    async def _run_batch(self, index: int, entries) -> None:
+        """Collect a batch already dispatched to worker ``index``."""
+        specs = [e.spec for e in entries]
+        self._inflight += 1
+        try:
+            loop = asyncio.get_event_loop()
+            results = await loop.run_in_executor(
+                None, self.pool.collect, index, specs
+            )
+            now = time.perf_counter()
+            by_id: Dict[str, JobResult] = {r.job_id: r for r in results}
+            for entry in entries:
+                result = by_id[entry.spec.job_id]
+                if entry.submitted_at:
+                    result.latency_seconds = now - entry.submitted_at
+                self.queue.job_finished(entry.spec.job_id, result)
+        finally:
+            self._inflight -= 1
+            self._wake.set()
+
+    async def _drive(self) -> None:
+        tasks: List[asyncio.Task] = []
+        while not self._closing:
+            await self._wake.wait()
+            self._wake.clear()
+            while self.queue.has_dispatchable():
+                # pick_worker needs the batch, but popping the batch
+                # marks its jobs dispatched — so check for an idle
+                # worker first, then pop, then route.  The dispatch
+                # itself happens HERE, synchronously, so the worker is
+                # marked busy before the loop can pick it again.
+                idle = self.pool.idle_workers()
+                if not idle:
+                    break
+                batch = self.queue.next_batch()
+                if not batch:
+                    break
+                specs = [e.spec for e in batch]
+                index = self.pool.pick_worker(specs)
+                if index is None:  # pragma: no cover - idle checked above
+                    index = idle[0]
+                self.pool.dispatch(index, specs)
+                tasks.append(asyncio.ensure_future(
+                    self._run_batch(index, batch)
+                ))
+            tasks = [t for t in tasks if not t.done()]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "Service":
+        self._pump = asyncio.ensure_future(self._drive())
+        return self
+
+    async def close(self) -> None:
+        await self.drain()
+        self._closing = True
+        self._wake.set()
+        if self._pump is not None:
+            await self._pump
+        self.pool.close()
+
+    async def __aenter__(self) -> "Service":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+
+@dataclass
+class CampaignReport:
+    """Summary of one campaign run through the service."""
+
+    results: List[JobResult]
+    wall_seconds: float
+    nworkers: int
+    queue_stats: Dict[str, int] = field(default_factory=dict)
+    worker_pids: List[int] = field(default_factory=list)
+
+    @property
+    def jobs_per_second(self) -> float:
+        return len(self.results) / self.wall_seconds if (
+            self.wall_seconds > 0) else 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(r.cache_hits for r in self.results)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(r.cache_misses for r in self.results)
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency percentile over completed jobs (nearest-rank)."""
+        lats = sorted(r.latency_seconds for r in self.results)
+        if not lats:
+            return 0.0
+        rank = min(len(lats) - 1, max(0, int(q / 100.0 * len(lats))))
+        return lats[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
+    def failed(self) -> List[JobResult]:
+        return [r for r in self.results if r.status == "failed"]
+
+    def summary(self) -> str:
+        lines = [
+            f"campaign: {len(self.results)} jobs on {self.nworkers} "
+            f"workers in {self.wall_seconds:.3f} s "
+            f"({self.jobs_per_second:.2f} jobs/s)",
+            f"latency: p50 {self.p50 * 1e3:.1f} ms, "
+            f"p99 {self.p99 * 1e3:.1f} ms",
+            f"setup-artifact cache: {self.cache_hits} hits, "
+            f"{self.cache_misses} misses",
+        ]
+        qs = self.queue_stats
+        if qs:
+            lines.append(
+                f"queue: {qs.get('dispatched', 0)} dispatched, "
+                f"{qs.get('batched_dispatches', 0)} batched, "
+                f"{qs.get('cancelled', 0)} cancelled, "
+                f"{qs.get('quota_deferrals', 0)} quota deferrals"
+            )
+        if self.failed:
+            lines.append(f"FAILED: {len(self.failed)} jobs")
+        return "\n".join(lines)
+
+
+def run_campaign(
+    specs: List[JobSpec],
+    nworkers: int = 2,
+    quota: Optional[int] = None,
+    batch_max: int = DEFAULT_BATCH_MAX,
+) -> CampaignReport:
+    """Run a list of jobs through a fresh service; return the report.
+
+    Results come back in submission order regardless of completion
+    order, so reports are stable to compare across runs.
+    """
+
+    async def _campaign() -> CampaignReport:
+        t0 = time.perf_counter()
+        async with Service(
+            nworkers=nworkers, quota=quota, batch_max=batch_max
+        ) as svc:
+            futures = [svc.submit(spec) for spec in specs]
+            results = list(await asyncio.gather(*futures))
+            pids = svc.pool.worker_pids()
+            stats = svc.queue.stats.snapshot()
+        return CampaignReport(
+            results=results,
+            wall_seconds=time.perf_counter() - t0,
+            nworkers=nworkers,
+            queue_stats=stats,
+            worker_pids=pids,
+        )
+
+    return asyncio.run(_campaign())

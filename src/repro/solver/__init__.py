@@ -23,6 +23,7 @@ from .riemann import (
 from .checkpoint import (
     CheckpointError,
     CheckpointInfo,
+    checkpoint_namespace,
     load_checkpoint,
     read_manifest,
     save_checkpoint,
@@ -155,6 +156,7 @@ __all__ = [
     "gradient_physical",
     "interpolate_at",
     "lax_friedrichs",
+    "checkpoint_namespace",
     "load_checkpoint",
     "make_body_force",
     "make_nozzling_source",

@@ -70,6 +70,11 @@ class CheckpointInfo:
     #: rebalanced layout before loading rank files (whose element
     #: counts reflect it).  Optional field; no format bump.
     assignment: Optional[dict] = None
+    #: Identity of the job that wrote this checkpoint, or ``None`` for
+    #: anonymous (pre-field) checkpoints.  Restarts pass the expected
+    #: id so one job can never silently recover another job's state
+    #: out of a shared directory.  Optional field; no format bump.
+    job_id: Optional[str] = None
 
 
 def _eos_to_dict(eos) -> dict:
@@ -112,6 +117,16 @@ def _charge_io(comm: Comm, nbytes: int, site: str) -> None:
                         informational=True)
 
 
+def checkpoint_namespace(directory, job_id: str) -> pathlib.Path:
+    """Job-private checkpoint directory under a shared base directory.
+
+    Two concurrent jobs recovering into one base directory would
+    clobber each other's rank files and manifest; namespacing by job
+    id keeps every job's checkpoint stream isolated.
+    """
+    return pathlib.Path(directory) / f"job-{job_id}"
+
+
 def save_checkpoint(
     directory,
     comm: Comm,
@@ -120,6 +135,7 @@ def save_checkpoint(
     step: int = 0,
     time: float = 0.0,
     assignment=None,
+    job_id: Optional[str] = None,
 ) -> CheckpointInfo:
     """Collectively write one checkpoint (rank files + manifest).
 
@@ -158,6 +174,7 @@ def save_checkpoint(
         assignment=(
             assignment.to_dict() if assignment is not None else None
         ),
+        job_id=job_id,
     )
     # All rank files must be durable before the manifest certifies them.
     comm.barrier(site="checkpoint:files")
@@ -175,6 +192,8 @@ def save_checkpoint(
         }
         if info.assignment is not None:
             manifest["assignment"] = info.assignment
+        if info.job_id is not None:
+            manifest["job_id"] = info.job_id
         mpath = _manifest_file(directory)
         mtmp = mpath.with_suffix(".json.tmp")
         mtmp.write_text(json.dumps(manifest, indent=2))
@@ -183,8 +202,17 @@ def save_checkpoint(
     return info
 
 
-def read_manifest(directory) -> CheckpointInfo:
-    """Read and validate a checkpoint manifest."""
+def read_manifest(
+    directory, expect_job_id: Optional[str] = None
+) -> CheckpointInfo:
+    """Read and validate a checkpoint manifest.
+
+    When ``expect_job_id`` is given, a manifest written *by a
+    different job* is rejected with :class:`CheckpointError` — a job
+    must never silently recover another job's state out of a shared
+    directory.  Manifests with no job id (written before the field
+    existed, or by anonymous runs) are accepted unconditionally.
+    """
     directory = pathlib.Path(directory)
     path = _manifest_file(directory)
     if not path.exists():
@@ -194,6 +222,16 @@ def read_manifest(directory) -> CheckpointInfo:
         raise ValueError(
             f"checkpoint format {m.get('format_version')} != "
             f"{FORMAT_VERSION}"
+        )
+    found = m.get("job_id")
+    if (
+        expect_job_id is not None
+        and found is not None
+        and found != expect_job_id
+    ):
+        raise CheckpointError(
+            f"checkpoint at {directory} belongs to job {found!r}, "
+            f"not job {expect_job_id!r}"
         )
     return CheckpointInfo(
         step=m["step"],
@@ -205,6 +243,7 @@ def read_manifest(directory) -> CheckpointInfo:
         eos=m["eos"],
         vtime=m.get("vtime", 0.0),
         assignment=m.get("assignment"),
+        job_id=found,
     )
 
 
@@ -226,15 +265,17 @@ def load_checkpoint(
     directory,
     comm: Comm,
     partition: Partition,
+    expect_job_id: Optional[str] = None,
 ) -> Tuple[FlowState, CheckpointInfo]:
     """Collectively restore a checkpoint written by :func:`save_checkpoint`.
 
     The partition must match the one the checkpoint was written with
     (same mesh, same processor grid, same rank count) — restart onto a
-    different decomposition is refused explicitly.
+    different decomposition is refused explicitly, as is a manifest
+    belonging to a different job (see :func:`read_manifest`).
     """
     directory = pathlib.Path(directory)
-    info = read_manifest(directory)
+    info = read_manifest(directory, expect_job_id=expect_job_id)
     if info.nranks != comm.size:
         raise ValueError(
             f"checkpoint has {info.nranks} ranks, communicator has "

@@ -39,6 +39,7 @@ platform rather than Python's own speed.
 
 from __future__ import annotations
 
+import secrets
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -774,6 +775,7 @@ class CMTSolver:
         checkpoint_dir=None,
         step_offset: int = 0,
         time_offset: float = 0.0,
+        checkpoint_job_id: Optional[str] = None,
     ) -> FlowState:
         """Advance ``nsteps``; optionally re-evaluate dt and conservation.
 
@@ -822,6 +824,7 @@ class CMTSolver:
                         self.domain
                         if self.domain is not self.partition else None
                     ),
+                    job_id=checkpoint_job_id,
                 )
             if self.lb is not None:
                 state = self._maybe_rebalance(gstep, state)
@@ -972,6 +975,7 @@ def run_with_recovery(
     max_restarts: int = 8,
     monitor_every: int = 0,
     backend: str = "threads",
+    job_id: Optional[str] = None,
 ) -> tuple:
     """Run a solver campaign to completion through injected crashes.
 
@@ -995,13 +999,28 @@ def run_with_recovery(
     ``"procs"``) for every attempt's Runtime; crash marshalling,
     checkpoint commit protocol and fault accounting are
     backend-transparent (see ``docs/backends.md``).
+
+    ``checkpoint_dir`` names a *base* directory: the campaign's
+    checkpoints actually live in a ``job-<id>`` subdirectory of it
+    (``job_id`` when given, else a generated unique id), and every
+    manifest read verifies the id.  Concurrent campaigns can therefore
+    share a base directory without clobbering — or silently adopting —
+    each other's checkpoints.
     """
     from ..mpi import RankCrashError, Runtime
     from ..perfmodel.machine import MachineModel
-    from .checkpoint import load_checkpoint, read_manifest
+    from .checkpoint import (
+        checkpoint_namespace,
+        load_checkpoint,
+        read_manifest,
+    )
 
     if checkpoint_every and checkpoint_dir is None:
         raise ValueError("checkpoint_every needs checkpoint_dir")
+    if job_id is None:
+        job_id = secrets.token_hex(8)
+    if checkpoint_dir is not None:
+        checkpoint_dir = checkpoint_namespace(checkpoint_dir, job_id)
     machine_ = machine if machine is not None else MachineModel.default()
     report = FaultRunReport(
         nranks=nranks, nsteps=nsteps, checkpoint_every=checkpoint_every
@@ -1014,7 +1033,7 @@ def run_with_recovery(
         start_step, start_time, have_ckpt = 0, 0.0, False
         if checkpoint_dir is not None:
             try:
-                info = read_manifest(checkpoint_dir)
+                info = read_manifest(checkpoint_dir, expect_job_id=job_id)
                 start_step, start_time = info.step, info.time
                 have_ckpt = True
             except FileNotFoundError:
@@ -1025,7 +1044,7 @@ def run_with_recovery(
             if have_ckpt:
                 from .checkpoint import assignment_from_info
 
-                minfo = read_manifest(checkpoint_dir)
+                minfo = read_manifest(checkpoint_dir, expect_job_id=job_id)
                 asg = assignment_from_info(minfo, solver.partition)
                 if asg is not None:
                     # Rebuild the rebalanced layout *before* loading:
@@ -1033,7 +1052,8 @@ def run_with_recovery(
                     # the assignment, not the brick partition.
                     solver.restore_assignment(asg, minfo.step)
                 state, _ = load_checkpoint(
-                    checkpoint_dir, comm, solver.partition
+                    checkpoint_dir, comm, solver.partition,
+                    expect_job_id=job_id,
                 )
             return solver.run(
                 state,
@@ -1044,6 +1064,7 @@ def run_with_recovery(
                 checkpoint_dir=checkpoint_dir,
                 step_offset=start_step,
                 time_offset=start_time,
+                checkpoint_job_id=job_id,
             )
 
         rt = Runtime(
@@ -1061,7 +1082,7 @@ def run_with_recovery(
             restored_step, ckpt_vtime = start_step, None
             if checkpoint_dir is not None:
                 try:
-                    m = read_manifest(checkpoint_dir)
+                    m = read_manifest(checkpoint_dir, expect_job_id=job_id)
                     restored_step = m.step
                     if m.step > start_step:
                         # Checkpoint written *this* attempt: its vtime

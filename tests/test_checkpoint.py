@@ -226,3 +226,78 @@ class TestRestartContinuity:
         u_restart = Runtime(nranks=2).run(restarted)
         for a, b in zip(u_straight, u_restart):
             np.testing.assert_array_equal(a, b)
+
+
+class TestJobIdNamespacing:
+    def test_manifest_records_job_id(self, tmp_path):
+        def main(comm):
+            save_checkpoint(tmp_path, comm, PART, make_state(comm.rank),
+                            step=3, job_id="jobA")
+            return read_manifest(tmp_path).job_id
+
+        assert Runtime(nranks=2).run(main) == ["jobA", "jobA"]
+
+    def test_mismatched_job_id_rejected(self, tmp_path):
+        def main(comm):
+            save_checkpoint(tmp_path, comm, PART, make_state(comm.rank),
+                            job_id="jobA")
+            return 0
+
+        Runtime(nranks=2).run(main)
+        with pytest.raises(CheckpointError, match="belongs to job"):
+            read_manifest(tmp_path, expect_job_id="jobB")
+
+        def try_load(comm):
+            load_checkpoint(tmp_path, comm, PART, expect_job_id="jobB")
+
+        with pytest.raises(MPIError):
+            Runtime(nranks=2).run(try_load)
+
+    def test_matching_and_legacy_manifests_accepted(self, tmp_path):
+        def main(comm):
+            save_checkpoint(tmp_path, comm, PART, make_state(comm.rank),
+                            job_id="jobA")
+            return 0
+
+        Runtime(nranks=2).run(main)
+        assert read_manifest(tmp_path, expect_job_id="jobA").job_id == "jobA"
+
+        # Legacy manifest (no job_id recorded): any expectation passes.
+        legacy = tmp_path / "legacy"
+
+        def save_legacy(comm):
+            save_checkpoint(legacy, comm, PART, make_state(comm.rank))
+            return 0
+
+        Runtime(nranks=2).run(save_legacy)
+        info = read_manifest(legacy, expect_job_id="whatever")
+        assert info.job_id is None
+
+    def test_namespace_helper_isolates_jobs(self, tmp_path):
+        from repro.solver import checkpoint_namespace
+
+        a = checkpoint_namespace(tmp_path, "jobA")
+        b = checkpoint_namespace(tmp_path, "jobB")
+        assert a != b and a.parent == b.parent == tmp_path
+
+    def test_concurrent_campaigns_share_base_dir(self, tmp_path):
+        """Two run_with_recovery campaigns with different job ids must
+        not adopt each other's checkpoints under one base directory."""
+        import numpy as np
+
+        from repro.cli import _sod_setup
+        from repro.solver import run_with_recovery
+
+        setup = _sod_setup(2, n=4, nelx=8, gs_method="pairwise")
+        states_a, _ = run_with_recovery(
+            setup, nranks=2, nsteps=4, checkpoint_every=2,
+            checkpoint_dir=tmp_path, job_id="jobA",
+        )
+        states_b, _ = run_with_recovery(
+            setup, nranks=2, nsteps=4, checkpoint_every=2,
+            checkpoint_dir=tmp_path, job_id="jobB",
+        )
+        assert (tmp_path / "job-jobA").is_dir()
+        assert (tmp_path / "job-jobB").is_dir()
+        for a, b in zip(states_a, states_b):
+            assert np.array_equal(a.u, b.u)

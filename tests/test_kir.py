@@ -517,3 +517,59 @@ class TestSharedAutotune:
         dt = best_time(lambda: None, repeats=3, trials=1, warmup=0,
                        timer=fake_timer)
         assert dt >= 0.0
+
+
+def _merge_worker(path, host, keys, barrier):
+    """Child process: merge several entries after a common barrier."""
+    from repro.kir.autotune import merge_entry
+
+    barrier.wait()
+    for key in keys:
+        merge_entry(path, host, key, {"schedule": "gemm", "who": key})
+
+
+class TestCacheConcurrency:
+    def test_concurrent_writers_lose_no_entries(self, cache_path):
+        """N processes merging distinct keys into one cache file must
+        interleave, never clobber (the bare load->save race drops
+        whole batches)."""
+        import multiprocessing as mp
+
+        from repro.kir.autotune import load_cache
+
+        ctx = mp.get_context("fork")
+        nprocs, per_proc = 4, 6
+        barrier = ctx.Barrier(nprocs)
+        procs = [
+            ctx.Process(
+                target=_merge_worker,
+                args=(cache_path, f"host{p}",
+                      [f"k{p}:{i}" for i in range(per_proc)], barrier),
+            )
+            for p in range(nprocs)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        hosts = load_cache(cache_path)
+        total = sum(len(v) for v in hosts.values())
+        assert total == nprocs * per_proc, hosts
+        for p in range(nprocs):
+            assert set(hosts[f"host{p}"]) == {
+                f"k{p}:{i}" for i in range(per_proc)
+            }
+
+    def test_race_merge_counter(self, cache_path):
+        """A snapshot older than the file's current contents counts as
+        a detected (and merged) race."""
+        from repro.kir.autotune import CACHE_STATS, load_cache, merge_entry
+
+        CACHE_STATS.reset()
+        merge_entry(cache_path, "h", "k1", {"schedule": "gemm"})
+        stale_snapshot = {}  # believes the file is empty
+        merge_entry(cache_path, "h", "k2", {"schedule": "gemm"},
+                    known=stale_snapshot)
+        assert CACHE_STATS.races_merged == 1
+        assert set(load_cache(cache_path)["h"]) == {"k1", "k2"}

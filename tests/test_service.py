@@ -1,0 +1,430 @@
+"""Job-service tier: queue policy, worker pool, artifact cache, and the
+reusable procs-backend worker mode.
+
+The load-bearing assertions are the bitwise ones: a job run through
+the service (artifact-cache hit or miss, fresh or reused worker) must
+produce exactly the digest and virtual time a standalone run of the
+same spec produces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    ArtifactCache,
+    JobQueue,
+    JobResult,
+    JobSpec,
+    Service,
+    SetupArtifact,
+    WorkerPool,
+    run_campaign,
+    run_job,
+    spec_artifact_key,
+)
+
+SMALL = {"n": 5, "nel": 8, "nsteps": 2}
+SOD = {"n": 5, "nelx": 8, "nsteps": 2}
+
+
+def small_spec(i=0, **kw):
+    kw.setdefault("params", dict(SMALL))
+    return JobSpec(kind="cmtbone", name=f"j{i}", nranks=2, **kw)
+
+
+# ---------------------------------------------------------------------
+# JobSpec / JobResult
+# ---------------------------------------------------------------------
+
+
+class TestJobSpec:
+    def test_json_round_trip(self):
+        spec = small_spec(priority=3, submitter="alice")
+        back = JobSpec.from_json(spec.to_json())
+        assert back == spec
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            JobSpec(kind="nope")
+
+    def test_rejects_bad_nranks(self):
+        with pytest.raises(ValueError, match="nranks"):
+            JobSpec(kind="cmtbone", nranks=0)
+
+    def test_small_classification(self):
+        assert small_spec().is_small()
+        big = JobSpec(kind="cmtbone", nranks=8,
+                      params={"n": 25, "nel": 64, "nsteps": 100})
+        assert not big.is_small()
+
+    def test_result_round_trip_ignores_unknown_fields(self):
+        doc = JobResult(job_id="x", kind="cmtbone").to_json()
+        doc["future_field"] = 1
+        assert JobResult.from_json(doc).job_id == "x"
+
+
+# ---------------------------------------------------------------------
+# JobQueue policy
+# ---------------------------------------------------------------------
+
+
+def drain_queue(queue):
+    """Pop every batch the queue will currently give out."""
+    batches = []
+    while True:
+        batch = queue.next_batch()
+        if not batch:
+            return batches
+        batches.append([e.spec for e in batch])
+
+
+class TestJobQueue:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_priority_order_with_fifo_ties(self):
+        async def main():
+            q = JobQueue(batch_max=1)
+            lo = small_spec(0, priority=0)
+            hi = small_spec(1, priority=5)
+            lo2 = small_spec(2, priority=0)
+            for s in (lo, hi, lo2):
+                q.submit(s)
+            order = [b[0].job_id for b in drain_queue(q)]
+            assert order == [hi.job_id, lo.job_id, lo2.job_id]
+
+        self.run(main())
+
+    def test_duplicate_id_rejected(self):
+        async def main():
+            q = JobQueue()
+            spec = small_spec()
+            q.submit(spec)
+            with pytest.raises(ValueError, match="duplicate"):
+                q.submit(spec)
+
+        self.run(main())
+
+    def test_small_jobs_batch_up_to_max(self):
+        async def main():
+            q = JobQueue(batch_max=3)
+            for i in range(5):
+                q.submit(small_spec(i))
+            sizes = [len(b) for b in drain_queue(q)]
+            assert sizes == [3, 2]
+            assert q.stats.batched_dispatches == 2
+
+        self.run(main())
+
+    def test_large_jobs_travel_alone(self):
+        async def main():
+            q = JobQueue(batch_max=4)
+            big_params = {"n": 25, "nel": 64, "nsteps": 100}
+            q.submit(small_spec(0))
+            q.submit(JobSpec(kind="cmtbone", name="big", nranks=8,
+                             params=big_params))
+            q.submit(small_spec(1))
+            batches = drain_queue(q)
+            # The big job neither joins a batch nor accepts companions,
+            # and later smalls never jump over it (strict FIFO order).
+            assert [len(b) for b in batches] == [1, 1, 1]
+            assert batches[1][0].name == "big"
+
+        self.run(main())
+
+    def test_quota_defers_excess_jobs(self):
+        async def main():
+            q = JobQueue(quota=1, batch_max=4)
+            a0 = small_spec(0, submitter="alice")
+            a1 = small_spec(1, submitter="alice")
+            b0 = small_spec(2, submitter="bob")
+            for s in (a0, a1, b0):
+                q.submit(s)
+            first = [s.job_id for b in drain_queue(q) for s in b]
+            # alice's second job waits even though nothing else queues.
+            assert first == [a0.job_id, b0.job_id]
+            assert q.stats.quota_deferrals >= 1
+            q.job_finished(a0.job_id, JobResult(a0.job_id, "cmtbone"))
+            nxt = [s.job_id for b in drain_queue(q) for s in b]
+            assert nxt == [a1.job_id]
+
+        self.run(main())
+
+    def test_cancel_pending_resolves_future(self):
+        async def main():
+            q = JobQueue()
+            spec = small_spec()
+            fut = q.submit(spec)
+            assert q.cancel(spec.job_id)
+            result = await fut
+            assert result.status == "cancelled"
+            assert drain_queue(q) == []
+            assert q.stats.cancelled == 1
+
+        self.run(main())
+
+    def test_cancel_dispatched_job_refused(self):
+        async def main():
+            q = JobQueue()
+            spec = small_spec()
+            q.submit(spec)
+            q.next_batch()
+            assert not q.cancel(spec.job_id)
+            assert not q.cancel("unknown-id")
+
+        self.run(main())
+
+
+# ---------------------------------------------------------------------
+# Artifact cache
+# ---------------------------------------------------------------------
+
+
+class TestArtifactCache:
+    def test_partial_entries_invisible(self):
+        cache = ArtifactCache()
+        art = SetupArtifact(handle=None, method="pairwise", autotune=None)
+        cache.store("k", 0, art, nranks=2)
+        assert cache.lookup("k", 2) is None  # only rank 0 stored
+        cache.store("k", 1, art, nranks=2)
+        entry = cache.lookup("k", 2)
+        assert entry is not None and entry.nranks == 2
+        assert cache.stats.snapshot() == {
+            "hits": 1, "misses": 1, "stores": 2
+        }
+
+    def test_nranks_mismatch_is_a_miss(self):
+        cache = ArtifactCache()
+        art = SetupArtifact(handle=None, method="pairwise", autotune=None)
+        cache.store("k", 0, art, nranks=1)
+        assert cache.lookup("k", 2) is None
+
+    def test_store_after_publish_is_noop(self):
+        cache = ArtifactCache()
+        art = SetupArtifact(handle=None, method="pairwise", autotune=None)
+        cache.store("k", 0, art, nranks=1)
+        cache.store("k", 0, art, nranks=1)
+        assert len(cache) == 1
+
+    def test_key_sensitive_to_config(self):
+        base = spec_artifact_key(small_spec())
+        assert spec_artifact_key(small_spec()) == base
+        other = small_spec(params={**SMALL, "n": 6})
+        assert spec_artifact_key(other) != base
+        # steps don't affect setup, so they share a key
+        steps = small_spec(params={**SMALL, "nsteps": 9})
+        assert spec_artifact_key(steps) == base
+        assert spec_artifact_key(
+            JobSpec(kind="sod", params=dict(SOD))) is None
+
+
+class TestExecuteBitwise:
+    def test_hit_is_bitwise_identical_to_cold(self):
+        cache = ArtifactCache()
+        cold = run_job(small_spec(0), cache)
+        warm = run_job(small_spec(1), cache)
+        bare = run_job(small_spec(2), None)
+        assert cold.ok and warm.ok and bare.ok
+        assert (cold.cache_misses, warm.cache_hits) == (1, 1)
+        assert cold.digest == warm.digest == bare.digest
+        assert cold.vtime_total == warm.vtime_total == bare.vtime_total
+
+    def test_apply_refuses_advanced_clock(self):
+        cache = ArtifactCache()
+        assert run_job(small_spec(0), cache).ok
+        key = spec_artifact_key(small_spec(0))
+        art = cache.lookup(key, 2).artifact_for(0)
+
+        class FakeClock:
+            now = 1.0
+
+        class FakeProfile:
+            records = {}
+
+        class FakeComm:
+            clock = FakeClock()
+            profile = FakeProfile()
+
+        with pytest.raises(RuntimeError, match="fresh rank"):
+            art.apply(object(), FakeComm())
+
+    def test_sod_job_matches_standalone(self):
+        spec = JobSpec(kind="sod", nranks=2, params=dict(SOD))
+        again = JobSpec(kind="sod", nranks=2, params=dict(SOD))
+        a, b = run_job(spec), run_job(again)
+        assert a.ok and b.ok
+        assert a.digest == b.digest
+        assert a.vtime_total == b.vtime_total
+
+    def test_failed_job_reports_not_raises(self):
+        bad = JobSpec(kind="cmtbone", nranks=2,
+                      params={**SMALL, "work_mode": "bogus"})
+        result = run_job(bad)
+        assert result.status == "failed"
+        assert "work_mode" in result.error
+
+
+# ---------------------------------------------------------------------
+# Worker pool
+# ---------------------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_worker_survives_many_jobs(self):
+        with WorkerPool(nworkers=1) as pool:
+            pids = set()
+            for i in range(3):
+                spec = small_spec(i)
+                pool.dispatch(0, [spec])
+                (res,) = pool.collect(0, [spec])
+                assert res.ok, res.error
+                pids.add(res.worker_pid)
+            assert pids == {pool.worker_pids()[0]}
+            assert pool.jobs_served() == 3
+
+    def test_worker_cache_persists_across_batches(self):
+        with WorkerPool(nworkers=1) as pool:
+            s0, s1 = small_spec(0), small_spec(1)
+            pool.dispatch(0, [s0])
+            (r0,) = pool.collect(0, [s0])
+            pool.dispatch(0, [s1])
+            (r1,) = pool.collect(0, [s1])
+            assert r0.cache_misses == 1
+            assert r1.cache_hits == 1  # second batch, same worker
+            assert spec_artifact_key(s1) in (
+                pool._workers[0].cached_keys
+            )
+
+    def test_affinity_prefers_warm_worker(self):
+        with WorkerPool(nworkers=2) as pool:
+            spec = small_spec(0)
+            pool.dispatch(1, [spec])
+            pool.collect(1, [spec])
+            assert pool.pick_worker([small_spec(1)]) == 1
+
+    def test_dead_worker_fails_batch_and_respawns(self):
+        crash = JobSpec(kind="cmtbone", nranks=2,
+                        params={**SMALL, "pool_test_exit": 1})
+        with WorkerPool(nworkers=1) as pool:
+            old_pid = pool.worker_pids()[0]
+            pool._workers[0].proc.terminate()
+            pool._workers[0].proc.join()
+            pool._workers[0].busy = True  # dispatch() already happened
+            results = pool.collect(0, [crash])
+            assert results[0].status == "failed"
+            assert "died" in results[0].error
+            assert pool.respawns == 1
+            new_pid = pool.worker_pids()[0]
+            assert new_pid != old_pid
+            # and the replacement actually works
+            spec = small_spec(9)
+            pool.dispatch(0, [spec])
+            (res,) = pool.collect(0, [spec])
+            assert res.ok
+
+
+# ---------------------------------------------------------------------
+# Service / campaigns
+# ---------------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_mixed_campaign_hits_cache_and_matches_standalone(self):
+        specs = [small_spec(i) for i in range(6)]
+        specs.append(JobSpec(kind="sod", name="s", nranks=2,
+                             params=dict(SOD)))
+        report = run_campaign(specs, nworkers=2)
+        assert not report.failed
+        assert report.cache_hits > 0
+        assert len(report.results) == 7
+        # results come back in submission order
+        assert [r.job_id for r in report.results] == [
+            s.job_id for s in specs
+        ]
+        standalone = run_job(small_spec(99))
+        for r in report.results[:6]:
+            assert r.digest == standalone.digest
+            assert r.vtime_total == standalone.vtime_total
+        assert all(r.latency_seconds > 0 for r in report.results)
+        assert report.p50 <= report.p99
+
+    def test_campaign_respects_quota(self):
+        specs = [small_spec(i, submitter="solo") for i in range(4)]
+        report = run_campaign(specs, nworkers=2, quota=1, batch_max=1)
+        assert not report.failed
+        assert report.queue_stats["quota_deferrals"] >= 1
+
+    def test_cancel_through_service(self):
+        specs = [small_spec(i) for i in range(12)]
+
+        async def main():
+            async with Service(nworkers=1, batch_max=1) as svc:
+                futures = [svc.submit(s) for s in specs]
+                # Cancel from the back of the queue: those jobs can't
+                # all have dispatched to the single worker yet.
+                cancelled = [i for i in range(11, 0, -1)
+                             if svc.cancel(specs[i].job_id)]
+                results = await asyncio.gather(*futures)
+            return cancelled, results
+
+        cancelled, results = asyncio.run(main())
+        assert cancelled, "at least one queued job should cancel"
+        for i, r in enumerate(results):
+            expect = "cancelled" if i in cancelled else "done"
+            assert r.status == expect, (i, r.status, r.error)
+
+
+# ---------------------------------------------------------------------
+# Reusable procs-backend worker mode
+# ---------------------------------------------------------------------
+
+
+class TestReusableProcsBackend:
+    def test_reset_allows_rerun(self):
+        from repro.mpi import Runtime
+
+        def main(comm):
+            comm.compute(seconds=1e-6)
+            return comm.allreduce(comm.rank, site="t")
+
+        rt = Runtime(nranks=2)
+        first = rt.run(main)
+        with pytest.raises(Exception, match="reset"):
+            rt.run(main)
+        second = rt.reset().run(main)
+        assert first == second
+        assert rt.clock_stats()[0].total == pytest.approx(
+            rt.clock_stats()[1].total
+        )
+
+    def test_pool_reuses_workers_bitwise(self):
+        from repro.mpi import Runtime
+        from repro.mpi.backend import ProcsBackend
+
+        backend = ProcsBackend(reusable=True)
+        rt = Runtime(nranks=2, backend=backend)
+        try:
+            vtimes = []
+            pid_sets = []
+            for _ in range(3):
+                rt.reset().run(_pool_main)
+                vtimes.append([s.total for s in rt.clock_stats()])
+                pid_sets.append(tuple(backend.worker_pids()))
+            assert backend.jobs_served == 3
+            assert len(set(pid_sets)) == 1, "workers must not re-fork"
+            assert all(v == vtimes[0] for v in vtimes[1:])
+        finally:
+            backend.close()
+
+        fresh = Runtime(nranks=2, backend="procs")
+        fresh.run(_pool_main)
+        assert [s.total for s in fresh.clock_stats()] == vtimes[0]
+
+
+def _pool_main(comm):
+    """Module-level SPMD main: a reusable pool requires picklability."""
+    comm.compute(seconds=2e-6 * (comm.rank + 1))
+    return comm.allreduce(1.0, site="pool_t")
