@@ -16,19 +16,29 @@ and each tuner supplies only its clock and its candidate set.
 
 from __future__ import annotations
 
+import os
 import platform
+import socket
 import time
 from typing import Callable, Optional, Tuple
 
 
 def host_fingerprint() -> str:
-    """Stable identity of the measuring host.
+    """Stable identity of the measuring host, hostname included.
 
     Wall-clock measurements are only comparable on the machine that
     produced them, so both the bench comparator (wall-metric gating)
-    and the kernel autotune cache key their data by this string.
+    and the kernel autotune cache key their data by this string.  The
+    hostname leads the fingerprint so per-host caches on a shared
+    filesystem never collide once ranks span machines; the
+    ``REPRO_HOST_ID`` environment variable overrides it (set per
+    simulated host by the sockets backend's loopback launcher, and
+    available to pin a stable identity on ephemeral containers).
     """
-    return f"{platform.node()}/{platform.machine()}/{platform.system()}"
+    host = os.environ.get("REPRO_HOST_ID")
+    if not host:
+        host = platform.node() or socket.gethostname()
+    return f"{host}/{platform.machine()}/{platform.system()}"
 
 
 def time_trials(

@@ -514,6 +514,50 @@ def _comms_backend_gs() -> List[Metric]:
     ]
 
 
+@register("comms/backend_sockets", "comms", repeats=2, nranks=4)
+def _comms_backend_sockets() -> List[Metric]:
+    """Virtual-time parity of the sockets backend vs threads.
+
+    Same acceptance bar the procs backend passed: running the CMT-bone
+    job with every rank in its own OS process behind TCP sockets must
+    leave the modelled communication account bit-for-bit unchanged.
+    ``vtime_identical`` gates exact equality of every rank's
+    (total, comm) pair; the wall metrics record what the socket mesh
+    (rendezvous, per-peer connections, pickled frames) costs in real
+    time next to the in-process threads run.
+    """
+    vt: Dict[str, List[tuple]] = {}
+    walls: Dict[str, float] = {}
+    for backend in ("threads", "sockets"):
+        t0 = time.perf_counter()
+        res = _cmtbone_run(4, gs_method="pairwise", backend=backend)
+        walls[backend] = time.perf_counter() - t0
+        vt[backend] = [(r.vtime_total, r.vtime_comm) for r in res]
+    return [
+        Metric(
+            "vtime_threads_s",
+            max(t for t, _ in vt["threads"]),
+            kind="virtual",
+            unit="s",
+        ),
+        Metric(
+            "vtime_sockets_s",
+            max(t for t, _ in vt["sockets"]),
+            kind="virtual",
+            unit="s",
+        ),
+        Metric(
+            "vtime_identical",
+            float(vt["threads"] == vt["sockets"]),
+            kind="count",
+            unit="bool",
+            better="higher",
+        ),
+        Metric("threads_wall_s", walls["threads"], kind="wall", unit="s"),
+        Metric("sockets_wall_s", walls["sockets"], kind="wall", unit="s"),
+    ]
+
+
 # ---------------------------------------------------------------------
 # solver — Sod throughput, workspace ablation, fault/LB campaigns
 # ---------------------------------------------------------------------

@@ -87,9 +87,10 @@ def _add_backend(p: argparse.ArgumentParser) -> None:
 
     p.add_argument("--backend", default="threads",
                    choices=available_backends(),
-                   help="execution backend: threads (default) or procs "
-                        "(one OS process per rank; escapes the GIL — "
-                        "see docs/backends.md)")
+                   help="execution backend: threads (default), procs "
+                        "(one OS process per rank; escapes the GIL), or "
+                        "sockets (processes over TCP/Unix sockets; see "
+                        "the launch subcommand and docs/backends.md)")
 
 
 def _add_lb_flags(p: argparse.ArgumentParser) -> None:
@@ -344,6 +345,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--batch-max", type=int, default=4)
     p_camp.add_argument("--json", dest="json_out", default=None,
                         help="also write the full per-job results here")
+
+    p_launch = sub.add_parser(
+        "launch",
+        help="run a subcommand across hosts from a hostfile "
+             "(sockets backend)",
+        description="Expand an mpirun-style hostfile into a per-rank "
+                    "host layout and run another repro subcommand on "
+                    "the sockets backend: local hosts fork agents, "
+                    "remote hosts are reached over ssh, and "
+                    "--loopback fakes the multi-host layout on this "
+                    "machine for testing.  Example: "
+                    "repro launch --hostfile hosts.txt -- "
+                    "sod --ranks 4 --verify",
+    )
+    p_launch.add_argument("--hostfile", required=True,
+                          help="hostfile: one 'host [slots=N]' per line")
+    p_launch.add_argument("--loopback", action="store_true",
+                          help="treat every host as local (forked, with "
+                               "REPRO_HOST_ID set to the host label) — "
+                               "multi-'host' testing on one machine")
+    p_launch.add_argument("--family", default="tcp",
+                          choices=["tcp", "unix"],
+                          help="socket family (default tcp)")
+    p_launch.add_argument("--agent-python", default="python3",
+                          help="python executable for remote agents "
+                               "(default python3)")
+    p_launch.add_argument("--hb-timeout", type=float, default=10.0,
+                          help="declare a silent rank dead after this "
+                               "many seconds (default 10)")
+    p_launch.add_argument("rest", nargs=argparse.REMAINDER,
+                          metavar="-- subcommand ...",
+                          help="the repro subcommand to run, e.g. "
+                               "'-- sod --ranks 4 --verify'")
 
     sub.add_parser("machines", help="list machine presets")
     return parser
@@ -898,6 +932,56 @@ def cmd_machines(_args) -> int:
     return 0
 
 
+def cmd_launch(args) -> int:
+    from .net import (
+        SocketBackend,
+        rank_layout,
+        read_hostfile,
+        total_slots,
+    )
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("launch: missing subcommand "
+              "(e.g. launch --hostfile hosts.txt -- sod --ranks 4)",
+              file=sys.stderr)
+        return 2
+    if rest[0] == "launch":
+        print("launch: cannot nest launch inside launch",
+              file=sys.stderr)
+        return 2
+    inner = build_parser().parse_args(rest)
+    if not hasattr(inner, "backend") or not hasattr(inner, "ranks"):
+        print(f"launch: subcommand {rest[0]!r} does not take "
+              "--backend/--ranks and cannot be launched across hosts",
+              file=sys.stderr)
+        return 2
+    entries = read_hostfile(args.hostfile)
+    hosts = rank_layout(entries, inner.ranks)
+    slots = total_slots(entries)
+    if slots < inner.ranks:
+        print(f"launch: oversubscribing — {inner.ranks} ranks on "
+              f"{slots} slots (layout wraps around)", file=sys.stderr)
+    by_host: dict = {}
+    for r, h in enumerate(hosts):
+        by_host.setdefault(h, []).append(r)
+    layout = "  ".join(
+        f"{h}:{','.join(map(str, rs))}" for h, rs in by_host.items()
+    )
+    print(f"launch: {inner.ranks} ranks over {len(by_host)} host(s)  "
+          f"[{layout}]")
+    inner.backend = SocketBackend(
+        family=args.family,
+        hosts=hosts,
+        loopback=args.loopback,
+        hb_timeout=args.hb_timeout,
+        python=args.agent_python,
+    )
+    return _COMMANDS[inner.command](inner)
+
+
 _COMMANDS = {
     "cmtbone": cmd_cmtbone,
     "nekbone": cmd_nekbone,
@@ -910,6 +994,7 @@ _COMMANDS = {
     "submit": cmd_submit,
     "campaign": cmd_campaign,
     "machines": cmd_machines,
+    "launch": cmd_launch,
 }
 
 

@@ -24,6 +24,8 @@ from .backend import (
     ProcsBackend,
     ThreadsBackend,
     available_backends,
+    register_backend,
+    resolve_backend,
 )
 from .clock import ClockStats, OverlapInterval, TimePolicy, VirtualClock
 from .communicator import Comm
@@ -104,6 +106,8 @@ __all__ = [
     "TimePolicy",
     "VirtualClock",
     "available_backends",
+    "register_backend",
+    "resolve_backend",
     "payload_nbytes",
     "spmd",
     "testall",

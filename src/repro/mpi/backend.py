@@ -126,6 +126,56 @@ def format_deadlock_report(snapshots: Dict[int, dict]) -> str:
     return "\n".join(lines)
 
 
+def marshal_exit_records(
+    runtime,
+    records: Dict[int, dict],
+    fired: bool,
+    n: int,
+    hard_death: Callable[[int, Optional[int]], BaseException],
+) -> ExecutionOutcome:
+    """Fold per-rank exit records back into the Runtime.
+
+    Shared by every multi-process backend (procs and sockets): exit
+    records carry each rank's result/error plus the state the parent
+    must absorb for backend-transparent reporting — virtual clock,
+    profile, mailbox snapshot, trace events, fault logs.  A rank with
+    no record (or one flagged ``hard_exit``) died without reporting;
+    ``hard_death(rank, exitcode)`` builds its error — an
+    :class:`MPIError` for procs, a :class:`RankCrashError` for sockets
+    (where a vanished remote process is a recoverable crash).  ``fired``
+    marks a tripped deadlock watchdog, in which case the collected
+    mailbox snapshots become the runtime's deadlock report.
+    """
+    results: List[Any] = [None] * n
+    errors: List[Optional[BaseException]] = [None] * n
+    tracebacks: List[str] = [""] * n
+    snapshots: Dict[int, dict] = {}
+    for r in range(n):
+        rec = records.get(r)
+        if rec is None or rec.get("hard_exit"):
+            code = rec.get("exitcode") if rec else None
+            errors[r] = hard_death(r, code)
+            continue
+        results[r] = rec.get("result")
+        errors[r] = rec.get("error")
+        tracebacks[r] = rec.get("traceback", "")
+        if rec.get("clock") is not None:
+            runtime._clocks[r] = rec["clock"]
+        if rec.get("profile") is not None:
+            runtime._profiles[r] = rec["profile"]
+        snapshots[r] = rec.get("snapshot") or {
+            "posted": [], "unexpected": []
+        }
+        if runtime.trace is not None and rec.get("trace") is not None:
+            runtime.trace._per_rank[r] = list(rec["trace"])
+        if runtime.faults is not None:
+            runtime.faults.crash_log.extend(rec.get("crash_log", ()))
+            runtime.faults.drop_log.extend(rec.get("drop_log", ()))
+    if fired:
+        runtime._deadlock_report = format_deadlock_report(snapshots)
+    return ExecutionOutcome(results, errors, tracebacks)
+
+
 class Backend:
     """Strategy interface: execute a job over a Runtime's ranks."""
 
@@ -239,7 +289,8 @@ def _delivery_loop(ring: ShmRing, mailbox: Mailbox, tracker, stop) -> None:
         tracker.bump()
 
 
-def _send_record(conn, record: dict, rank: int, abort_event) -> None:
+def _send_record(conn, record: dict, rank: int, abort_event,
+                 backend: str = "procs") -> None:
     """Ship the exit record to the parent, degrading if unpicklable."""
     try:
         conn.send(record)
@@ -251,7 +302,7 @@ def _send_record(conn, record: dict, rank: int, abort_event) -> None:
     record["result"] = None
     record["error"] = MPIError(
         f"rank {rank} produced an unpicklable result or error{detail}; "
-        "the procs backend requires picklable per-rank values"
+        f"the {backend} backend requires picklable per-rank values"
     )
     record["trace"] = None
     abort_event.set()
@@ -561,37 +612,12 @@ class ProcsBackend(Backend):
     @staticmethod
     def _marshal(runtime, records, fired, n) -> ExecutionOutcome:
         """Fold the children's exit records back into the Runtime."""
-        results: List[Any] = [None] * n
-        errors: List[Optional[BaseException]] = [None] * n
-        tracebacks: List[str] = [""] * n
-        snapshots: Dict[int, dict] = {}
-        for r in range(n):
-            rec = records.get(r)
-            if rec is None or rec.get("hard_exit"):
-                code = rec.get("exitcode") if rec else None
-                errors[r] = MPIError(
-                    f"rank {r} terminated unexpectedly"
-                    f" (exit code {code})"
-                )
-                continue
-            results[r] = rec.get("result")
-            errors[r] = rec.get("error")
-            tracebacks[r] = rec.get("traceback", "")
-            if rec.get("clock") is not None:
-                runtime._clocks[r] = rec["clock"]
-            if rec.get("profile") is not None:
-                runtime._profiles[r] = rec["profile"]
-            snapshots[r] = rec.get("snapshot") or {
-                "posted": [], "unexpected": []
-            }
-            if runtime.trace is not None and rec.get("trace") is not None:
-                runtime.trace._per_rank[r] = list(rec["trace"])
-            if runtime.faults is not None:
-                runtime.faults.crash_log.extend(rec.get("crash_log", ()))
-                runtime.faults.drop_log.extend(rec.get("drop_log", ()))
-        if fired.is_set():
-            runtime._deadlock_report = format_deadlock_report(snapshots)
-        return ExecutionOutcome(results, errors, tracebacks)
+        return marshal_exit_records(
+            runtime, records, fired.is_set(), n,
+            hard_death=lambda r, code: MPIError(
+                f"rank {r} terminated unexpectedly (exit code {code})"
+            ),
+        )
 
     # -- persistent worker pool (reusable=True) ------------------------
 
@@ -730,10 +756,32 @@ class ProcsBackend(Backend):
             ring.destroy()
 
 
-_BACKENDS = {
+def _sockets_factory() -> Backend:
+    # Deferred import: repro.net imports this module, so the registry
+    # entry must not import it back at module load.
+    from ..net.backend import SocketBackend
+
+    return SocketBackend()
+
+
+#: Registration table: name -> zero-argument factory.  Table-driven so
+#: new backends (and tests) slot in via :func:`register_backend`
+#: without touching resolution logic.
+_BACKENDS: Dict[str, Callable[[], Backend]] = {
     ThreadsBackend.name: ThreadsBackend,
     ProcsBackend.name: ProcsBackend,
+    "sockets": _sockets_factory,
 }
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register (or replace) a backend under ``name``.
+
+    ``factory`` takes no arguments and returns a :class:`Backend`;
+    registration makes the name valid for ``Runtime(backend=...)`` and
+    every ``--backend`` CLI flag.
+    """
+    _BACKENDS[name] = factory
 
 
 def available_backends() -> List[str]:

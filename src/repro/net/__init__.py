@@ -1,0 +1,34 @@
+"""Cross-machine rank execution over sockets.
+
+``repro.net`` moves the simulated MPI job off a single machine: the
+:class:`~repro.net.backend.SocketBackend` runs every rank as its own
+OS process — forked locally or started over ssh from a hostfile — and
+carries envelopes, heartbeats, and exit records over TCP or
+Unix-domain sockets using the framed protocol in
+:mod:`repro.net.wire`.  Virtual time, profiles, and physics stay
+bitwise identical to the in-process backends.
+"""
+
+from .backend import SocketBackend
+from .hostfile import (
+    HostEntry,
+    HostfileError,
+    parse_hostfile,
+    rank_layout,
+    read_hostfile,
+    total_slots,
+)
+from .wire import MAX_FRAME_BYTES, FrameSocket, TransportError
+
+__all__ = [
+    "SocketBackend",
+    "HostEntry",
+    "HostfileError",
+    "parse_hostfile",
+    "rank_layout",
+    "read_hostfile",
+    "total_slots",
+    "MAX_FRAME_BYTES",
+    "FrameSocket",
+    "TransportError",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.net``: join a sockets job as one rank agent."""
+
+from .agent import _cli
+
+if __name__ == "__main__":
+    raise SystemExit(_cli())

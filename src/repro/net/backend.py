@@ -1,0 +1,571 @@
+"""SocketBackend: ranks as OS processes connected over sockets.
+
+The third execution backend (after ``threads`` and ``procs``): every
+rank is an independent OS process — forked locally, or started on
+another machine — and all communication crosses TCP or Unix-domain
+stream sockets using the framed wire protocol in :mod:`.wire`.
+
+Topology: the driver binds one *rendezvous* listener.  Each rank agent
+dials it (``HELLO``), the driver answers with the full peer address
+table (``WELCOME``) once all ranks are in, and the agents then build a
+direct all-to-all mesh for envelope traffic.  The control connections
+stay up for the life of the job carrying heartbeats (blocked/progress
+counters for the distributed deadlock watchdog), abort notifications,
+and finally each rank's ``EXIT`` record — result, error, virtual
+clock, profile, mailbox snapshot, trace, and fault logs — which the
+driver folds back into the :class:`~repro.mpi.runtime.Runtime` exactly
+as the procs backend does.
+
+Failure semantics: a rank that raises aborts the job through the
+driver (one control round-trip; blocked peers wake within a poll
+tick).  A rank that dies *hard* — SIGKILL, ``os._exit``, a lost
+machine — is detected by control-connection EOF, process liveness, or
+heartbeat timeout, and is marshalled as
+:class:`~repro.mpi.errors.RankCrashError` (rank intact), so
+:func:`repro.solver.driver.run_with_recovery` restores the last
+checkpoint and replays, the same contract injected crashes have.
+
+Virtual time, profiles, and physics are bitwise identical to the
+threads and procs backends by construction — see
+:mod:`repro.net.agent` for why.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import secrets
+import selectors
+import shutil
+import socket as _socket
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..mpi.backend import (
+    _WATCHDOG_PERIOD,
+    _WATCHDOG_STRIKES,
+    Backend,
+    ExecutionOutcome,
+    marshal_exit_records,
+)
+from ..mpi.errors import AbortError, MPIError, RankCrashError
+from .agent import HEARTBEAT_INTERVAL, run_agent
+from .hostfile import agent_argv, is_local_host, ssh_command
+from .wire import (
+    ABORT,
+    EXIT,
+    HEARTBEAT,
+    HELLO,
+    JOB,
+    MAX_FRAME_BYTES,
+    SHUTDOWN,
+    WELCOME,
+    FrameSocket,
+    TransportError,
+    connect,
+    make_listener,
+)
+
+#: Monitor loop tick (wall seconds).
+_POLL = 0.1
+
+
+def _forked_agent(runtime, rank, main, args, kwargs, rendezvous, token,
+                  family, host_label, hb_interval, max_frame) -> None:
+    """Child body for a locally forked rank agent.
+
+    The fork snapshot carries the Runtime and the job closure, so —
+    like the procs backend — ``main`` needs no pickling.  A loopback
+    host label becomes ``REPRO_HOST_ID`` so per-"host" state (the
+    autotune cache fingerprint) separates even on one machine.
+    """
+    if host_label:
+        os.environ["REPRO_HOST_ID"] = host_label
+    unix_dir = None
+    if family == "unix":
+        unix_dir = os.path.dirname(rendezvous[1]) or None
+    listener, listen_addr = make_listener(
+        family, unix_dir=unix_dir, name=f"peer{rank}"
+    )
+    ctrl = connect(rendezvous, max_frame=max_frame)
+    ctrl.send_frame(HELLO, pickle.dumps({
+        "token": token,
+        "rank": rank,
+        "listen": listen_addr,
+        "host": host_label or _socket.gethostname(),
+        "pid": os.getpid(),
+        "external": False,
+    }))
+    frame = ctrl.recv_frame(timeout=60.0)
+    if frame is None or frame[0] == SHUTDOWN:
+        return  # job cancelled during rendezvous
+    if frame[0] != WELCOME:
+        raise TransportError(f"expected WELCOME, got {frame[0]!r}")
+    welcome = pickle.loads(frame[1])
+    run_agent(
+        runtime, rank, main, args, kwargs, ctrl, listener,
+        welcome["peers"], token, hb_interval=hb_interval,
+        max_frame=max_frame,
+    )
+
+
+class SocketBackend(Backend):
+    """One OS process per rank, connected over TCP or Unix sockets.
+
+    With no arguments every rank is forked on this machine and the job
+    behaves like a multi-process loopback cluster — the mode
+    ``Runtime(backend="sockets")`` gives you.  ``hosts`` (a per-rank
+    host-label list, usually expanded from a hostfile by ``repro.cli
+    launch``) spreads ranks across machines: local labels fork, remote
+    labels start an agent over ssh (``python -m repro.net`` must
+    find an installed ``repro`` on the far side, and the job must
+    pickle).  ``loopback=True`` treats every label as local — forked,
+    but with ``REPRO_HOST_ID`` set to the label, so multi-host
+    behaviour (per-host autotune caches, host-tagged records) is
+    testable on one machine.
+
+    ``external=True`` forces every rank through the ssh-style
+    subprocess path (``python -m repro.net`` locally) — the job
+    then must be picklable; used to exercise the remote protocol
+    without ssh.
+
+    Failure detection knobs: ``hb_interval`` is the agent heartbeat
+    cadence, ``hb_timeout`` the silence after which a rank is declared
+    dead (the backstop for remote agents; local processes are also
+    liveness-polled every monitor tick, which is much faster).
+    """
+
+    name = "sockets"
+
+    def __init__(
+        self,
+        family: str = "tcp",
+        hosts: Optional[Sequence[str]] = None,
+        loopback: bool = False,
+        external: bool = False,
+        hb_interval: float = HEARTBEAT_INTERVAL,
+        hb_timeout: float = 10.0,
+        connect_timeout: float = 60.0,
+        join_timeout: float = 30.0,
+        max_frame: int = MAX_FRAME_BYTES,
+        python: str = "python3",
+        ssh: Tuple[str, ...] = ("ssh", "-o", "BatchMode=yes"),
+    ):
+        if family not in ("tcp", "unix"):
+            raise MPIError(
+                f"unknown socket family {family!r} "
+                "(expected 'tcp' or 'unix')"
+            )
+        self.family = family
+        self.hosts = list(hosts) if hosts is not None else None
+        self.loopback = loopback
+        self.external = external
+        self.hb_interval = hb_interval
+        self.hb_timeout = hb_timeout
+        self.connect_timeout = connect_timeout
+        self.join_timeout = join_timeout
+        self.max_frame = max_frame
+        self.python = python
+        self.ssh = tuple(ssh)
+
+    # -- spawning ------------------------------------------------------
+
+    @staticmethod
+    def _context():
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            raise MPIError(
+                "the sockets backend requires the 'fork' start method "
+                "for local ranks (POSIX only)"
+            )
+        return mp.get_context("fork")
+
+    def _rank_modes(self, n: int) -> List[Tuple[str, Optional[str]]]:
+        """Per-rank ``(mode, host_label)``: fork / popen / ssh."""
+        modes: List[Tuple[str, Optional[str]]] = []
+        for r in range(n):
+            host = self.hosts[r] if self.hosts else None
+            if self.external:
+                modes.append(("popen", host))
+            elif host is None or self.loopback or is_local_host(host):
+                label = host if (self.loopback and host) else None
+                modes.append(("fork", label))
+            else:
+                modes.append(("ssh", host))
+        return modes
+
+    def _job_payload(self, runtime, main, args, kwargs) -> bytes:
+        """The pickled JOB frame external agents receive."""
+        job = {
+            "main": main,
+            "args": args,
+            "kwargs": kwargs,
+            "machine": runtime.machine,
+            "time_policy": runtime.time_policy,
+            "trace_messages": runtime.trace is not None,
+            "fault_plan": (
+                runtime.faults.plan if runtime.faults is not None else None
+            ),
+            "fault_base_step": (
+                runtime.faults.base_step
+                if runtime.faults is not None else 0
+            ),
+            "hb_interval": self.hb_interval,
+        }
+        try:
+            return pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise MPIError(
+                "the sockets backend needs a picklable job to reach "
+                "remote hosts (module-level main, picklable args); "
+                f"pickling failed with: {exc}"
+            ) from exc
+
+    def _popen_env(self, host_label: Optional[str]) -> Dict[str, str]:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        if host_label:
+            env["REPRO_HOST_ID"] = host_label
+        return env
+
+    # -- execution -----------------------------------------------------
+
+    def execute(self, runtime, main, args, kwargs) -> ExecutionOutcome:
+        n = runtime.nranks
+        if self.hosts is not None and len(self.hosts) < n:
+            raise MPIError(
+                f"sockets backend has {len(self.hosts)} host slots for "
+                f"a {n}-rank job; expand the hostfile layout first"
+            )
+        modes = self._rank_modes(n)
+        token = secrets.token_hex(8)
+        unix_dir = None
+        if self.family == "unix":
+            unix_dir = tempfile.mkdtemp(prefix="repro-net-")
+        listener, address = make_listener(
+            self.family, unix_dir=unix_dir, name="rendezvous"
+        )
+        job_bytes = None
+        if any(m in ("popen", "ssh") for m, _h in modes):
+            job_bytes = self._job_payload(runtime, main, args, kwargs)
+        procs: List[Any] = [None] * n
+        try:
+            ctx = None
+            for r, (mode, label) in enumerate(modes):
+                if mode == "fork":
+                    if ctx is None:
+                        ctx = self._context()
+                    p = ctx.Process(
+                        target=_forked_agent,
+                        args=(runtime, r, main, args, kwargs, address,
+                              token, self.family, label,
+                              self.hb_interval, self.max_frame),
+                        name=f"sock-rank-{r}",
+                        daemon=True,
+                    )
+                    p.start()
+                    procs[r] = p
+                elif mode == "popen":
+                    cmd = agent_argv(
+                        address, token, r, python=sys.executable
+                    )
+                    procs[r] = subprocess.Popen(
+                        cmd, env=self._popen_env(label),
+                        stdin=subprocess.DEVNULL,
+                    )
+                else:  # ssh
+                    cmd = ssh_command(
+                        label, address, token, r,
+                        python=self.python, ssh=self.ssh,
+                    )
+                    procs[r] = subprocess.Popen(
+                        cmd, stdin=subprocess.DEVNULL
+                    )
+            records, fired = self._monitor(
+                runtime, listener, token, procs, modes, job_bytes
+            )
+        finally:
+            try:
+                listener.close()
+            except OSError:
+                pass
+            self._reap(procs)
+            if unix_dir is not None:
+                shutil.rmtree(unix_dir, ignore_errors=True)
+        return marshal_exit_records(
+            runtime, records, fired, n,
+            hard_death=lambda r, code: RankCrashError(
+                f"rank {r} terminated unexpectedly "
+                f"(no exit record; exit code {code})",
+                rank=r,
+            ),
+        )
+
+    def _reap(self, procs) -> None:
+        for p in procs:
+            if p is None:
+                continue
+            if hasattr(p, "is_alive"):  # multiprocessing.Process
+                p.join(timeout=self.join_timeout)
+                if p.is_alive():  # pragma: no cover - hard hang
+                    p.terminate()
+                    p.join(timeout=5.0)
+            else:  # subprocess.Popen
+                try:
+                    p.wait(timeout=self.join_timeout)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    p.kill()
+                    p.wait(timeout=5.0)
+
+    @staticmethod
+    def _exitcode(proc) -> Optional[int]:
+        if proc is None:
+            return None
+        if hasattr(proc, "is_alive"):  # multiprocessing.Process
+            proc.join(timeout=5.0)  # reap so exitcode is populated
+            return proc.exitcode
+        return proc.poll()
+
+    @staticmethod
+    def _proc_dead(proc) -> bool:
+        if proc is None:
+            return True
+        if hasattr(proc, "is_alive"):
+            return not proc.is_alive()
+        return proc.poll() is not None
+
+    def _monitor(
+        self,
+        runtime,
+        listener,
+        token: str,
+        procs,
+        modes,
+        job_bytes: Optional[bytes],
+    ) -> Tuple[Dict[int, dict], bool]:
+        """Rendezvous + run-phase control loop.
+
+        Accepts agent control connections, hands out the peer table,
+        then tracks heartbeats, aborts, exits, and deaths until every
+        rank is resolved (an exit record or a hard death); finally
+        broadcasts SHUTDOWN so agents tear their mesh down together.
+        Returns ``(records, watchdog_fired)``.
+        """
+        n = runtime.nranks
+        sel = selectors.DefaultSelector()
+        listener.setblocking(False)
+        sel.register(listener, selectors.EVENT_READ, ("listener", None))
+        conns: Dict[int, FrameSocket] = {}
+        meta: Dict[int, dict] = {}
+        records: Dict[int, dict] = {}
+        hb: Dict[int, Tuple[int, int]] = {}
+        last_hb: Dict[int, float] = {}
+        welcomed = False
+        aborted = False
+        fired = False
+        strikes = 0
+        last_progress = -1
+        next_watch = time.monotonic() + _WATCHDOG_PERIOD
+        deadline = time.monotonic() + self.connect_timeout
+
+        def broadcast_abort() -> None:
+            nonlocal aborted
+            if aborted:
+                return
+            aborted = True
+            for fs in conns.values():
+                try:
+                    fs.send_frame(ABORT, pickle.dumps({}))
+                except TransportError:
+                    pass
+
+        def hard_death(rank: int) -> None:
+            if rank in records:
+                return
+            records[rank] = {
+                "rank": rank,
+                "hard_exit": True,
+                "exitcode": self._exitcode(procs[rank]),
+            }
+            broadcast_abort()
+
+        def startup_failure(rank: int, why: str) -> None:
+            """A rank died before WELCOME: cancel the whole launch."""
+            records[rank] = {
+                "rank": rank,
+                "hard_exit": True,
+                "exitcode": self._exitcode(procs[rank]),
+            }
+            for r in range(n):
+                if r not in records:
+                    records[r] = {
+                        "rank": r,
+                        "result": None,
+                        "error": AbortError(
+                            f"job aborted during startup: {why}"
+                        ),
+                        "traceback": "",
+                    }
+            for fs in conns.values():
+                try:
+                    fs.send_frame(SHUTDOWN, pickle.dumps({}))
+                except TransportError:
+                    pass
+
+        def handle_frame(rank: Optional[int], fs: FrameSocket,
+                         kind: bytes, body: bytes) -> Optional[int]:
+            nonlocal welcomed
+            if kind == HELLO:
+                hello = pickle.loads(body)
+                if hello.get("token") != token:
+                    raise TransportError("agent presented a bad token")
+                r = int(hello["rank"])
+                conns[r] = fs
+                meta[r] = hello
+                sel.modify(fs.sock, selectors.EVENT_READ, ("agent", r))
+                return r
+            if rank is None:
+                raise TransportError(
+                    f"control frame {kind!r} before HELLO"
+                )
+            if kind == HEARTBEAT:
+                beat = pickle.loads(body)
+                hb[rank] = (int(beat["blocked"]), int(beat["progress"]))
+                last_hb[rank] = time.monotonic()
+            elif kind == ABORT:
+                broadcast_abort()
+            elif kind == EXIT:
+                records[rank] = pickle.loads(body)
+            return rank
+
+        while len(records) < n:
+            for key, _ev in sel.select(timeout=_POLL):
+                what, rank = key.data
+                if what == "listener":
+                    while True:
+                        try:
+                            conn, _addr = listener.accept()
+                        except (BlockingIOError, OSError):
+                            break
+                        fs = FrameSocket(conn, max_frame=self.max_frame)
+                        sel.register(
+                            conn, selectors.EVENT_READ, ("pending", fs)
+                        )
+                    continue
+                if what == "pending":
+                    fs = rank  # data slot carries the FrameSocket
+                    rank = None
+                else:
+                    fs = conns[rank]
+                try:
+                    frames, eof = fs.drain()
+                except TransportError:
+                    frames, eof = [], True
+                for kind, body in frames:
+                    rank = handle_frame(rank, fs, kind, body)
+                if eof:
+                    try:
+                        sel.unregister(fs.sock)
+                    except (KeyError, ValueError):
+                        pass
+                    fs.close()
+                    if rank is not None and rank not in records:
+                        if welcomed:
+                            hard_death(rank)
+                        else:
+                            startup_failure(
+                                rank, f"rank {rank} dropped its control "
+                                "connection before the job started"
+                            )
+
+            now = time.monotonic()
+
+            # Rendezvous complete: publish the peer table (and jobs).
+            if not welcomed and len(conns) == n:
+                peers = {r: meta[r]["listen"] for r in range(n)}
+                doc = pickle.dumps({"nranks": n, "peers": peers})
+                for r in range(n):
+                    conns[r].send_frame(WELCOME, doc)
+                    if meta[r].get("external"):
+                        conns[r].send_frame(JOB, job_bytes)
+                welcomed = True
+
+            # Liveness: a dead process with no exit record (its control
+            # socket may still look open through inherited fds or ssh
+            # buffering) is a hard death.
+            for r in range(n):
+                if r in records or not self._proc_dead(procs[r]):
+                    continue
+                fs = conns.get(r)
+                if fs is not None:
+                    # One last drain: the EXIT frame may already be
+                    # buffered even though the process is gone.
+                    try:
+                        frames, _eof = fs.drain()
+                        for kind, body in frames:
+                            handle_frame(r, fs, kind, body)
+                    except TransportError:
+                        pass
+                if r in records:
+                    continue
+                if welcomed:
+                    hard_death(r)
+                else:
+                    startup_failure(
+                        r, f"rank {r} agent exited before the job started"
+                    )
+
+            # Heartbeat timeout: the backstop for remote agents whose
+            # process handle we cannot poll meaningfully (ssh).
+            if welcomed:
+                for r in range(n):
+                    if r in records:
+                        continue
+                    seen = last_hb.get(r)
+                    if seen is not None and now - seen > self.hb_timeout:
+                        hard_death(r)
+
+            if not welcomed and now > deadline:
+                # Rendezvous never completed: every missing rank is a
+                # hard death; connected agents get SHUTDOWN below.
+                for r in range(n):
+                    if r not in records:
+                        records[r] = {
+                            "rank": r,
+                            "hard_exit": True,
+                            "exitcode": self._exitcode(procs[r]),
+                        }
+                break
+
+            # Distributed deadlock watchdog: all live ranks blocked and
+            # no matching progress across several consecutive looks.
+            if (welcomed and runtime.deadlock_detection
+                    and now >= next_watch):
+                next_watch = now + _WATCHDOG_PERIOD
+                live = [r for r in range(n) if r not in records]
+                if live:
+                    blocked = sum(hb.get(r, (0, 0))[0] for r in live)
+                    progress = sum(hb.get(r, (0, 0))[1] for r in range(n))
+                    if blocked >= len(live) and progress == last_progress:
+                        strikes += 1
+                        if strikes >= _WATCHDOG_STRIKES:
+                            fired = True
+                            broadcast_abort()
+                    else:
+                        strikes = 0
+                    last_progress = progress
+
+        # All ranks resolved: release the mesh everywhere at once.
+        for fs in conns.values():
+            try:
+                fs.send_frame(SHUTDOWN, pickle.dumps({}))
+            except TransportError:
+                pass
+        sel.close()
+        for fs in conns.values():
+            fs.close()
+        return records, fired

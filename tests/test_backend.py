@@ -1,14 +1,18 @@
-"""Execution backends: the procs backend vs the threads reference.
+"""Execution backends: procs and sockets vs the threads reference.
 
-The process backend must be a drop-in replacement: same results, same
+Every backend must be a drop-in replacement: same results, same
 error/deadlock/crash semantics, and *identical* virtual-time and
 profile numbers (they are pure functions of the machine model, never of
-wall-clock scheduling).  These tests run the same jobs under both
-backends and compare, and exercise the procs-only machinery — shared
-memory rings (including oversize spills), exit-record marshalling,
-process-safe abort, and the recovery loop (abort, injected-crash
-recovery, checkpoint/restart) on processes.
+wall-clock scheduling).  These tests run the same jobs under all
+backends and compare, and exercise the backend-specific machinery —
+shared memory rings (including oversize spills) for procs, the socket
+mesh / rendezvous / heartbeat path for sockets, exit-record
+marshalling, process-safe abort, and the recovery loop (abort,
+injected-crash recovery, checkpoint/restart, real rank kills).
 """
+
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -25,20 +29,39 @@ from repro.mpi import (
     available_backends,
     spmd,
 )
-from repro.mpi.backend import resolve_backend
+from repro.mpi.backend import register_backend, resolve_backend
+from repro.net import SocketBackend
 
-BACKENDS = ("threads", "procs")
+BACKENDS = ("threads", "procs", "sockets")
 
 
 class TestSelection:
     def test_available(self):
-        assert available_backends() == ["procs", "threads"]
+        assert available_backends() == ["procs", "sockets", "threads"]
 
     def test_resolve_name_and_instance(self):
         assert isinstance(resolve_backend("threads"), ThreadsBackend)
         assert isinstance(resolve_backend("procs"), ProcsBackend)
+        assert isinstance(resolve_backend("sockets"), SocketBackend)
         inst = ProcsBackend(ring_capacity=1 << 16)
         assert resolve_backend(inst) is inst
+
+    def test_register_backend(self):
+        class Custom(ThreadsBackend):
+            name = "custom-test"
+
+        register_backend("custom-test", Custom)
+        try:
+            assert "custom-test" in available_backends()
+            assert isinstance(resolve_backend("custom-test"), Custom)
+        finally:
+            from repro.mpi import backend as backend_mod
+
+            del backend_mod._BACKENDS["custom-test"]
+
+    def test_unknown_backend_error_lists_available(self):
+        with pytest.raises(MPIError, match="procs, sockets, threads"):
+            resolve_backend("gpu")
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(MPIError, match="unknown backend"):
@@ -149,9 +172,11 @@ class TestParity:
         res = rt.run(self._job)
         return rt, res
 
-    def test_clock_profile_and_trace_identical(self):
+    @pytest.mark.parametrize("backend", [b for b in BACKENDS
+                                         if b != "threads"])
+    def test_clock_profile_and_trace_identical(self, backend):
         rt_t, res_t = self._run("threads")
-        rt_p, res_p = self._run("procs")
+        rt_p, res_p = self._run(backend)
         assert res_t == res_p
         for a, b in zip(rt_t.clock_stats(), rt_p.clock_stats()):
             assert (a.total, a.compute, a.comm, a.hidden_comm) == (
@@ -174,7 +199,8 @@ class TestParity:
                 (r.vtime_total, r.vtime_comm, tuple(r.monitor_values))
                 for r in results
             ]
-        assert per_backend["threads"] == per_backend["procs"]
+        for backend in BACKENDS[1:]:
+            assert per_backend["threads"] == per_backend[backend]
 
     def test_context_ids_deterministic(self):
         """Derived comm ids are pure hashes: equal across backends even
@@ -190,7 +216,8 @@ class TestParity:
         per_backend = {
             b: Runtime(nranks=4, backend=b).run(main) for b in BACKENDS
         }
-        assert per_backend["threads"] == per_backend["procs"]
+        for backend in BACKENDS[1:]:
+            assert per_backend["threads"] == per_backend[backend]
 
 
 class TestProcsFailures:
@@ -328,8 +355,161 @@ class TestProcsRecovery:
                 fault_plan=FaultPlan.parse("crash:rank=0,step=3"),
                 backend=backend,
             )
-        a, b = reports["threads"], reports["procs"]
-        assert a.total_virtual_seconds == b.total_virtual_seconds
-        assert a.lost_work_seconds == b.lost_work_seconds
-        assert a.steps_lost == b.steps_lost
-        assert a.restarts == b.restarts
+        a = reports["threads"]
+        for backend in BACKENDS[1:]:
+            b = reports[backend]
+            assert a.total_virtual_seconds == b.total_virtual_seconds
+            assert a.lost_work_seconds == b.lost_work_seconds
+            assert a.steps_lost == b.steps_lost
+            assert a.restarts == b.restarts
+
+
+def _kill_wrapped_setup(setup, flag_path, kill_call):
+    """Wrap a ``setup(comm)`` factory so rank 1 SIGKILLs itself on its
+    ``kill_call``-th solver step — once (the flag file survives the
+    restart, so the replay attempt runs clean)."""
+
+    def wrapped(comm):
+        solver, state = setup(comm)
+        if comm.rank == 1 and not os.path.exists(flag_path):
+            orig = solver.step
+            calls = {"n": 0}
+
+            def step(state, dt):
+                calls["n"] += 1
+                if calls["n"] == kill_call:
+                    with open(flag_path, "w"):
+                        pass
+                    os.kill(os.getpid(), signal.SIGKILL)
+                return orig(state, dt)
+
+            solver.step = step
+        return solver, state
+
+    return wrapped
+
+
+class TestSockets:
+    """Sockets-specific machinery: mesh, families, hosts, hard deaths."""
+
+    def test_results_and_numpy_payloads(self):
+        def main(comm):
+            other = (comm.rank + 1) % comm.size
+            comm.send(np.full(100, comm.rank, dtype=float), dest=other)
+            got = comm.recv(source=(comm.rank - 1) % comm.size)
+            return float(got.sum())
+
+        res = Runtime(nranks=4, backend="sockets").run(main)
+        assert res == [300.0, 0.0, 100.0, 200.0]
+
+    def test_unix_family(self):
+        backend = SocketBackend(family="unix")
+        res = Runtime(nranks=3, backend=backend).run(
+            lambda comm: comm.allreduce(comm.rank)
+        )
+        assert res == [3, 3, 3]
+
+    def test_single_rank(self):
+        assert Runtime(nranks=1, backend="sockets").run(
+            lambda comm: comm.rank
+        ) == [0]
+
+    def test_loopback_hosts_set_host_id(self):
+        """Loopback host labels flow into the autotune fingerprint."""
+
+        def main(comm):
+            from repro.autotune import host_fingerprint
+
+            return host_fingerprint().split("/")[0]
+
+        backend = SocketBackend(
+            hosts=["nodeA", "nodeA", "nodeB"], loopback=True
+        )
+        res = Runtime(nranks=3, backend=backend).run(main)
+        assert res == ["nodeA", "nodeA", "nodeB"]
+
+    def test_exception_aborts_blocked_peers(self):
+        def main(comm):
+            if comm.rank == 0:
+                raise ValueError("dead on arrival")
+            comm.recv(source=0)
+
+        with pytest.raises(MPIError, match="dead on arrival"):
+            Runtime(nranks=3, backend="sockets").run(main)
+
+    def test_deadlock_detected(self):
+        def main(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size, tag=1)
+
+        rt = Runtime(nranks=2, backend="sockets")
+        with pytest.raises(DeadlockError):
+            rt.run(main)
+        assert rt.deadlock_report is not None
+        assert "rank" in rt.deadlock_report
+
+    def test_single_rank_deadlock_detected(self):
+        with pytest.raises(DeadlockError):
+            Runtime(nranks=1, backend="sockets").run(
+                lambda comm: comm.recv(source=0)
+            )
+
+    def test_hard_kill_raises_rank_crash(self):
+        """A SIGKILLed remote rank surfaces as RankCrashError with the
+        dead rank identified — the recovery loop's contract."""
+
+        def main(comm):
+            if comm.rank == 1:
+                os.kill(os.getpid(), signal.SIGKILL)
+            comm.recv(source=1 if comm.rank == 0 else 0, tag=0)
+
+        with pytest.raises(RankCrashError,
+                           match="terminated unexpectedly") as exc:
+            Runtime(nranks=2, backend="sockets").run(main)
+        assert exc.value.rank == 1
+
+    def test_unpicklable_result_reported(self):
+        def main(comm):
+            return lambda: None  # lambdas don't pickle
+
+        with pytest.raises(MPIError, match="picklable"):
+            Runtime(nranks=2, backend="sockets").run(main)
+
+    def test_injected_crash_marshalled(self):
+        plan = FaultPlan.parse("crash:rank=1,step=2")
+        rt = Runtime(nranks=3, backend="sockets", fault_plan=plan)
+
+        def main(comm):
+            for step in range(5):
+                comm.faults.check_step_crash(comm, step)
+                comm.barrier()
+            return "done"
+
+        with pytest.raises(RankCrashError) as exc:
+            rt.run(main)
+        assert exc.value.rank == 1
+        assert exc.value.step == 2
+        assert [c.rank for c in rt.faults.fired_crashes] == [1]
+
+    def test_rank_kill_recovered_from_checkpoint(self, tmp_path):
+        """A real mid-run SIGKILL of a remote rank: run_with_recovery
+        restores the last checkpoint and the final fields are bitwise
+        identical to a clean run."""
+        from repro.cli import _sod_setup
+        from repro.solver import run_with_recovery
+
+        setup = _sod_setup(2, n=5, nelx=8, gs_method="pairwise")
+        common = dict(nranks=2, nsteps=8, dt=2e-4, backend="sockets")
+        killed = _kill_wrapped_setup(
+            setup, str(tmp_path / "killed.flag"), kill_call=5
+        )
+        faulty, report = run_with_recovery(
+            killed,
+            checkpoint_every=3,
+            checkpoint_dir=tmp_path / "ckpt",
+            **common,
+        )
+        assert report.restarts == 1
+        assert any("terminated unexpectedly" in c for c in report.crashes)
+        clean, _ = run_with_recovery(setup, **common)
+        for a, b in zip(clean, faulty):
+            np.testing.assert_array_equal(a.u, b.u)

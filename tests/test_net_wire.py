@@ -1,0 +1,365 @@
+"""Wire framing, hostfile parsing, and agent-launch plumbing.
+
+The framing fuzz matrix is the satellite contract: partial reads
+(byte-at-a-time senders), oversize payloads (sized off the ShmRing
+spill-threshold constants so the two transports are stressed at the
+same scale), interleaved frames from concurrent writer threads, and
+truncated streams must all either round-trip exactly or raise a clean
+:class:`TransportError` — never deadlock (every receive here is
+bounded by a socket timeout).
+"""
+
+import os
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.mpi.shm import DEFAULT_RING_CAPACITY, _SPILL_FRACTION
+from repro.net import TransportError
+from repro.net.hostfile import (
+    HostEntry,
+    HostfileError,
+    agent_argv,
+    is_local_host,
+    parse_hostfile,
+    rank_layout,
+    ssh_command,
+    total_slots,
+)
+from repro.net.wire import (
+    ENVELOPE,
+    HEADER_BYTES,
+    HEARTBEAT,
+    KNOWN_KINDS,
+    MAGIC,
+    FrameSocket,
+    format_address,
+    parse_address,
+)
+
+#: The shm transport's spill threshold: payloads above this take the
+#: spill path over rings; over sockets they must simply pass through.
+SPILL_THRESHOLD = DEFAULT_RING_CAPACITY // _SPILL_FRACTION
+
+
+def _pair(max_frame=1 << 30):
+    a, b = socket.socketpair()
+    return FrameSocket(a, max_frame=max_frame), FrameSocket(
+        b, max_frame=max_frame
+    )
+
+
+class TestFraming:
+    def test_round_trip(self):
+        tx, rx = _pair()
+        tx.send_frame(ENVELOPE, b"hello world")
+        assert rx.recv_frame(timeout=5.0) == (ENVELOPE, b"hello world")
+        tx.close(), rx.close()
+
+    def test_empty_body(self):
+        tx, rx = _pair()
+        tx.send_frame(HEARTBEAT, b"")
+        assert rx.recv_frame(timeout=5.0) == (HEARTBEAT, b"")
+        tx.close(), rx.close()
+
+    def test_many_frames_in_order(self):
+        tx, rx = _pair()
+        bodies = [os.urandom(i * 37 % 1024) for i in range(200)]
+        got = []
+
+        def reader():
+            for _ in bodies:
+                got.append(rx.recv_frame(timeout=30.0))
+
+        t = threading.Thread(target=reader, daemon=True)
+        t.start()
+        for body in bodies:
+            tx.send_frame(ENVELOPE, body)
+        t.join(timeout=30.0)
+        assert got == [(ENVELOPE, body) for body in bodies]
+        tx.close(), rx.close()
+
+    def test_partial_reads_resume_across_timeouts(self):
+        """A byte-at-a-time sender costs patience, never correctness."""
+        a, b = socket.socketpair()
+        rx = FrameSocket(b)
+        body = b"slow but sure"
+        raw = struct.pack("!2ssI", MAGIC, ENVELOPE, len(body)) + body
+
+        def dribble():
+            for i in range(len(raw)):
+                a.sendall(raw[i:i + 1])
+                time.sleep(0.002)
+
+        t = threading.Thread(target=dribble, daemon=True)
+        t.start()
+        # Short timeouts force many TimeoutErrors mid-frame; the buffer
+        # must survive each one and resume exactly where it left off.
+        deadline = time.monotonic() + 10.0
+        while True:
+            try:
+                frame = rx.recv_frame(timeout=0.005)
+                break
+            except TimeoutError:
+                assert time.monotonic() < deadline, "framing lost data"
+        assert frame == (ENVELOPE, body)
+        t.join()
+        a.close(), rx.close()
+
+    def test_spill_sized_payload_passes(self):
+        """Payloads above the shm spill threshold are ordinary frames."""
+        tx, rx = _pair()
+        body = os.urandom(SPILL_THRESHOLD + 1)
+        got = []
+        t = threading.Thread(
+            target=lambda: got.append(rx.recv_frame(timeout=30.0)),
+            daemon=True,
+        )
+        t.start()
+        tx.send_frame(ENVELOPE, body)
+        t.join(timeout=30.0)
+        assert got and got[0] == (ENVELOPE, body)
+        tx.close(), rx.close()
+
+    def test_oversize_send_refused(self):
+        tx, _rx = _pair(max_frame=1024)
+        with pytest.raises(TransportError, match="refusing to send"):
+            tx.send_frame(ENVELOPE, b"x" * 2048)
+
+    def test_oversize_declared_length_rejected_before_body(self):
+        """A hostile header cannot make the receiver buffer the body:
+        the declared length is validated from the header alone."""
+        a, b = socket.socketpair()
+        rx = FrameSocket(b, max_frame=1024)
+        a.sendall(struct.pack("!2ssI", MAGIC, ENVELOPE, 1 << 29))
+        with pytest.raises(TransportError, match="exceeds"):
+            rx.recv_frame(timeout=5.0)
+        a.close(), rx.close()
+
+    def test_bad_magic_rejected(self):
+        a, b = socket.socketpair()
+        rx = FrameSocket(b)
+        a.sendall(b"XX" + b"E" + struct.pack("!I", 3) + b"abc")
+        with pytest.raises(TransportError, match="magic"):
+            rx.recv_frame(timeout=5.0)
+        a.close(), rx.close()
+
+    def test_unknown_kind_rejected(self):
+        a, b = socket.socketpair()
+        rx = FrameSocket(b)
+        assert b"z" not in KNOWN_KINDS
+        a.sendall(struct.pack("!2ssI", MAGIC, b"z", 0))
+        with pytest.raises(TransportError, match="unknown frame kind"):
+            rx.recv_frame(timeout=5.0)
+        a.close(), rx.close()
+
+    def test_truncated_mid_frame_is_clean_error(self):
+        a, b = socket.socketpair()
+        rx = FrameSocket(b)
+        a.sendall(struct.pack("!2ssI", MAGIC, ENVELOPE, 100) + b"only")
+        a.close()
+        with pytest.raises(TransportError, match="truncated mid-frame"):
+            rx.recv_frame(timeout=5.0)
+        rx.close()
+
+    def test_truncated_mid_header_is_clean_error(self):
+        a, b = socket.socketpair()
+        rx = FrameSocket(b)
+        a.sendall(b"R")  # half the magic, then EOF
+        a.close()
+        with pytest.raises(TransportError, match="truncated mid-frame"):
+            rx.recv_frame(timeout=5.0)
+        rx.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        rx = FrameSocket(b)
+        a.sendall(struct.pack("!2ssI", MAGIC, HEARTBEAT, 0))
+        a.close()
+        assert rx.recv_frame(timeout=5.0) == (HEARTBEAT, b"")
+        assert rx.recv_frame(timeout=5.0) is None
+        rx.close()
+
+    def test_concurrent_writers_never_interleave(self):
+        """The send lock makes frames atomic: two writer threads
+        hammering one socket must produce only intact frames."""
+        tx, rx = _pair()
+        per_writer = 100
+
+        def writer(tag):
+            for i in range(per_writer):
+                body = bytes([tag]) * (1 + (i * 131) % 4096)
+                tx.send_frame(ENVELOPE, body)
+
+        threads = [
+            threading.Thread(target=writer, args=(t,), daemon=True)
+            for t in (1, 2)
+        ]
+        for t in threads:
+            t.start()
+        seen = {1: 0, 2: 0}
+        for _ in range(2 * per_writer):
+            kind, body = rx.recv_frame(timeout=30.0)
+            assert kind == ENVELOPE
+            assert len(set(body)) == 1, "interleaved frame bodies"
+            seen[body[0]] += 1
+        assert seen == {1: per_writer, 2: per_writer}
+        for t in threads:
+            t.join()
+        tx.close(), rx.close()
+
+    def test_drain_collects_buffered_frames(self):
+        tx, rx = _pair()
+        for i in range(5):
+            tx.send_frame(ENVELOPE, bytes([i]))
+        time.sleep(0.05)
+        frames, eof = rx.drain()
+        assert [b for _k, b in frames] == [bytes([i]) for i in range(5)]
+        assert not eof
+        tx.close()
+        time.sleep(0.05)
+        frames, eof = rx.drain()
+        assert frames == [] and eof
+        rx.close()
+
+    def test_header_size_is_seven_bytes(self):
+        assert HEADER_BYTES == 7
+
+
+class TestAddresses:
+    def test_tcp_round_trip(self):
+        addr = ("tcp", "10.1.2.3", 4567)
+        assert parse_address(format_address(addr)) == addr
+
+    def test_unix_round_trip(self):
+        addr = ("unix", "/tmp/x/y.sock")
+        assert parse_address(format_address(addr)) == addr
+
+    @pytest.mark.parametrize("bad", ["tcp:nohost", "unix:", "ftp:x:1",
+                                     "tcp::", "tcp:h:notaport"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(TransportError):
+            parse_address(bad)
+
+
+class TestHostfile:
+    def test_parse_slots_and_comments(self):
+        entries = parse_hostfile(
+            "# cluster\n"
+            "node0 slots=4\n"
+            "\n"
+            "node1 slots=2  # the small one\n"
+            "node2\n"
+        )
+        assert entries == [
+            HostEntry("node0", 4), HostEntry("node1", 2),
+            HostEntry("node2", 1),
+        ]
+        assert total_slots(entries) == 7
+
+    def test_parse_errors_carry_line_numbers(self):
+        with pytest.raises(HostfileError, match="hf:2.*unknown option"):
+            parse_hostfile("a\nb frobnicate=1\n", name="hf")
+        with pytest.raises(HostfileError, match="hf:1.*integer"):
+            parse_hostfile("a slots=many\n", name="hf")
+        with pytest.raises(HostfileError, match="hf:1.*>= 1"):
+            parse_hostfile("a slots=0\n", name="hf")
+        with pytest.raises(HostfileError, match="no hosts"):
+            parse_hostfile("# nothing here\n", name="hf")
+
+    def test_rank_layout_fills_in_file_order(self):
+        entries = [HostEntry("a", 2), HostEntry("b", 1)]
+        assert rank_layout(entries, 3) == ["a", "a", "b"]
+
+    def test_rank_layout_wraps_on_oversubscription(self):
+        entries = [HostEntry("a", 1), HostEntry("b", 1)]
+        assert rank_layout(entries, 5) == ["a", "b", "a", "b", "a"]
+
+    def test_is_local_host(self):
+        assert is_local_host("localhost")
+        assert is_local_host("127.0.0.1")
+        assert is_local_host(socket.gethostname())
+        assert not is_local_host("surely-not-this-machine")
+
+    def test_ssh_command_quotes_remote(self):
+        cmd = ssh_command(
+            "node7", ("tcp", "10.0.0.1", 9999), "tok", 3,
+            python="python3.11",
+        )
+        assert cmd[:3] == ["ssh", "-o", "BatchMode=yes"]
+        assert cmd[3] == "node7"
+        remote = cmd[4]
+        assert "python3.11 -m repro.net" in remote
+        assert "--connect tcp:10.0.0.1:9999" in remote
+        assert "--rank 3" in remote
+
+    def test_agent_argv_round_trips_address(self):
+        argv = agent_argv(("tcp", "127.0.0.1", 1234), "tok", 0)
+        addr = parse_address(argv[argv.index("--connect") + 1])
+        assert addr == ("tcp", "127.0.0.1", 1234)
+
+
+def _ext_ring(comm, base):
+    """Module-level (hence picklable) main for external agents."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.send(base + comm.rank, dest=right, tag=0)
+    return comm.recv(source=left, tag=0)
+
+
+class TestExternalAgents:
+    """The ssh-style path, exercised with local subprocesses."""
+
+    def test_external_agents_run_the_job(self):
+        from repro.mpi import Runtime
+        from repro.net import SocketBackend
+
+        backend = SocketBackend(external=True)
+        res = Runtime(nranks=3, backend=backend).run(_ext_ring, (100,))
+        assert res == [102, 100, 101]
+
+    def test_unpicklable_job_refused_up_front(self):
+        from repro.mpi import MPIError, Runtime
+        from repro.net import SocketBackend
+
+        sock = socket.socket()  # unpicklable closure capture
+        try:
+            backend = SocketBackend(external=True)
+            with pytest.raises(MPIError, match="picklable job"):
+                Runtime(nranks=2, backend=backend).run(
+                    lambda comm: sock.fileno()
+                )
+        finally:
+            sock.close()
+
+    def test_agent_cli_rejects_bad_address(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.net", "--connect",
+             "bogus:xyz", "--token", "t", "--rank", "0"],
+            capture_output=True, text=True, timeout=60,
+            env={**os.environ,
+                 "PYTHONPATH": os.pathsep.join(sys.path)},
+        )
+        assert proc.returncode != 0
+
+
+class TestHostFingerprint:
+    def test_env_override(self, monkeypatch):
+        from repro.autotune import host_fingerprint
+
+        monkeypatch.setenv("REPRO_HOST_ID", "fake-node-17")
+        assert host_fingerprint().startswith("fake-node-17/")
+
+    def test_contains_hostname_by_default(self, monkeypatch):
+        import platform
+
+        from repro.autotune import host_fingerprint
+
+        monkeypatch.delenv("REPRO_HOST_ID", raising=False)
+        host = platform.node() or socket.gethostname()
+        assert host_fingerprint().split("/")[0] == host
