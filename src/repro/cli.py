@@ -374,6 +374,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_launch.add_argument("--hb-timeout", type=float, default=10.0,
                           help="declare a silent rank dead after this "
                                "many seconds (default 10)")
+    p_launch.add_argument("--bind-host", default=None,
+                          help="interface the driver's listeners bind "
+                               "(default: loopback for all-local "
+                               "layouts, 0.0.0.0 when the hostfile "
+                               "has remote hosts)")
+    p_launch.add_argument("--advertise-host", default=None,
+                          help="address agents are told to dial back "
+                               "(default: this machine's hostname "
+                               "when remote hosts are present)")
     p_launch.add_argument("rest", nargs=argparse.REMAINDER,
                           metavar="-- subcommand ...",
                           help="the repro subcommand to run, e.g. "
@@ -978,6 +987,8 @@ def cmd_launch(args) -> int:
         loopback=args.loopback,
         hb_timeout=args.hb_timeout,
         python=args.agent_python,
+        bind_host=args.bind_host,
+        advertise_host=args.advertise_host,
     )
     return _COMMANDS[inner.command](inner)
 

@@ -21,7 +21,9 @@ scheduling.  Only wall-clock measurements differ.
 from __future__ import annotations
 
 import os
+import struct
 import threading
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
@@ -46,6 +48,14 @@ _WATCHDOG_STRIKES = 3
 
 #: Delivery-thread poll period while its ring is empty (wall seconds).
 _DELIVERY_POLL = 0.05
+
+#: Leading byte of a flush-marker ring record.  Envelope records are
+#: ``pickle.dumps`` output, which always starts with ``b"\x80"`` (the
+#: PROTO opcode), so a marker can never be mistaken for an envelope.
+_FLUSH_MARK = b"!"
+#: Upper bound on the abort determinism fence (wall seconds): how long
+#: an aborting rank waits for peers to acknowledge its flush markers.
+_FLUSH_TIMEOUT = 5.0
 
 
 @dataclass
@@ -277,13 +287,106 @@ class _RingMailbox:
         )
 
 
-def _delivery_loop(ring: ShmRing, mailbox: Mailbox, tracker, stop) -> None:
+class _FencedAbort:
+    """Determinism fence around the shared abort event (procs backend).
+
+    In the threads backend every send lands in the destination mailbox
+    before the sender's next statement runs, so by the time a crashing
+    rank sets the abort event, everything it managed to send is already
+    delivered.  In the procs backend delivery rides the shm rings on a
+    background thread: without a fence, a survivor blocked in a wait
+    races the crashed rank's final envelopes against the abort flag,
+    and the "completion wins" contract (see
+    :func:`repro.mpi.transport.Mailbox.wait_event`) degenerates into a
+    scheduling accident — recovery reports diverge from the threads
+    backend run to run.
+
+    ``set`` therefore first pushes a flush marker into every peer ring
+    and waits for each owning delivery thread to acknowledge it (via
+    the shared ``acks`` counter array).  Ring FIFO then guarantees every
+    envelope this rank pushed *before* the marker has been delivered,
+    so when the shared event finally becomes visible, the survivors'
+    mailboxes already hold exactly what the fault plan says they
+    should.  Mirrors the FLUSH/FLUSH_ACK fence of the sockets backend.
+
+    The wait is bounded (``_FLUSH_TIMEOUT``) and skips destinations
+    that already finished — a finished rank consumes nothing, and its
+    delivery thread may be gone.  Ack counters are compared against a
+    per-call baseline, never reset, so pooled workers can reuse one
+    shared array across jobs.
+    """
+
+    __slots__ = ("_event", "_rank", "_rings", "_finished", "_acks", "_n")
+
+    def __init__(self, event, rank, rings, finished, acks):
+        self._event = event
+        self._rank = rank
+        self._rings = rings
+        self._finished = finished
+        self._acks = acks
+        self._n = len(rings)
+
+    # Event API relied on by waits, ring pushes and the watchdog.
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout=None) -> bool:
+        return self._event.wait(timeout)
+
+    def clear(self) -> None:  # pragma: no cover - API symmetry
+        self._event.clear()
+
+    def set(self) -> None:
+        if not self._event.is_set():
+            try:
+                self._flush()
+            except Exception:  # the fence must never mask the abort
+                pass
+        self._event.set()
+
+    def _flush(self) -> None:
+        deadline = time.monotonic() + _FLUSH_TIMEOUT
+        me = self._rank
+        mark = _FLUSH_MARK + struct.pack("<I", me)
+        baselines: Dict[int, int] = {}
+        for dst in range(self._n):
+            if dst == me:
+                continue
+            with self._acks.get_lock():
+                base = self._acks[me * self._n + dst]
+            if self._rings[dst].push(
+                mark,
+                give_up=lambda d=dst: (
+                    self._finished[d] == 1 or time.monotonic() > deadline
+                ),
+                what=f"flush to rank {dst}",
+            ):
+                baselines[dst] = base
+        for dst, base in baselines.items():
+            idx = me * self._n + dst
+            while (time.monotonic() < deadline
+                   and self._finished[dst] != 1):
+                with self._acks.get_lock():
+                    if self._acks[idx] > base:
+                        break
+                time.sleep(0.001)
+
+
+def _delivery_loop(
+    ring: ShmRing, mailbox: Mailbox, tracker, stop, on_flush=None
+) -> None:
     """Drain the owning rank's ring into its in-process mailbox."""
     while True:
         data = ring.pop(timeout=_DELIVERY_POLL)
         if data is None:
             if stop.is_set():
                 return
+            continue
+        if data[:1] == _FLUSH_MARK:
+            if on_flush is not None:
+                (src,) = struct.unpack("<I", data[1:5])
+                on_flush(src)
             continue
         mailbox.deliver(load_envelope(data))
         tracker.bump()
@@ -315,7 +418,8 @@ def _send_record(conn, record: dict, rank: int, abort_event,
 
 
 def _rank_process(
-    runtime, rank, main, args, kwargs, abort, tracker, finished, rings, conn
+    runtime, rank, main, args, kwargs, abort, tracker, finished, rings,
+    flush_acks, conn
 ) -> None:
     """Child-process body: patch the forked Runtime copy, run the rank.
 
@@ -331,6 +435,12 @@ def _rank_process(
     record: dict = {"rank": rank}
     local_box = runtime._mailboxes[rank]
     stop = threading.Event()
+    abort = _FencedAbort(abort, rank, rings, finished, flush_acks)
+
+    def _ack_flush(src: int) -> None:
+        with flush_acks.get_lock():
+            flush_acks[src * runtime.nranks + rank] += 1
+
     try:
         runtime.abort_event = abort
         runtime.tracker = tracker
@@ -343,7 +453,7 @@ def _rank_process(
         ]
         deliverer = threading.Thread(
             target=_delivery_loop,
-            args=(rings[rank], local_box, tracker, stop),
+            args=(rings[rank], local_box, tracker, stop, _ack_flush),
             name=f"deliver-{rank}",
             daemon=True,
         )
@@ -372,7 +482,7 @@ def _rank_process(
 
 
 def _pool_rank_loop(
-    runtime, rank, abort, tracker, finished, rings, cmd, rec
+    runtime, rank, abort, tracker, finished, rings, flush_acks, cmd, rec
 ) -> None:
     """Persistent-worker body: serve jobs until told to stop.
 
@@ -384,6 +494,12 @@ def _pool_rank_loop(
     the process blocks on the command pipe, so re-arming replaces a
     fork + interpreter warm-up with one ``recv``.
     """
+    abort = _FencedAbort(abort, rank, rings, finished, flush_acks)
+
+    def _ack_flush(src: int) -> None:
+        with flush_acks.get_lock():
+            flush_acks[src * runtime.nranks + rank] += 1
+
     while True:
         try:
             msg = cmd.recv()
@@ -412,7 +528,7 @@ def _pool_rank_loop(
             ]
             deliverer = threading.Thread(
                 target=_delivery_loop,
-                args=(rings[rank], local_box, tracker, stop),
+                args=(rings[rank], local_box, tracker, stop, _ack_flush),
                 name=f"deliver-{rank}",
                 daemon=True,
             )
@@ -501,6 +617,8 @@ class ProcsBackend(Backend):
         abort = ctx.Event()
         tracker = SharedBlockTracker(ctx.Value("q", 0), ctx.Value("q", 0))
         finished = ctx.Array("b", n, lock=False)
+        # (src, dst) flush-marker ack counters for the abort fence.
+        flush_acks = ctx.Array("q", n * n)
         rings = [ShmRing(ctx, self.ring_capacity) for _ in range(n)]
         pipes = [ctx.Pipe(duplex=False) for _ in range(n)]
         procs = []
@@ -510,8 +628,8 @@ class ProcsBackend(Backend):
                 p = ctx.Process(
                     target=_rank_process,
                     args=(
-                        runtime, r, main, args, kwargs,
-                        abort, tracker, finished, rings, pipes[r][1],
+                        runtime, r, main, args, kwargs, abort, tracker,
+                        finished, rings, flush_acks, pipes[r][1],
                     ),
                     name=f"rank-{r}",
                     daemon=True,
@@ -640,6 +758,9 @@ class ProcsBackend(Backend):
         abort = ctx.Event()
         tracker = SharedBlockTracker(ctx.Value("q", 0), ctx.Value("q", 0))
         finished = ctx.Array("b", n, lock=False)
+        # (src, dst) flush-marker ack counters for the abort fence;
+        # monotone across pooled jobs (the fence compares baselines).
+        flush_acks = ctx.Array("q", n * n)
         rings = [ShmRing(ctx, self.ring_capacity) for _ in range(n)]
         cmd_pipes = [ctx.Pipe(duplex=False) for _ in range(n)]
         rec_pipes = [ctx.Pipe(duplex=False) for _ in range(n)]
@@ -649,7 +770,7 @@ class ProcsBackend(Backend):
                 target=_pool_rank_loop,
                 args=(
                     runtime, r, abort, tracker, finished, rings,
-                    cmd_pipes[r][0], rec_pipes[r][1],
+                    flush_acks, cmd_pipes[r][0], rec_pipes[r][1],
                 ),
                 name=f"pool-rank-{r}",
                 daemon=True,

@@ -4,12 +4,15 @@ The agent's life cycle, whether it was forked by the driver or spawned
 on another machine over ssh:
 
 1. bind a *peer listener* (the socket other ranks will connect to);
-2. connect to the driver's rendezvous address and send ``HELLO`` with
-   its token, rank, and listen address;
+2. connect to the driver's rendezvous address, authenticate with a
+   raw-bytes ``AUTH`` frame (the job token), then send ``HELLO`` with
+   its rank and listen address;
 3. wait for ``WELCOME`` carrying the full peer address table (an
    external agent also receives a ``JOB`` frame with the pickled work);
 4. build the peer mesh — connect to every lower rank, accept from
-   every higher rank (each connection opens with a ``PEER_HELLO``);
+   every higher rank (each connection opens with ``AUTH`` then
+   ``PEER_HELLO``; nothing is unpickled from a peer that has not
+   presented the token);
 5. patch its private :class:`~repro.mpi.runtime.Runtime` copy exactly
    as the procs backend patches a forked child — remote mailboxes
    become :class:`_PeerMailbox` stubs, the abort event becomes a
@@ -32,10 +35,12 @@ identical too).
 
 from __future__ import annotations
 
+import hmac
 import os
 import pickle
 import socket
 import threading
+import time
 import traceback
 from typing import Dict, Optional
 
@@ -45,8 +50,11 @@ from ..mpi.shm import dump_envelope, load_envelope
 from ..mpi.transport import BlockTracker, ChannelSeq
 from .wire import (
     ABORT,
+    AUTH,
     ENVELOPE,
     EXIT,
+    FLUSH,
+    FLUSH_ACK,
     HEARTBEAT,
     HELLO,
     JOB,
@@ -71,6 +79,12 @@ _SHUTDOWN_WAIT = 60.0
 #: Peer-mesh accept/connect patience (wall seconds).
 _MESH_TIMEOUT = 30.0
 
+#: How long an aborting rank waits for every peer to acknowledge that
+#: its in-flight envelopes are delivered before the driver is told of
+#: the failure.  Live peers' rx threads answer immediately; the bound
+#: only matters when a peer is itself dead or wedged.
+_FLUSH_TIMEOUT = 5.0
+
 
 class _RemoteAbort:
     """The job abort event, distributed.
@@ -87,6 +101,9 @@ class _RemoteAbort:
         self._ctrl = ctrl
         self._notify_lock = threading.Lock()
         self._notified = False
+        #: Installed by :func:`run_agent` once the mesh is up; runs the
+        #: FLUSH/FLUSH_ACK fence against every peer.
+        self.flush_peers = None
 
     def set(self) -> None:
         self._event.set()
@@ -94,6 +111,20 @@ class _RemoteAbort:
             if self._notified:
                 return
             self._notified = True
+        # Determinism fence: envelopes ride the direct peer
+        # connections while the abort rides the control connection —
+        # two unordered TCP streams.  Before the driver (and through
+        # it every peer) learns of this failure, make every peer
+        # acknowledge it has delivered the envelopes this rank already
+        # sent; otherwise a survivor could observe the abort before
+        # consuming them, and its virtual clock at abort would depend
+        # on thread scheduling instead of the fault plan (the
+        # completion-wins contract in ``wait_event``).
+        if self.flush_peers is not None:
+            try:
+                self.flush_peers()
+            except Exception:
+                pass  # best effort; the abort must still go out
         try:
             self._ctrl.send_frame(ABORT, pickle.dumps({}))
         except TransportError:
@@ -141,7 +172,7 @@ class _PeerMailbox:
 
 
 def _peer_rx(fs: FrameSocket, mailbox, tracker, abort: _RemoteAbort,
-             closing: threading.Event) -> None:
+             closing: threading.Event, ack: threading.Event) -> None:
     """Drain one peer connection's envelopes into the local mailbox."""
     while True:
         try:
@@ -151,7 +182,10 @@ def _peer_rx(fs: FrameSocket, mailbox, tracker, abort: _RemoteAbort,
         if frame is None:
             # Peer hung up: expected during shutdown, a hard death
             # otherwise (the driver notices too; the local abort just
-            # wakes this rank's blocked waits sooner).
+            # wakes this rank's blocked waits sooner).  EOF is ordered
+            # after everything the peer sent, so it doubles as the
+            # flush acknowledgement.
+            ack.set()
             if not closing.is_set():
                 abort.set_local()
             return
@@ -159,6 +193,15 @@ def _peer_rx(fs: FrameSocket, mailbox, tracker, abort: _RemoteAbort,
         if kind == ENVELOPE:
             mailbox.deliver(load_envelope(body))
             tracker.bump()
+        elif kind == FLUSH:
+            # Every envelope that preceded this marker on the stream
+            # has been delivered just above — tell the peer so.
+            try:
+                fs.send_frame(FLUSH_ACK, b"")
+            except TransportError:
+                pass
+        elif kind == FLUSH_ACK:
+            ack.set()
 
 
 def _ctrl_rx(ctrl: FrameSocket, abort: _RemoteAbort,
@@ -200,31 +243,60 @@ def _build_mesh(rank: int, nranks: int, listener: socket.socket,
     """Open one direct connection per peer rank.
 
     Rank ``i`` dials every rank ``j < i`` and accepts from every
-    ``j > i``; each dialing side opens with ``PEER_HELLO`` so the
-    accepting side knows who called.  The listener backlog covers all
+    ``j > i``; each dialing side opens with a raw-bytes ``AUTH`` frame
+    (the job token) followed by ``PEER_HELLO`` so the accepting side
+    knows who called.  Nothing is unpickled from a connection until
+    its token has passed ``hmac.compare_digest``, and a connection
+    that fails authentication — a port scanner, a stray client, a
+    corrupt stream — is simply dropped while the acceptor keeps
+    waiting for the real peers.  The listener backlog covers all
     inbound peers, so the sequential connect-then-accept order cannot
     deadlock.
     """
     socks: Dict[int, FrameSocket] = {}
     errors: list = []
+    token_bytes = token.encode("ascii")
+
+    def _auth_one(fs: FrameSocket, timeout: float) -> bool:
+        """Authenticate one inbound connection; ``True`` iff it is a
+        real peer (now recorded in ``socks``)."""
+        try:
+            frame = fs.recv_frame(timeout=timeout)
+            if (frame is None or frame[0] != AUTH
+                    or not hmac.compare_digest(frame[1], token_bytes)):
+                raise TransportError("peer failed authentication")
+            frame = fs.recv_frame(timeout=timeout)
+            if frame is None or frame[0] != PEER_HELLO:
+                raise TransportError(
+                    "peer connection did not open with PEER_HELLO"
+                )
+            socks[int(pickle.loads(frame[1])["rank"])] = fs
+            return True
+        except Exception:  # stray/hostile/corrupt: drop it, keep going
+            fs.close()
+            return False
 
     def _accept_loop() -> None:
-        listener.settimeout(_MESH_TIMEOUT)
-        try:
-            for _ in range(nranks - 1 - rank):
+        deadline = time.monotonic() + _MESH_TIMEOUT
+        got = 0
+        while got < nranks - 1 - rank:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                errors.append(TransportError(
+                    "timed out waiting for inbound peer connections"
+                ))
+                return
+            listener.settimeout(remaining)
+            try:
                 conn, _addr = listener.accept()
-                fs = FrameSocket(conn, max_frame=max_frame)
-                frame = fs.recv_frame(timeout=_MESH_TIMEOUT)
-                if frame is None or frame[0] != PEER_HELLO:
-                    raise TransportError(
-                        "peer connection did not open with PEER_HELLO"
-                    )
-                hello = pickle.loads(frame[1])
-                if hello.get("token") != token:
-                    raise TransportError("peer presented a bad token")
-                socks[int(hello["rank"])] = fs
-        except (TransportError, TimeoutError, OSError) as exc:
-            errors.append(exc)
+            except (socket.timeout, TimeoutError):
+                continue  # deadline check decides
+            except OSError as exc:  # listener broken: cannot recover
+                errors.append(exc)
+                return
+            if _auth_one(FrameSocket(conn, max_frame=max_frame),
+                         timeout=remaining):
+                got += 1
 
     acceptor = threading.Thread(
         target=_accept_loop, name=f"mesh-accept-{rank}", daemon=True
@@ -232,11 +304,10 @@ def _build_mesh(rank: int, nranks: int, listener: socket.socket,
     acceptor.start()
     for j in range(rank):
         fs = connect(peers[j], timeout=_MESH_TIMEOUT, max_frame=max_frame)
-        fs.send_frame(
-            PEER_HELLO, pickle.dumps({"rank": rank, "token": token})
-        )
+        fs.send_frame(AUTH, token_bytes)
+        fs.send_frame(PEER_HELLO, pickle.dumps({"rank": rank}))
         socks[j] = fs
-    acceptor.join(timeout=_MESH_TIMEOUT)
+    acceptor.join(timeout=_MESH_TIMEOUT + 5.0)
     if acceptor.is_alive():
         raise TransportError(
             f"rank {rank}: timed out waiting for inbound peer connections"
@@ -299,6 +370,21 @@ def run_agent(runtime, rank: int, main, args, kwargs,
         peer_socks = _build_mesh(
             rank, runtime.nranks, listener, peers, token, max_frame
         )
+        acks = {r: threading.Event() for r in peer_socks}
+
+        def flush_peers() -> None:
+            for r, fs in peer_socks.items():
+                try:
+                    fs.send_frame(FLUSH, b"")
+                except TransportError:
+                    acks[r].set()  # connection gone: nothing in flight
+            deadline = time.monotonic() + _FLUSH_TIMEOUT
+            for r in peer_socks:
+                acks[r].wait(
+                    timeout=max(deadline - time.monotonic(), 0.0)
+                )
+
+        abort.flush_peers = flush_peers
         runtime.abort_event = abort
         runtime.tracker = tracker
         runtime.seq = ChannelSeq()
@@ -311,7 +397,7 @@ def run_agent(runtime, rank: int, main, args, kwargs,
         for r, fs in peer_socks.items():
             threading.Thread(
                 target=_peer_rx,
-                args=(fs, local_box, tracker, abort, closing),
+                args=(fs, local_box, tracker, abort, closing, acks[r]),
                 name=f"rx-{rank}-from-{r}", daemon=True,
             ).start()
         comm = runtime.world_comm(rank)
@@ -356,7 +442,9 @@ def run_agent(runtime, rank: int, main, args, kwargs,
 
 
 def external_agent(connect_to: tuple, token: str, rank: int,
-                   family: str = "tcp") -> int:
+                   family: str = "tcp",
+                   bind_host: str = "127.0.0.1",
+                   advertise_host: Optional[str] = None) -> int:
     """``python -m repro.net``: join a job from a fresh process.
 
     Unlike a forked agent this process shares no memory with the
@@ -364,6 +452,9 @@ def external_agent(connect_to: tuple, token: str, rank: int,
     ``main``/``args``/``kwargs`` plus the Runtime construction
     parameters (machine model, time policy, fault plan, trace flag).
     The driver refuses unpicklable jobs up front with a clear error.
+    ``bind_host``/``advertise_host`` shape the peer listener address
+    published in ``HELLO`` — an agent on another machine must bind a
+    real interface and advertise a name its peers can route to.
     """
     from ..mpi.runtime import Runtime
 
@@ -371,11 +462,12 @@ def external_agent(connect_to: tuple, token: str, rank: int,
     if family == "unix":
         unix_dir = os.path.dirname(connect_to[1]) or None
     listener, listen_addr = make_listener(
-        family, unix_dir=unix_dir, name=f"peer{rank}"
+        family, unix_dir=unix_dir, name=f"peer{rank}",
+        bind_host=bind_host, advertise_host=advertise_host,
     )
     ctrl = connect(connect_to)
+    ctrl.send_frame(AUTH, token.encode("ascii"))
     ctrl.send_frame(HELLO, pickle.dumps({
-        "token": token,
         "rank": rank,
         "listen": listen_addr,
         "host": socket.gethostname(),
@@ -419,10 +511,19 @@ def _cli(argv=None) -> int:
     p.add_argument("--token", required=True, help="job token")
     p.add_argument("--rank", type=int, required=True,
                    help="world rank this agent carries")
+    p.add_argument("--bind-host", default="127.0.0.1",
+                   help="interface the peer listener binds "
+                        "(0.0.0.0 for all; default loopback)")
+    p.add_argument("--advertise-host", default=None,
+                   help="host peers are told to dial (default: the "
+                        "bind host, or this machine's hostname when "
+                        "binding a wildcard)")
     args = p.parse_args(argv)
     address = parse_address(args.connect)
     return external_agent(address, args.token, args.rank,
-                          family=address[0])
+                          family=address[0],
+                          bind_host=args.bind_host,
+                          advertise_host=args.advertise_host)
 
 
 if __name__ == "__main__":  # pragma: no cover - subprocess entry

@@ -32,6 +32,7 @@ threads and procs backends by construction — see
 
 from __future__ import annotations
 
+import hmac
 import os
 import pickle
 import secrets
@@ -56,6 +57,7 @@ from .agent import HEARTBEAT_INTERVAL, run_agent
 from .hostfile import agent_argv, is_local_host, ssh_command
 from .wire import (
     ABORT,
+    AUTH,
     EXIT,
     HEARTBEAT,
     HELLO,
@@ -74,13 +76,17 @@ _POLL = 0.1
 
 
 def _forked_agent(runtime, rank, main, args, kwargs, rendezvous, token,
-                  family, host_label, hb_interval, max_frame) -> None:
+                  family, host_label, hb_interval, max_frame,
+                  bind_host, advertise_host) -> None:
     """Child body for a locally forked rank agent.
 
     The fork snapshot carries the Runtime and the job closure, so —
     like the procs backend — ``main`` needs no pickling.  A loopback
     host label becomes ``REPRO_HOST_ID`` so per-"host" state (the
     autotune cache fingerprint) separates even on one machine.
+    ``bind_host``/``advertise_host`` shape the peer listener: when the
+    job also spans remote hosts, even local agents must advertise an
+    address those remote peers can route to.
     """
     if host_label:
         os.environ["REPRO_HOST_ID"] = host_label
@@ -88,11 +94,12 @@ def _forked_agent(runtime, rank, main, args, kwargs, rendezvous, token,
     if family == "unix":
         unix_dir = os.path.dirname(rendezvous[1]) or None
     listener, listen_addr = make_listener(
-        family, unix_dir=unix_dir, name=f"peer{rank}"
+        family, unix_dir=unix_dir, name=f"peer{rank}",
+        bind_host=bind_host, advertise_host=advertise_host,
     )
     ctrl = connect(rendezvous, max_frame=max_frame)
+    ctrl.send_frame(AUTH, token.encode("ascii"))
     ctrl.send_frame(HELLO, pickle.dumps({
-        "token": token,
         "rank": rank,
         "listen": listen_addr,
         "host": host_label or _socket.gethostname(),
@@ -136,6 +143,14 @@ class SocketBackend(Backend):
     cadence, ``hb_timeout`` the silence after which a rank is declared
     dead (the backstop for remote agents; local processes are also
     liveness-polled every monitor tick, which is much faster).
+
+    Addressing: with only local ranks everything binds and advertises
+    loopback.  The moment the layout contains a genuinely remote host,
+    the driver's rendezvous listener and every local agent's peer
+    listener bind ``0.0.0.0`` and advertise this machine's hostname
+    (remote agents advertise their hostfile label) — a loopback
+    address handed to a remote host would have it dialing itself.
+    ``bind_host``/``advertise_host`` override both choices.
     """
 
     name = "sockets"
@@ -153,6 +168,8 @@ class SocketBackend(Backend):
         max_frame: int = MAX_FRAME_BYTES,
         python: str = "python3",
         ssh: Tuple[str, ...] = ("ssh", "-o", "BatchMode=yes"),
+        bind_host: Optional[str] = None,
+        advertise_host: Optional[str] = None,
     ):
         if family not in ("tcp", "unix"):
             raise MPIError(
@@ -170,6 +187,8 @@ class SocketBackend(Backend):
         self.max_frame = max_frame
         self.python = python
         self.ssh = tuple(ssh)
+        self.bind_host = bind_host
+        self.advertise_host = advertise_host
 
     # -- spawning ------------------------------------------------------
 
@@ -183,6 +202,25 @@ class SocketBackend(Backend):
                 "for local ranks (POSIX only)"
             )
         return mp.get_context("fork")
+
+    def _listen_policy(
+        self, modes: Sequence[Tuple[str, Optional[str]]]
+    ) -> Tuple[str, Optional[str]]:
+        """``(bind_host, advertise_host)`` for every listener this
+        machine binds — the rendezvous socket and local agents' peer
+        listeners.
+
+        Loopback is only safe while every rank lives on this machine;
+        any ssh rank means remote processes must dial back here, so
+        the default flips to bind-all / advertise-hostname.  Explicit
+        ``bind_host``/``advertise_host`` settings always win.
+        """
+        any_remote = any(m == "ssh" for m, _h in modes)
+        bind = self.bind_host or ("0.0.0.0" if any_remote else "127.0.0.1")
+        adv = self.advertise_host
+        if adv is None and any_remote:
+            adv = _socket.gethostname()
+        return bind, adv
 
     def _rank_modes(self, n: int) -> List[Tuple[str, Optional[str]]]:
         """Per-rank ``(mode, host_label)``: fork / popen / ssh."""
@@ -243,11 +281,13 @@ class SocketBackend(Backend):
             )
         modes = self._rank_modes(n)
         token = secrets.token_hex(8)
+        bind_host, advertise_host = self._listen_policy(modes)
         unix_dir = None
         if self.family == "unix":
             unix_dir = tempfile.mkdtemp(prefix="repro-net-")
         listener, address = make_listener(
-            self.family, unix_dir=unix_dir, name="rendezvous"
+            self.family, unix_dir=unix_dir, name="rendezvous",
+            bind_host=bind_host, advertise_host=advertise_host,
         )
         job_bytes = None
         if any(m in ("popen", "ssh") for m, _h in modes):
@@ -263,7 +303,8 @@ class SocketBackend(Backend):
                         target=_forked_agent,
                         args=(runtime, r, main, args, kwargs, address,
                               token, self.family, label,
-                              self.hb_interval, self.max_frame),
+                              self.hb_interval, self.max_frame,
+                              bind_host, advertise_host),
                         name=f"sock-rank-{r}",
                         daemon=True,
                     )
@@ -271,7 +312,9 @@ class SocketBackend(Backend):
                     procs[r] = p
                 elif mode == "popen":
                     cmd = agent_argv(
-                        address, token, r, python=sys.executable
+                        address, token, r, python=sys.executable,
+                        bind_host=bind_host,
+                        advertise_host=advertise_host,
                     )
                     procs[r] = subprocess.Popen(
                         cmd, env=self._popen_env(label),
@@ -359,7 +402,9 @@ class SocketBackend(Backend):
         sel = selectors.DefaultSelector()
         listener.setblocking(False)
         sel.register(listener, selectors.EVENT_READ, ("listener", None))
+        token_bytes = token.encode("ascii")
         conns: Dict[int, FrameSocket] = {}
+        pending: Dict[FrameSocket, bool] = {}  # fs -> AUTH passed
         meta: Dict[int, dict] = {}
         records: Dict[int, dict] = {}
         hb: Dict[int, Tuple[int, int]] = {}
@@ -419,13 +464,26 @@ class SocketBackend(Backend):
         def handle_frame(rank: Optional[int], fs: FrameSocket,
                          kind: bytes, body: bytes) -> Optional[int]:
             nonlocal welcomed
+            if rank is None and not pending.get(fs, False):
+                # Unauthenticated connection: the only acceptable frame
+                # is AUTH carrying the raw job token.  Nothing else —
+                # and in particular nothing pickled — is looked at
+                # before this comparison passes.
+                if kind != AUTH or not hmac.compare_digest(
+                        body, token_bytes):
+                    raise TransportError(
+                        "connection failed authentication"
+                    )
+                pending[fs] = True
+                return None
             if kind == HELLO:
                 hello = pickle.loads(body)
-                if hello.get("token") != token:
-                    raise TransportError("agent presented a bad token")
                 r = int(hello["rank"])
+                if not 0 <= r < n:
+                    raise TransportError(f"HELLO for bogus rank {r}")
                 conns[r] = fs
                 meta[r] = hello
+                pending.pop(fs, None)
                 sel.modify(fs.sock, selectors.EVENT_READ, ("agent", r))
                 return r
             if rank is None:
@@ -452,6 +510,7 @@ class SocketBackend(Backend):
                         except (BlockingIOError, OSError):
                             break
                         fs = FrameSocket(conn, max_frame=self.max_frame)
+                        pending[fs] = False
                         sel.register(
                             conn, selectors.EVENT_READ, ("pending", fs)
                         )
@@ -466,8 +525,19 @@ class SocketBackend(Backend):
                 except TransportError:
                     frames, eof = [], True
                 for kind, body in frames:
-                    rank = handle_frame(rank, fs, kind, body)
+                    try:
+                        rank = handle_frame(rank, fs, kind, body)
+                    except Exception:
+                        # Failed auth, a corrupt/undecodable pickled
+                        # body, a protocol violation: drop only this
+                        # connection — one stray or malformed client
+                        # must never take the whole job down.  A known
+                        # rank's connection falls through to the EOF
+                        # path below and is handled as a lost agent.
+                        eof = True
+                        break
                 if eof:
+                    pending.pop(fs, None)
                     try:
                         sel.unregister(fs.sock)
                     except (KeyError, ValueError):
@@ -493,6 +563,11 @@ class SocketBackend(Backend):
                     if meta[r].get("external"):
                         conns[r].send_frame(JOB, job_bytes)
                 welcomed = True
+                # Start every rank's heartbeat clock now: an agent
+                # that wedges before its *first* HEARTBEAT must still
+                # trip hb_timeout, or a remote hang waits forever.
+                for r in range(n):
+                    last_hb.setdefault(r, now)
 
             # Liveness: a dead process with no exit record (its control
             # socket may still look open through inherited fds or ssh
@@ -520,13 +595,14 @@ class SocketBackend(Backend):
                     )
 
             # Heartbeat timeout: the backstop for remote agents whose
-            # process handle we cannot poll meaningfully (ssh).
+            # process handle we cannot poll meaningfully (ssh).  Every
+            # rank's clock starts at WELCOME, so a rank that never
+            # heartbeats at all still times out.
             if welcomed:
                 for r in range(n):
                     if r in records:
                         continue
-                    seen = last_hb.get(r)
-                    if seen is not None and now - seen > self.hb_timeout:
+                    if now - last_hb.get(r, now) > self.hb_timeout:
                         hard_death(r)
 
             if not welcomed and now > deadline:
@@ -567,5 +643,7 @@ class SocketBackend(Backend):
                 pass
         sel.close()
         for fs in conns.values():
+            fs.close()
+        for fs in pending:  # stray connections still dangling
             fs.close()
         return records, fired

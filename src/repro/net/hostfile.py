@@ -26,7 +26,7 @@ from __future__ import annotations
 import shlex
 import socket
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..mpi.errors import MPIError
 from .wire import format_address
@@ -110,28 +110,49 @@ def is_local_host(host: str) -> bool:
 
 
 def agent_argv(address: tuple, token: str, rank: int,
-               python: str = "python3") -> List[str]:
-    """The agent command run on the target machine."""
-    return [
+               python: str = "python3",
+               bind_host: Optional[str] = None,
+               advertise_host: Optional[str] = None) -> List[str]:
+    """The agent command run on the target machine.
+
+    ``bind_host``/``advertise_host`` control the agent's *peer
+    listener*: remote agents must bind a real interface and advertise
+    an address their peers can route to, never loopback.
+    """
+    argv = [
         python, "-m", "repro.net",
         "--connect", format_address(address),
         "--token", token,
         "--rank", str(rank),
     ]
+    if bind_host is not None:
+        argv += ["--bind-host", bind_host]
+    if advertise_host is not None:
+        argv += ["--advertise-host", advertise_host]
+    return argv
 
 
 def ssh_command(host: str, address: tuple, token: str, rank: int,
                 python: str = "python3",
                 ssh: Tuple[str, ...] = ("ssh", "-o", "BatchMode=yes"),
-                ) -> List[str]:
+                bind_host: str = "0.0.0.0",
+                advertise_host: Optional[str] = None) -> List[str]:
     """Full local command that starts rank ``rank``'s agent on ``host``.
 
     The remote side must have ``repro`` importable by ``python``; the
     agent dials back to the driver's rendezvous ``address``, so only
-    the driver needs a listening port.
+    the driver needs a listening port.  The remote agent's peer
+    listener binds ``bind_host`` (all interfaces by default) and
+    advertises ``advertise_host`` — defaulting to the hostfile label
+    itself, the one name the driver already knows routes to that
+    machine.
     """
     remote = " ".join(
         shlex.quote(part)
-        for part in agent_argv(address, token, rank, python=python)
+        for part in agent_argv(
+            address, token, rank, python=python,
+            bind_host=bind_host,
+            advertise_host=advertise_host or host,
+        )
     )
     return list(ssh) + [host, remote]

@@ -55,7 +55,13 @@ MAGIC = b"Rw"
 MAX_FRAME_BYTES = 1 << 30
 
 # -- frame kinds -------------------------------------------------------
-#: Agent -> driver: join the job (token, rank, peer listen address).
+#: First frame on every dialed connection: the raw job token.  The
+#: body is raw bytes (never pickled) and is compared with
+#: ``hmac.compare_digest`` before any pickled frame is accepted on the
+#: connection, so an unauthenticated peer can never reach
+#: ``pickle.loads``.
+AUTH = b"T"
+#: Agent -> driver: join the job (rank, peer listen address).
 HELLO = b"H"
 #: Driver -> agent: job admitted (nranks + the full peer table).
 WELCOME = b"W"
@@ -65,6 +71,13 @@ JOB = b"J"
 ENVELOPE = b"E"
 #: Rank -> rank, first frame on a mesh connection: who is calling.
 PEER_HELLO = b"P"
+#: Rank -> rank: "acknowledge once every envelope I sent before this
+#: marker has been delivered" — the determinism fence an aborting rank
+#: runs before the driver broadcasts its failure.
+FLUSH = b"F"
+#: Rank -> rank: the answer to FLUSH (sent by the receiver's rx thread
+#: *after* delivering everything that preceded the marker in-stream).
+FLUSH_ACK = b"K"
 #: Agent -> driver: liveness + blocked/progress counters.
 HEARTBEAT = b"B"
 #: Either direction: a rank failed; stop the job.
@@ -75,8 +88,8 @@ EXIT = b"X"
 SHUTDOWN = b"S"
 
 KNOWN_KINDS = frozenset(
-    (HELLO, WELCOME, JOB, ENVELOPE, PEER_HELLO, HEARTBEAT, ABORT, EXIT,
-     SHUTDOWN)
+    (AUTH, HELLO, WELCOME, JOB, ENVELOPE, PEER_HELLO, FLUSH, FLUSH_ACK,
+     HEARTBEAT, ABORT, EXIT, SHUTDOWN)
 )
 
 #: recv() chunk size.
@@ -222,15 +235,36 @@ class FrameSocket:
 # ``("tcp", host, port)`` or ``("unix", path)``.
 
 
+#: TCP bind hosts that mean "every interface" — never dialable, so an
+#: advertised address must substitute something routable for them.
+WILDCARD_HOSTS = frozenset({"0.0.0.0", "::", ""})
+
+
 def make_listener(family: str = "tcp",
                   unix_dir: Optional[str] = None,
-                  name: str = "l") -> Tuple[socket.socket, tuple]:
-    """Create a bound, listening socket; returns ``(sock, address)``."""
+                  name: str = "l",
+                  bind_host: str = "127.0.0.1",
+                  advertise_host: Optional[str] = None,
+                  ) -> Tuple[socket.socket, tuple]:
+    """Create a bound, listening socket; returns ``(sock, address)``.
+
+    The returned address is what peers are told to dial, so it must be
+    routable *from them*: ``bind_host`` controls which interface the
+    socket listens on (``0.0.0.0`` for all), while ``advertise_host``
+    overrides the host peers see.  When ``advertise_host`` is omitted
+    and the bind host is a wildcard, the machine's hostname is
+    advertised — a loopback address would strand any truly remote
+    peer dialing its own machine.
+    """
     if family == "tcp":
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        sock.bind(("127.0.0.1", 0))
+        sock.bind((bind_host, 0))
         host, port = sock.getsockname()
+        if advertise_host is not None:
+            host = advertise_host
+        elif host in WILDCARD_HOSTS:
+            host = socket.gethostname()
         addr = ("tcp", host, port)
     elif family == "unix":
         if unix_dir is None:

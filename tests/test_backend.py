@@ -275,6 +275,90 @@ class TestProcsFailures:
             Runtime(nranks=2, backend="procs").run(main)
 
 
+class TestProcsAbortFence:
+    """White-box: the abort determinism fence (`_FencedAbort`).
+
+    A crashing rank's ``set()`` must not become visible to survivors
+    until every envelope the rank pushed has been drained into its
+    peers' mailboxes — otherwise "which of the dead rank's last
+    messages arrived" is a scheduling accident and recovery reports
+    diverge from the threads backend.
+    """
+
+    @staticmethod
+    def _wiring(n=2):
+        import multiprocessing as mp
+
+        from repro.mpi.shm import ShmRing
+
+        ctx = mp.get_context("fork")
+        rings = [ShmRing(ctx) for _ in range(n)]
+        finished = ctx.Array("b", n, lock=False)
+        acks = ctx.Array("q", n * n)
+        return rings, finished, acks, ctx.Event()
+
+    def test_set_waits_until_sent_envelopes_are_delivered(self):
+        import pickle
+        import threading
+        import time
+
+        from repro.mpi.backend import _FencedAbort, _delivery_loop
+
+        rings, finished, acks, event = self._wiring()
+        delivered = []
+
+        class SlowBox:
+            @staticmethod
+            def deliver(env):
+                time.sleep(0.2)  # hold the race window wide open
+                delivered.append(env)
+
+        class Tracker:
+            @staticmethod
+            def bump():
+                pass
+
+        def ack(src):
+            with acks.get_lock():
+                acks[src * 2 + 1] += 1
+
+        stop = threading.Event()
+        drain = threading.Thread(
+            target=_delivery_loop,
+            args=(rings[1], SlowBox(), Tracker(), stop, ack),
+            daemon=True,
+        )
+        drain.start()
+        try:
+            rings[1].push(pickle.dumps("last words"))
+            _FencedAbort(event, 0, rings, finished, acks).set()
+            assert event.is_set()
+            # set() returning means delivery already happened — no
+            # sleep/retry needed here, which is exactly the property.
+            assert delivered == ["last words"]
+        finally:
+            stop.set()
+            drain.join()
+            for ring in rings:
+                ring.destroy()
+
+    def test_finished_peer_does_not_stall_the_fence(self):
+        import time
+
+        from repro.mpi.backend import _FencedAbort
+
+        rings, finished, acks, event = self._wiring()
+        finished[1] = 1  # peer already done; its delivery thread is gone
+        try:
+            start = time.monotonic()
+            _FencedAbort(event, 0, rings, finished, acks).set()
+            assert event.is_set()
+            assert time.monotonic() - start < 2.0
+        finally:
+            for ring in rings:
+                ring.destroy()
+
+
 class TestProcsRecovery:
     """Satellite: abort, crash recovery, checkpoint/restart on procs."""
 
@@ -389,8 +473,149 @@ def _kill_wrapped_setup(setup, flag_path, kill_call):
     return wrapped
 
 
+_RENDEZVOUS_CANARY_HITS = []
+
+
+def _trip_rendezvous_canary():
+    _RENDEZVOUS_CANARY_HITS.append(1)
+
+
+class _EvilHello:
+    """Unpickling this records the fact — it must never happen."""
+
+    def __reduce__(self):
+        return (_trip_rendezvous_canary, ())
+
+
+class _AlwaysAliveProc:
+    """Stand-in for a process handle liveness polling cannot see
+    through — the local ssh client of a wedged remote agent."""
+
+    exitcode = None
+
+    def is_alive(self):
+        return True
+
+    def join(self, timeout=None):
+        pass
+
+    def terminate(self):
+        pass
+
+
 class TestSockets:
     """Sockets-specific machinery: mesh, families, hosts, hard deaths."""
+
+    def test_stray_connections_cannot_kill_job(self, monkeypatch):
+        """Garbage thrown at the rendezvous port — a pickled payload
+        without AUTH, a wrong token — is dropped per-connection: it is
+        never unpickled and the job completes normally."""
+        import pickle
+        import threading
+        import time
+
+        import repro.net.backend as nb
+        from repro.net.wire import AUTH, HELLO, TransportError
+        from repro.net.wire import connect as wire_connect
+
+        captured = {}
+        real_make_listener = nb.make_listener
+
+        def spy(*args, **kwargs):
+            sock, addr = real_make_listener(*args, **kwargs)
+            captured.setdefault("addr", addr)  # first = rendezvous
+            return sock, addr
+
+        monkeypatch.setattr(nb, "make_listener", spy)
+
+        def probe(frames):
+            """Send frames, then read until the driver drops us."""
+            fs = wire_connect(captured["addr"])
+            try:
+                for kind, body in frames:
+                    fs.send_frame(kind, body)
+                return fs.recv_frame(timeout=15.0)
+            except TransportError:
+                return None
+            finally:
+                fs.close()
+
+        outcomes = {}
+
+        def attack():
+            deadline = time.monotonic() + 15.0
+            while "addr" not in captured:
+                if time.monotonic() > deadline:
+                    return
+                time.sleep(0.002)
+            evil = pickle.dumps(_EvilHello())
+            outcomes["hello_before_auth"] = probe([(HELLO, evil)])
+            outcomes["wrong_token"] = probe(
+                [(AUTH, b"wrong"), (HELLO, evil)]
+            )
+
+        attacker = threading.Thread(target=attack, daemon=True)
+        attacker.start()
+
+        def main(comm):
+            time.sleep(0.5)  # keep the monitor up while strays poke it
+            return comm.allreduce(comm.rank)
+
+        res = Runtime(nranks=2, backend="sockets").run(main)
+        attacker.join(timeout=30.0)
+        assert res == [1, 1]
+        assert not attacker.is_alive()
+        # Both strays were dropped (driver closed the connection)...
+        assert outcomes == {"hello_before_auth": None,
+                            "wrong_token": None}
+        # ...and their pickled bodies were never loaded.
+        assert _RENDEZVOUS_CANARY_HITS == []
+
+    def test_never_heartbeating_rank_trips_hb_timeout(self):
+        """A rank that wedges after rendezvous but before its *first*
+        HEARTBEAT must still be declared dead by hb_timeout — process
+        liveness polling cannot see through an ssh client."""
+        import pickle
+        import threading
+        import time
+
+        from repro.net.wire import AUTH, HELLO, make_listener
+        from repro.net.wire import connect as wire_connect
+
+        token = "tok"
+        backend = SocketBackend(hb_timeout=0.5)
+        runtime = Runtime(nranks=1, backend=backend)
+        listener, addr = make_listener("tcp")
+
+        def wedged_agent():
+            fs = wire_connect(addr)
+            fs.send_frame(AUTH, token.encode("ascii"))
+            fs.send_frame(HELLO, pickle.dumps({
+                "rank": 0, "listen": ("tcp", "127.0.0.1", 1),
+                "host": "ghost", "pid": 0, "external": False,
+            }))
+            fs.recv_frame(timeout=15.0)  # WELCOME
+            time.sleep(3.0)  # wedge: no heartbeat, no exit record
+            fs.close()
+
+        agent = threading.Thread(target=wedged_agent, daemon=True)
+        agent.start()
+        out = {}
+        monitor = threading.Thread(
+            target=lambda: out.setdefault("res", backend._monitor(
+                runtime, listener, token, [_AlwaysAliveProc()],
+                [("ssh", "ghost")], None,
+            )),
+            daemon=True,
+        )
+        monitor.start()
+        monitor.join(timeout=10.0)
+        assert not monitor.is_alive(), \
+            "hb_timeout backstop never fired for a silent rank"
+        records, fired = out["res"]
+        assert records[0].get("hard_exit") is True
+        assert not fired
+        listener.close()
 
     def test_results_and_numpy_payloads(self):
         def main(comm):

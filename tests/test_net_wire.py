@@ -32,13 +32,17 @@ from repro.net.hostfile import (
     total_slots,
 )
 from repro.net.wire import (
+    AUTH,
     ENVELOPE,
     HEADER_BYTES,
     HEARTBEAT,
     KNOWN_KINDS,
     MAGIC,
+    PEER_HELLO,
     FrameSocket,
+    connect,
     format_address,
+    make_listener,
     parse_address,
 )
 
@@ -298,10 +302,153 @@ class TestHostfile:
         assert "--connect tcp:10.0.0.1:9999" in remote
         assert "--rank 3" in remote
 
+    def test_ssh_command_binds_all_and_advertises_label(self):
+        """A remote agent must not listen on loopback: its peer
+        listener binds every interface and advertises the hostfile
+        label — the one name already known to route to that machine."""
+        remote = ssh_command("node7", ("tcp", "10.0.0.1", 9999),
+                             "tok", 3)[4]
+        assert "--bind-host 0.0.0.0" in remote
+        assert "--advertise-host node7" in remote
+
     def test_agent_argv_round_trips_address(self):
         argv = agent_argv(("tcp", "127.0.0.1", 1234), "tok", 0)
         addr = parse_address(argv[argv.index("--connect") + 1])
         assert addr == ("tcp", "127.0.0.1", 1234)
+
+    def test_agent_argv_bind_advertise_flags(self):
+        argv = agent_argv(("tcp", "127.0.0.1", 1234), "tok", 0,
+                          bind_host="0.0.0.0", advertise_host="me")
+        assert argv[argv.index("--bind-host") + 1] == "0.0.0.0"
+        assert argv[argv.index("--advertise-host") + 1] == "me"
+        plain = agent_argv(("tcp", "127.0.0.1", 1234), "tok", 0)
+        assert "--bind-host" not in plain
+        assert "--advertise-host" not in plain
+
+
+class TestListenerAddressing:
+    """Bind vs advertise: remote peers must never be told loopback."""
+
+    def test_default_listener_is_loopback(self):
+        sock, addr = make_listener("tcp")
+        assert addr == ("tcp", "127.0.0.1", addr[2])
+        sock.close()
+
+    def test_wildcard_bind_advertises_hostname(self):
+        sock, addr = make_listener("tcp", bind_host="0.0.0.0")
+        assert addr[1] == socket.gethostname()
+        assert addr[1] != "0.0.0.0"
+        sock.close()
+
+    def test_explicit_advertise_wins(self):
+        sock, addr = make_listener("tcp", bind_host="0.0.0.0",
+                                   advertise_host="node9.cluster")
+        assert addr[1] == "node9.cluster"
+        sock.close()
+
+    @pytest.mark.skipif(
+        socket.gethostname() in ("localhost", "127.0.0.1"),
+        reason="machine hostname is itself a loopback name",
+    )
+    def test_remote_layout_never_advertises_loopback(self):
+        """The cross-machine case: with a genuinely remote host in the
+        layout, the rendezvous address handed to ssh agents must be
+        routable — a remote agent dialing 127.0.0.1 reaches itself."""
+        from repro.net import SocketBackend
+
+        backend = SocketBackend(hosts=["localhost", "far-away-node"])
+        modes = backend._rank_modes(2)
+        assert ("ssh", "far-away-node") in modes
+        bind, adv = backend._listen_policy(modes)
+        assert bind == "0.0.0.0"
+        sock, addr = make_listener("tcp", bind_host=bind,
+                                   advertise_host=adv)
+        assert addr[1] not in ("127.0.0.1", "0.0.0.0", "localhost",
+                               "::1", "")
+        sock.close()
+
+    def test_local_layout_stays_loopback(self):
+        from repro.net import SocketBackend
+
+        backend = SocketBackend()
+        bind, adv = backend._listen_policy(backend._rank_modes(2))
+        assert (bind, adv) == ("127.0.0.1", None)
+
+    def test_explicit_policy_overrides(self):
+        from repro.net import SocketBackend
+
+        backend = SocketBackend(
+            hosts=["remote1", "remote2"],
+            bind_host="10.0.0.5", advertise_host="driver.example",
+        )
+        bind, adv = backend._listen_policy(backend._rank_modes(2))
+        assert (bind, adv) == ("10.0.0.5", "driver.example")
+
+
+_MESH_CANARY_HITS = []
+
+
+def _trip_mesh_canary():
+    _MESH_CANARY_HITS.append(1)
+
+
+class _EvilMeshPayload:
+    """Unpickling this records the fact — it must never happen."""
+
+    def __reduce__(self):
+        return (_trip_mesh_canary, ())
+
+
+def _probe_until_closed(fs):
+    """Read until the far side drops the connection (EOF or RST)."""
+    try:
+        return fs.recv_frame(timeout=10.0)
+    except TransportError:
+        return None
+    finally:
+        fs.close()
+
+
+class TestMeshAuth:
+    """Peer mesh connections authenticate before anything unpickles."""
+
+    def test_stray_connection_dropped_and_never_unpickled(self):
+        import pickle
+
+        from repro.net.agent import _build_mesh
+
+        token = "sekrit-token"
+        listener, addr = make_listener("tcp", name="peer0")
+        out = {}
+
+        def build():  # rank 0 of 2: accepts exactly one peer (rank 1)
+            out["socks"] = _build_mesh(0, 2, listener, {}, token,
+                                       1 << 20)
+
+        t = threading.Thread(target=build, daemon=True)
+        t.start()
+        # A stray client skips AUTH and sends a malicious PEER_HELLO:
+        # it must be dropped without its body ever reaching pickle.
+        stray = connect(addr)
+        stray.send_frame(PEER_HELLO, pickle.dumps(_EvilMeshPayload()))
+        assert _probe_until_closed(stray) is None
+        # A second stray presents the wrong token.
+        stray = connect(addr)
+        stray.send_frame(AUTH, b"wrong-token")
+        stray.send_frame(PEER_HELLO, pickle.dumps(_EvilMeshPayload()))
+        assert _probe_until_closed(stray) is None
+        # The real rank-1 peer still gets through.
+        real = connect(addr)
+        real.send_frame(AUTH, token.encode("ascii"))
+        real.send_frame(PEER_HELLO, pickle.dumps({"rank": 1}))
+        t.join(timeout=15.0)
+        assert not t.is_alive(), "mesh build wedged by stray clients"
+        assert set(out["socks"]) == {1}
+        assert _MESH_CANARY_HITS == []
+        for fs in out["socks"].values():
+            fs.close()
+        real.close()
+        listener.close()
 
 
 def _ext_ring(comm, base):
