@@ -54,11 +54,59 @@ def summarize_fractions(
     profile: JobProfile,
 ) -> Tuple[float, float, float, float]:
     """(mean %, min %, max %, max/mean imbalance) of per-rank MPI time."""
-    fr = [100.0 * f for f in profile.mpi_fractions()]
+    return summarize_values([100.0 * f for f in profile.mpi_fractions()])
+
+
+def summarize_values(values) -> Tuple[float, float, float, float]:
+    """(mean, min, max, max/mean imbalance) of any per-rank series.
+
+    Shared by the executed-profile summaries above and the *modeled*
+    per-rank series the virtual scale-out engine produces
+    (:mod:`repro.vscale`), which have no :class:`JobProfile` behind
+    them — only arrays of modeled seconds or percentages.
+    """
+    fr = [float(v) for v in values]
     mean = sum(fr) / len(fr) if fr else 0.0
     mx = max(fr, default=0.0)
     mn = min(fr, default=0.0)
     return mean, mn, mx, (mx / mean if mean else 0.0)
+
+
+def modeled_fraction_report(
+    fractions_pct, title: str = "% time in MPI (modeled)"
+) -> str:
+    """mpiP Fig. 8-style summary for a *modeled* per-rank MPI series.
+
+    At 10^4-10^5 virtual ranks a per-rank histogram is unreadable, so
+    the modeled report shows the distribution by percentile instead —
+    same headline aggregates as :func:`summarize_fractions`.
+    """
+    fr = [float(v) for v in fractions_pct]
+    if not fr:
+        return f"{title}\n(no ranks)"
+    fr.sort()
+    nr = len(fr)
+
+    def pct(p: float) -> float:
+        return fr[min(nr - 1, int(p / 100.0 * nr))]
+
+    rows = [
+        ("min", fr[0]),
+        ("p25", pct(25.0)),
+        ("p50", pct(50.0)),
+        ("p75", pct(75.0)),
+        ("p95", pct(95.0)),
+        ("max", fr[-1]),
+    ]
+    body = render_table(
+        ["percentile", "MPI %"], [(k, round(v, 3)) for k, v in rows]
+    )
+    mean, mn, mx, imb = summarize_values(fr)
+    tail = (
+        f"ranks={nr}  mean={mean:.2f}%  min={mn:.2f}%  max={mx:.2f}%  "
+        f"(imbalance max/mean = {imb:.2f})"
+    )
+    return f"{title}\n{body}\n{tail}"
 
 
 def summarize_compute(

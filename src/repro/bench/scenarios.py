@@ -921,3 +921,143 @@ def _service_artifact_cache() -> List[Metric]:
             kind="virtual",
         ),
     ]
+
+
+# ---------------------------------------------------------------------
+# vscale — virtual scale-out engine (sampled execution + LogGP model)
+# ---------------------------------------------------------------------
+
+
+def _vscale_engine(nranks: int, sample: int, **overrides):
+    from ..core.config import CMTBoneConfig
+    from ..vscale import VirtualScaleEngine
+
+    cfg = CMTBoneConfig(
+        n=8,
+        local_shape=(3, 3, 2),
+        nsteps=2,
+        neq=3,
+        work_mode="proxy",
+        **overrides,
+    )
+    return VirtualScaleEngine(
+        cfg, nranks=nranks, machine=_machine(), sample=sample
+    )
+
+
+@register("vscale/model_agreement", "vscale", repeats=2, nranks=16)
+def _vscale_model_agreement() -> List[Metric]:
+    """Modeled vs executed step-time agreement at P=16, all methods.
+
+    The engine's validation contract: at rank counts small enough to
+    execute, the vectorized timeline must reproduce the executed
+    virtual clock within each method's documented tolerance.  The raw
+    relative errors sit at float-rounding level and would flake under
+    the comparator's relative gates, so the gated metrics are the
+    pass/fail bools plus the (exactly deterministic) modeled times.
+    """
+    engine = _vscale_engine(16, 16)
+    metrics: List[Metric] = []
+    ok = 0
+    for method in ("pairwise", "crystal", "allreduce"):
+        agreement = engine.validate(method)
+        ok += int(agreement.ok)
+        metrics.append(
+            Metric(
+                f"{method}_agrees",
+                float(agreement.ok),
+                kind="count",
+                unit="bool",
+                better="higher",
+            )
+        )
+        metrics.append(
+            Metric(
+                f"{method}_modeled_step_s",
+                engine.model(method, nranks=16).step_seconds,
+                kind="virtual",
+            )
+        )
+    metrics.append(
+        Metric(
+            "methods_agreeing",
+            float(ok),
+            kind="count",
+            unit="methods",
+            better="higher",
+        )
+    )
+    return metrics
+
+
+@register(
+    "vscale/scale_sweep", "vscale", repeats=2, nranks=65536, sample=16
+)
+def _vscale_scale_sweep() -> List[Metric]:
+    """The headline run: 65536 virtual ranks, all three gs methods.
+
+    Gates both the modeled virtual step times (deterministic) and the
+    engine's own wall cost — the whole point of the vectorized
+    timelines is that a 10^4-10^5-rank what-if study stays interactive
+    (the acceptance bar is well under 60 s for the sweep).
+    """
+    t0 = time.perf_counter()
+    engine = _vscale_engine(65536, 16)
+    metrics = [
+        Metric(
+            f"{method}_step_s",
+            engine.model(method).step_seconds,
+            kind="virtual",
+        )
+        for method in ("pairwise", "crystal", "allreduce")
+    ]
+    wall = time.perf_counter() - t0
+    metrics.append(Metric("sweep_wall_s", wall, kind="wall"))
+    metrics.append(
+        Metric(
+            "under_60s",
+            float(wall < 60.0),
+            kind="count",
+            unit="bool",
+            better="higher",
+        )
+    )
+    return metrics
+
+
+@register("vscale/fig7_crossover", "vscale", repeats=2, nranks=256)
+def _vscale_fig7_crossover() -> List[Metric]:
+    """Fig. 7 at its native P=256: pairwise must beat the other two.
+
+    The paper's result — the auto-tuner picks pairwise exchange for
+    CMT-bone at 256 ranks, the allreduce method being "too expensive"
+    — reproduced from the analytic model alone on the full Fig. 7
+    processor grid.
+    """
+    from ..core.config import CMTBoneConfig
+    from ..vscale import VirtualScaleEngine
+
+    engine = VirtualScaleEngine(
+        CMTBoneConfig.fig7(),
+        nranks=256,
+        machine=_machine(),
+        sample=8,
+    )
+    times = {
+        m: engine.model(m).step_seconds
+        for m in ("pairwise", "crystal", "allreduce")
+    }
+    metrics = [
+        Metric(f"{m}_step_s", t, kind="virtual")
+        for m, t in sorted(times.items())
+    ]
+    metrics.append(
+        Metric(
+            "pairwise_wins",
+            float(min(times, key=times.get) == "pairwise"),
+            kind="count",
+            unit="bool",
+            better="higher",
+        )
+    )
+    return metrics

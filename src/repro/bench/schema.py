@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 SCHEMA_VERSION = 1
 
 #: Scenario groups; each maps to one ``BENCH_<group>.json`` file.
-GROUPS = ("kernels", "solver", "comms", "service")
+GROUPS = ("kernels", "solver", "comms", "service", "vscale")
 
 #: Metric kinds.  ``wall`` is host-dependent wall-clock, ``virtual`` is
 #: a deterministic virtual-time / model output, ``count`` is an exact

@@ -12,6 +12,10 @@ Commands
     Run the Nekbone comparator (CG solve) and print its profile.
 ``fig7``
     Reproduce the paper's Fig. 7 exchange-method comparison.
+``vscale``
+    Virtual scale-out study: execute a small rank sample, model
+    10^4-10^5 ranks analytically, and gate on modeled-vs-executed
+    agreement (see docs/virtual-scale.md).
 ``sod``
     Run a small Sod shock-tube campaign on the real DG solver, with
     optional fault injection (``--fault-spec``), checkpointing, and
@@ -27,6 +31,7 @@ Examples
     python -m repro.cli cmtbone --ranks 8 -N 10 --local 2,2,2 --steps 10
     python -m repro.cli nekbone --ranks 8 --iterations 50
     python -m repro.cli fig7 --ranks 64 --machine compton
+    python -m repro.cli vscale --ranks 65536 --sample 32 --mtbf 5000
     python -m repro.cli sod --ranks 2 --steps 12 --checkpoint-every 3 \
         --fault-spec "crash:rank=1,step=5" --verify
 """
@@ -156,6 +161,58 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_f7 = sub.add_parser("fig7", help="exchange-method comparison table")
     _add_common(p_f7)
+
+    p_vs = sub.add_parser(
+        "vscale",
+        help="virtual scale-out study: model 10^4-10^5 ranks from a "
+             "small executed sample (see docs/virtual-scale.md)",
+    )
+    p_vs.add_argument("--ranks", type=int, default=65536,
+                      help="virtual rank count to model (default 65536)")
+    p_vs.add_argument("--sample", type=int, default=16,
+                      help="ranks to actually execute for the "
+                           "modeled-vs-executed agreement gate "
+                           "(default 16)")
+    p_vs.add_argument("-N", "--points", type=int, default=8,
+                      help="GLL points per direction (default 8)")
+    p_vs.add_argument("--local", type=_coord, default=(3, 3, 2),
+                      help="elements per rank, X,Y,Z or total "
+                           "(default 3,3,2)")
+    p_vs.add_argument("--proc", type=_coord, default=None,
+                      help="processor grid for the virtual job "
+                           "(default: auto-factor)")
+    p_vs.add_argument("--machine", default="compton",
+                      choices=MachineModel.available_presets(),
+                      help="machine-model preset (default compton)")
+    p_vs.add_argument("--steps", type=int, default=2,
+                      help="timesteps (default 2)")
+    p_vs.add_argument("--gs-method", action="append", dest="methods",
+                      choices=["pairwise", "crystal", "allreduce"],
+                      help="exchange method to model (repeatable; "
+                           "default: all three)")
+    p_vs.add_argument("--overlap", action=argparse.BooleanOptionalAction,
+                      default=False,
+                      help="model the split-phase overlapped schedule")
+    p_vs.add_argument("--imbalance", type=float, default=0.0,
+                      help="compute-load jitter fraction (default 0)")
+    p_vs.add_argument("--proxy", action="store_true",
+                      help="proxy compute in the executed sample "
+                           "(skip real array math)")
+    p_vs.add_argument("--no-execute", action="store_true",
+                      help="model only: skip the executed sample and "
+                           "the agreement gate")
+    p_vs.add_argument("--tolerance", type=float, default=None,
+                      help="override the per-method agreement "
+                           "tolerance (default: per-method, see "
+                           "docs/virtual-scale.md)")
+    p_vs.add_argument("--mtbf", type=float, default=None,
+                      help="per-rank MTBF in hours: extrapolate "
+                           "Young/Daly checkpoint economics at the "
+                           "virtual scale")
+    p_vs.add_argument("--json", action="store_true",
+                      help="emit a machine-readable JSON document "
+                           "instead of the text report")
+    _add_backend(p_vs)
 
     p_val = sub.add_parser(
         "validate",
@@ -518,6 +575,103 @@ def cmd_fig7(args) -> int:
     print()
     print(fig7_table(cmt_t, nek_t,
                      methods=("pairwise", "crystal", "allreduce")))
+    return 0
+
+
+def cmd_vscale(args) -> int:
+    from .vscale import GS_METHODS, VirtualScaleEngine, VscaleError
+
+    methods = tuple(args.methods) if args.methods else GS_METHODS
+    config = CMTBoneConfig(
+        n=args.points,
+        local_shape=args.local,
+        proc_shape=args.proc,
+        nsteps=args.steps,
+        work_mode="proxy" if args.proxy else "real",
+        compute_imbalance=args.imbalance,
+        overlap=args.overlap,
+    )
+    try:
+        engine = VirtualScaleEngine(
+            config,
+            nranks=args.ranks,
+            machine=MachineModel.preset(args.machine),
+            sample=args.sample,
+            backend=args.backend,
+        )
+    except VscaleError as exc:
+        print(f"vscale: {exc}", file=sys.stderr)
+        return 2
+
+    agreements = []
+    if not args.no_execute:
+        agreements = [
+            engine.validate(m, tolerance=args.tolerance) for m in methods
+        ]
+
+    if args.json:
+        import json as _json
+
+        doc: dict = {
+            "nranks": engine.nranks,
+            "sample": engine.sample_nranks,
+            "machine": engine.machine.name,
+            "methods": {},
+        }
+        for m in methods:
+            t = engine.model(m)
+            doc["methods"][m] = {
+                "step_seconds": t.step_seconds,
+                "mpi_pct_mean": float(t.mpi_fraction_pct.mean()),
+                "mpi_pct_max": float(t.mpi_fraction_pct.max()),
+                "messages": int(t.messages),
+                "wire_bytes": int(t.wire_bytes),
+                "model_wall_seconds": t.model_wall_seconds,
+            }
+        doc["fastest"] = min(
+            methods, key=lambda m: engine.model(m).step_seconds
+        )
+        if agreements:
+            doc["agreement"] = {
+                a.method: {
+                    "ok": a.ok,
+                    "rel_err": a.rel_err,
+                    "hidden_err": a.hidden_err,
+                    "tolerance": a.tolerance,
+                    "schedule_mismatch": a.schedule_mismatch,
+                }
+                for a in agreements
+            }
+        if args.mtbf:
+            fx = engine.extrapolate_faults(
+                doc["fastest"], rank_mtbf_hours=args.mtbf
+            )
+            doc["faults"] = {
+                "rank_mtbf_hours": fx.rank_mtbf_hours,
+                "job_mtbf_seconds": fx.job_mtbf_seconds,
+                "checkpoint_seconds": fx.checkpoint_seconds,
+                "interval_seconds": fx.interval_seconds,
+                "interval_steps": fx.interval_steps,
+                "overhead_fraction": fx.overhead_fraction,
+                "effective_step_seconds": fx.effective_step_seconds,
+            }
+        print(_json.dumps(doc, indent=2))
+    else:
+        # Agreements above are cached, so report() re-validates for free.
+        print(
+            engine.report(
+                methods,
+                validate=not args.no_execute,
+                rank_mtbf_hours=args.mtbf,
+            )
+        )
+
+    failed = [a for a in agreements if not a.ok]
+    if failed:
+        for a in failed:
+            print(f"vscale: agreement FAILED: {a.describe()}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -997,6 +1151,7 @@ _COMMANDS = {
     "cmtbone": cmd_cmtbone,
     "nekbone": cmd_nekbone,
     "fig7": cmd_fig7,
+    "vscale": cmd_vscale,
     "validate": cmd_validate,
     "kernels": cmd_kernels,
     "sod": cmd_sod,

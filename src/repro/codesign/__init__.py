@@ -18,7 +18,9 @@ from .candidates import (
 from .explorer import (
     Evaluation,
     Explorer,
+    VscaleExplorer,
     bottleneck,
+    gs_method_crossover,
     pareto_front,
     rank_by_speed,
     speedup_table,
@@ -28,7 +30,9 @@ __all__ = [
     "Candidate",
     "Evaluation",
     "Explorer",
+    "VscaleExplorer",
     "bottleneck",
+    "gs_method_crossover",
     "candidate_grid",
     "default_cost",
     "notional_exascale_candidates",

@@ -74,6 +74,112 @@ class Explorer:
         return [self.evaluate(c) for c in candidates]
 
 
+@dataclass
+class VscaleExplorer:
+    """Design-space exploration through the virtual scale-out engine.
+
+    :class:`Explorer` re-executes the full workload for every
+    candidate, even when two candidates share the identical compute
+    model and differ only in network parameters — pure waste, since the
+    executed profile's compute charges cannot change.  This variant
+    prices every candidate analytically with
+    :class:`repro.vscale.VirtualScaleEngine` (so ``nranks`` can reach
+    10^5) and executes at most **one** sample job per distinct compute
+    model, reused across all of that model's network variations for
+    the modeled-vs-executed agreement gate.  ``executed_jobs`` counts
+    the actual sample runs — tests assert it stays at the number of
+    distinct compute models, not the number of candidates.
+    """
+
+    config: CMTBoneConfig
+    nranks: int
+    sample: int = 16
+    backend: str = "threads"
+    methods: tuple = ("pairwise", "crystal", "allreduce")
+    #: Gate each distinct compute model's engine on modeled-vs-executed
+    #: agreement at the sample rank count (one executed job per model).
+    validate: bool = True
+
+    def __post_init__(self) -> None:
+        self._engines: dict = {}
+        self._validated: dict = {}
+        self.executed_jobs = 0
+
+    def _engine(self, machine):
+        from ..vscale import VirtualScaleEngine
+
+        if machine not in self._engines:
+            self._engines[machine] = VirtualScaleEngine(
+                self.config,
+                nranks=self.nranks,
+                machine=machine,
+                sample=self.sample,
+                backend=self.backend,
+            )
+        return self._engines[machine]
+
+    def evaluate(self, candidate: Candidate) -> Evaluation:
+        """Model one candidate; execute only for a new compute model."""
+        engine = self._engine(candidate.machine)
+        method, timeline = engine.best_method(self.methods)
+        if self.validate:
+            sig = (candidate.machine.cpu, candidate.machine.wall_scale)
+            if sig not in self._validated:
+                agreement = engine.validate(method)
+                self.executed_jobs += 1
+                self._validated[sig] = agreement
+                if not agreement.ok:
+                    raise RuntimeError(
+                        "virtual-scale model disagrees with execution "
+                        f"for candidate {candidate.name!r}: "
+                        + agreement.describe()
+                    )
+        nsteps = max(self.config.nsteps, 1)
+        worst = int(timeline.total.argmax())
+        return Evaluation(
+            candidate=candidate,
+            step_time=float(timeline.total[worst]) / nsteps,
+            compute_time=float(timeline.compute[worst]) / nsteps,
+            comm_time=float(timeline.comm[worst]) / nsteps,
+            mpi_pct_mean=float(timeline.mpi_fraction_pct.mean()),
+            chosen_gs_method=method,
+        )
+
+    def sweep(self, candidates: Sequence[Candidate]) -> List[Evaluation]:
+        """Evaluate every candidate; order follows the input."""
+        return [self.evaluate(c) for c in candidates]
+
+
+def gs_method_crossover(
+    config: CMTBoneConfig,
+    nranks_list: Sequence[int],
+    machine=None,
+    methods: Sequence[str] = ("pairwise", "crystal", "allreduce"),
+    sample: int = 16,
+) -> List[tuple]:
+    """Fig. 7 what-if: the winning gs method at each rank count.
+
+    Returns ``(nranks, {method: step_seconds}, winner)`` rows from the
+    vectorized model — rank counts far past the paper's 256 are cheap,
+    which is the point: the crossover between pairwise and the crystal
+    router (and allreduce's collapse with the dense global vector) can
+    be mapped without a cluster.
+    """
+    from ..vscale import VirtualScaleEngine
+
+    rows = []
+    for p in nranks_list:
+        engine = VirtualScaleEngine(
+            config, nranks=p, machine=machine, sample=sample
+        )
+        times = {
+            m: engine.model(m).step_seconds for m in methods
+        }
+        winner = min(times, key=times.get)
+        rows.append((p, times, winner))
+    return rows
+
+
 def rank_by_speed(evals: Sequence[Evaluation]) -> List[Evaluation]:
     """Fastest first."""
     return sorted(evals, key=lambda e: e.step_time)

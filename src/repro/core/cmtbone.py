@@ -177,8 +177,10 @@ class CMTBone:
     def _derivative_phase(self) -> None:
         """The ``ax_`` hot spot: grad of every field via the kernel."""
         cfg = self.config
-        with self.timeline.region(R_AX), \
-                self.profiler.region(R_AX):
+        with (
+            self.timeline.region(R_AX),
+            self.profiler.region(R_AX),
+        ):
             if cfg.work_mode == "real":
                 for c in range(self.neq):
                     dkernels.grad(
@@ -194,8 +196,10 @@ class CMTBone:
 
     def _surface_phase(self) -> None:
         """``full2face_cmt``: build the surface arrays."""
-        with self.timeline.region(R_FULL2FACE), \
-                self.profiler.region(R_FULL2FACE):
+        with (
+            self.timeline.region(R_FULL2FACE),
+            self.profiler.region(R_FULL2FACE),
+        ):
             if self.config.work_mode == "real":
                 for c in range(self.neq):
                     self._faces[c] = full2face(self.u[c])
@@ -211,8 +215,10 @@ class CMTBone:
     def _exchange_phase(self) -> None:
         """``gs_op_``: nearest-neighbour exchange of the face traces."""
         nfields = self.config.exchange_fields or self.neq
-        with self.timeline.region(R_GSOP), \
-                self.profiler.region(R_GSOP):
+        with (
+            self.timeline.region(R_GSOP),
+            self.profiler.region(R_GSOP),
+        ):
             if self.config.pack_fields:
                 from ..gs import gs_op_many
 
@@ -243,8 +249,10 @@ class CMTBone:
         calibration knob, whose role is traffic volume, not values.
         """
         nfields = self.config.exchange_fields or self.neq
-        with self.timeline.region(R_GSOP_BEGIN), \
-                self.profiler.region(R_GSOP_BEGIN):
+        with (
+            self.timeline.region(R_GSOP_BEGIN),
+            self.profiler.region(R_GSOP_BEGIN),
+        ):
             exchanges = [
                 gs_op_begin(
                     self.handle, self._faces[c % self.neq], op=SUM,
@@ -257,8 +265,10 @@ class CMTBone:
 
     def _exchange_finish_phase(self, exchanges: list) -> None:
         """Split-phase wait: fold whatever communication is still exposed."""
-        with self.timeline.region(R_GSOP_FINISH), \
-                self.profiler.region(R_GSOP_FINISH):
+        with (
+            self.timeline.region(R_GSOP_FINISH),
+            self.profiler.region(R_GSOP_FINISH),
+        ):
             for c, exchange in enumerate(exchanges):
                 result = gs_op_finish(exchange)
                 if c < self.neq:
@@ -267,8 +277,10 @@ class CMTBone:
 
     def _update_phase(self) -> None:
         """``add2s2``-style pointwise RK update."""
-        with self.timeline.region(R_UPDATE), \
-                self.profiler.region(R_UPDATE):
+        with (
+            self.timeline.region(R_UPDATE),
+            self.profiler.region(R_UPDATE),
+        ):
             if self.config.work_mode == "real":
                 self.u *= 0.75
                 t = self._work.like(self.u, key="upd:t")
@@ -283,11 +295,14 @@ class CMTBone:
 
     def _monitor_phase(self) -> None:
         """Vector reduction: the residual/CFL allreduce."""
-        with self.timeline.region(R_MONITOR), \
-                self.profiler.region(R_MONITOR):
-            local = float(np.max(np.abs(self._faces))) if (
-                self.config.work_mode == "real"
-            ) else float(self.comm.rank)
+        with (
+            self.timeline.region(R_MONITOR),
+            self.profiler.region(R_MONITOR),
+        ):
+            if self.config.work_mode == "real":
+                local = float(np.max(np.abs(self._faces)))
+            else:
+                local = float(self.comm.rank)
             self.monitor_values.append(
                 self.comm.allreduce(local, op=MAX, site=R_MONITOR)
             )

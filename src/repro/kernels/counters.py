@@ -139,8 +139,12 @@ def ir_counts(direction: str, n: int, nel: int) -> Tuple[float, float]:
     but unlike the hand formulas they stay correct automatically for
     any new program added to the registry.
     """
-    from ..kir import build_program, direction_program, program_flops, \
-        program_mem_bytes
+    from ..kir import (
+        build_program,
+        direction_program,
+        program_flops,
+        program_mem_bytes,
+    )
 
     prog = build_program(direction_program(direction), n)
     return program_flops(prog, nel), program_mem_bytes(prog, nel)

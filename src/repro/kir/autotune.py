@@ -277,8 +277,11 @@ def tune_program(
     """
     n = prog.params.get("n", 0)
     path = cache_path if cache_path is not None else default_cache_path()
-    names = list(candidates) if candidates is not None \
+    names = (
+        list(candidates)
+        if candidates is not None
         else applicable_schedules(prog)
+    )
     if not names:
         raise ValueError(f"{prog.name}: no applicable schedules")
     key = cache_key(prog.name, n, nel, lowering)

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .topology import FatTreeTopology, FlatTopology, Topology
 
 
@@ -91,6 +93,58 @@ class NetworkModel:
             self.send_overhead(nbytes)
             + self.transit(src, dst, nbytes)
             + self.recv_overhead(nbytes)
+        )
+
+    # -- batched (vectorized) variants ------------------------------------
+    #
+    # These evaluate the scalar formulas elementwise over numpy arrays.
+    # Each expression is written with the exact operation order of its
+    # scalar twin so the results are bit-identical — the virtual
+    # scale-out engine (`repro.vscale`) relies on that to reproduce the
+    # executed runtime's clock arithmetic in bulk.
+
+    def send_overhead_batch(self, nbytes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`send_overhead` over a byte-count array."""
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        return self.o_send + nbytes * self.g_inject
+
+    def recv_overhead_batch(self, nbytes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`recv_overhead` over a byte-count array."""
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        return np.full(nbytes.shape, self.o_recv)
+
+    def _same_node_batch(
+        self, src: np.ndarray, dst: np.ndarray
+    ) -> np.ndarray:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        same = src == dst
+        topo = self.topology
+        if isinstance(topo, FatTreeTopology):
+            same = same | topo.same_node_batch(src, dst)
+        return same
+
+    def transit_batch(
+        self, src: np.ndarray, dst: np.ndarray, nbytes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`transit` over aligned rank/byte arrays."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        shm = self.shm_latency + nbytes / self.shm_bandwidth
+        hops = self.topology.hops_batch(src, dst)
+        lat = self.latency + self.hop_latency * np.maximum(0, hops - 1)
+        net = lat + nbytes / self.bandwidth
+        return np.where(self._same_node_batch(src, dst), shm, net)
+
+    def message_time_batch(
+        self, src: np.ndarray, dst: np.ndarray, nbytes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`message_time` over aligned arrays."""
+        return (
+            self.send_overhead_batch(nbytes)
+            + self.transit_batch(src, dst, nbytes)
+            + self.recv_overhead_batch(nbytes)
         )
 
     def describe(self) -> str:

@@ -21,12 +21,34 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+import numpy as np
+
 
 class Topology:
     """Base class: maps a pair of world ranks to a hop count."""
 
     def hops(self, src: int, dst: int) -> int:
         raise NotImplementedError
+
+    def hops_batch(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`hops` over aligned rank arrays.
+
+        The base implementation loops over the scalar method; concrete
+        topologies override it with pure-numpy arithmetic that produces
+        exactly the same integers.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        flat_s, flat_d = np.broadcast_arrays(src, dst)
+        out = np.fromiter(
+            (
+                self.hops(int(s), int(d))
+                for s, d in zip(flat_s.ravel(), flat_d.ravel())
+            ),
+            dtype=np.int64,
+            count=flat_s.size,
+        )
+        return out.reshape(flat_s.shape)
 
     def max_hops(self) -> int:
         """Upper bound on :meth:`hops`; used in cost summaries."""
@@ -39,6 +61,11 @@ class FlatTopology(Topology):
 
     def hops(self, src: int, dst: int) -> int:
         return 0 if src == dst else 1
+
+    def hops_batch(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        return np.where(src == dst, 0, 1).astype(np.int64)
 
     def max_hops(self) -> int:
         return 1
@@ -69,11 +96,29 @@ class FatTreeTopology(Topology):
         sw_d = node_d // self.nodes_per_switch
         return 2 if sw_s == sw_d else 4
 
+    def hops_batch(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        node_s = src // self.ranks_per_node
+        node_d = dst // self.ranks_per_node
+        sw_s = node_s // self.nodes_per_switch
+        sw_d = node_d // self.nodes_per_switch
+        out = np.where(sw_s == sw_d, 2, 4)
+        out = np.where(node_s == node_d, 1, out)
+        out = np.where(src == dst, 0, out)
+        return out.astype(np.int64)
+
     def max_hops(self) -> int:
         return 4
 
     def same_node(self, src: int, dst: int) -> bool:
         """True when both ranks live on the same physical node."""
+        return src // self.ranks_per_node == dst // self.ranks_per_node
+
+    def same_node_batch(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`same_node` over aligned rank arrays."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
         return src // self.ranks_per_node == dst // self.ranks_per_node
 
 
@@ -115,6 +160,27 @@ class TorusTopology(Topology):
         return sum(
             self._ring_dist(a, b, n) for a, b, n in zip(cs, cd, self.shape)
         )
+
+    def hops_batch(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        px, py, pz = self.shape
+        if src.size and (
+            src.min() < 0
+            or dst.min() < 0
+            or src.max() >= self.nranks
+            or dst.max() >= self.nranks
+        ):
+            raise ValueError(f"rank outside torus {self.shape}")
+        total = np.zeros(np.broadcast(src, dst).shape, dtype=np.int64)
+        for a, b, n in (
+            (src % px, dst % px, px),
+            ((src // px) % py, (dst // px) % py, py),
+            (src // (px * py), dst // (px * py), pz),
+        ):
+            d = np.abs(a - b)
+            total = total + np.minimum(d, n - d)
+        return total
 
     def max_hops(self) -> int:
         return sum(n // 2 for n in self.shape)

@@ -1,0 +1,33 @@
+"""``repro.vscale`` — virtual scale-out to 10^4-10^5 ranks.
+
+Executes a small *sample* of ranks for physics/profile fidelity and
+models the comm/compute timeline of every other rank analytically with
+numpy-vectorized per-step timelines over the LogGP network model (see
+docs/virtual-scale.md).
+"""
+
+from .engine import (
+    Agreement,
+    DEFAULT_TOLERANCES,
+    FaultExtrapolation,
+    GS_METHODS,
+    ModeledTimeline,
+    SampleExecution,
+    VirtualScaleEngine,
+    VscaleError,
+)
+from .schedule import StepSchedule, build_schedule, schedule_matches_handle
+
+__all__ = [
+    "Agreement",
+    "DEFAULT_TOLERANCES",
+    "FaultExtrapolation",
+    "GS_METHODS",
+    "ModeledTimeline",
+    "SampleExecution",
+    "StepSchedule",
+    "VirtualScaleEngine",
+    "VscaleError",
+    "build_schedule",
+    "schedule_matches_handle",
+]

@@ -1,0 +1,360 @@
+"""Virtual scale-out engine (``repro.vscale``).
+
+The contract under test (docs/virtual-scale.md): the analytic
+schedule must agree with a real ``gs_setup``, the batched network
+costs must be bit-identical to their scalar twins, the modeled
+timelines must agree with executed sample runs within the documented
+per-method tolerances, and the sampled-rank physics must stay bitwise
+identical to a full execution.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codesign import Candidate, VscaleExplorer, gs_method_crossover
+from repro.core import CMTBoneConfig
+from repro.mpi import Runtime
+from repro.perfmodel import MachineModel
+from repro.perfmodel.network import NetworkModel
+from repro.perfmodel.topology import (
+    FatTreeTopology,
+    FlatTopology,
+    TorusTopology,
+)
+from repro.vscale import (
+    DEFAULT_TOLERANCES,
+    GS_METHODS,
+    VirtualScaleEngine,
+    VscaleError,
+    build_schedule,
+    schedule_matches_handle,
+)
+
+
+def _cfg(**over):
+    base = dict(
+        n=5, local_shape=(2, 2, 1), nsteps=2, neq=3, work_mode="proxy"
+    )
+    base.update(over)
+    return CMTBoneConfig(**base)
+
+
+# -- analytic schedule vs real gs_setup ---------------------------------
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("nranks", [4, 12, 16])
+    def test_matches_real_gs_setup(self, nranks):
+        config = _cfg(gs_method="pairwise")
+        sched = build_schedule(config, nranks)
+
+        def main(comm):
+            from repro.core.cmtbone import CMTBone
+
+            app = CMTBone(comm, config)
+            return schedule_matches_handle(sched, app.handle, comm.rank)
+
+        mismatches = Runtime(nranks=nranks).run(main)
+        assert mismatches == [None] * nranks
+
+    def test_pos_is_reverse_index(self):
+        sched = build_schedule(_cfg(), 24)
+        ranks = np.arange(sched.nranks)[:, None]
+        k = sched.n_neighbors
+        # nbr[nbr[r, j], pos[r, j]] == r: the j-th neighbour's
+        # pos-column message is the one addressed back to r.
+        back = sched.nbr[sched.nbr, sched.pos]
+        assert (back == np.broadcast_to(ranks, (sched.nranks, k))).all()
+
+    def test_rows_sorted(self):
+        sched = build_schedule(_cfg(), 12)
+        assert (np.diff(sched.nbr, axis=1) > 0).all()
+
+
+# -- batched network costs == scalar, bitwise ---------------------------
+
+
+TOPOLOGIES = [
+    FlatTopology(),
+    FatTreeTopology(ranks_per_node=4, nodes_per_switch=3),
+    TorusTopology(shape=(4, 3, 2)),
+]
+
+
+class TestBatchedNetwork:
+    @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: type(t).__name__)
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_batched_equals_scalar(self, topo, data):
+        # Both the shm path (same node / same rank) and the tcp path
+        # (cross-node, hop-dependent latency) must match bitwise.
+        net = NetworkModel(g_inject=1.5e-10, topology=topo)
+        n = data.draw(st.integers(min_value=1, max_value=16))
+        ranks = st.integers(min_value=0, max_value=23)
+        src = np.array(
+            data.draw(st.lists(ranks, min_size=n, max_size=n)),
+            dtype=np.int64,
+        )
+        dst = np.array(
+            data.draw(st.lists(ranks, min_size=n, max_size=n)),
+            dtype=np.int64,
+        )
+        nbytes = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=10**7),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=np.int64,
+        )
+        hops = topo.hops_batch(src, dst)
+        send = net.send_overhead_batch(nbytes)
+        recv = net.recv_overhead_batch(nbytes)
+        transit = net.transit_batch(src, dst, nbytes)
+        msg = net.message_time_batch(src, dst, nbytes)
+        for i in range(n):
+            s, d, b = int(src[i]), int(dst[i]), int(nbytes[i])
+            assert hops[i] == topo.hops(s, d)
+            assert send[i] == net.send_overhead(b)
+            assert recv[i] == net.recv_overhead(b)
+            assert transit[i] == net.transit(s, d, b)
+            assert msg[i] == net.message_time(s, d, b)
+
+
+# -- modeled vs executed agreement --------------------------------------
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("method", GS_METHODS)
+    def test_small_p(self, method):
+        engine = VirtualScaleEngine(_cfg(), nranks=16, sample=16)
+        a = engine.validate(method)
+        assert a.ok, a.describe()
+        assert a.schedule_mismatch is None
+
+    @pytest.mark.parametrize("method", ["pairwise", "crystal"])
+    def test_non_power_of_two(self, method):
+        # Crystal's fold/unfold and pairwise's odd grids both engage.
+        engine = VirtualScaleEngine(_cfg(), nranks=12, sample=12)
+        a = engine.validate(method)
+        assert a.ok, a.describe()
+
+    def test_overlap_hides_communication(self):
+        engine = VirtualScaleEngine(
+            _cfg(overlap=True), nranks=16, sample=16
+        )
+        a = engine.validate("pairwise")
+        assert a.ok, a.describe()
+        assert a.executed_hidden.max() > 0.0
+        assert a.modeled_hidden.max() > 0.0
+
+    def test_compute_imbalance(self):
+        engine = VirtualScaleEngine(
+            _cfg(compute_imbalance=0.3), nranks=8, sample=8
+        )
+        a = engine.validate("pairwise")
+        assert a.ok, a.describe()
+        # The jitter must actually spread the modeled ranks.
+        assert a.modeled.max() > a.modeled.min()
+
+    def test_tolerance_override_can_fail(self):
+        engine = VirtualScaleEngine(_cfg(), nranks=8, sample=8)
+        a = engine.validate("crystal", tolerance=1e-18)
+        assert a.tolerance == 1e-18
+        assert not a.ok
+        assert DEFAULT_TOLERANCES["crystal"] > 1e-18
+        assert engine.validate("crystal").ok
+
+    def test_sampled_physics_bitwise_identical(self):
+        # The sample run IS the physics: digests of the 4-rank sample
+        # equal the first 4 digests of the fully executed 8-rank job.
+        config = _cfg(n=4, work_mode="real")
+        sampled = VirtualScaleEngine(config, nranks=8, sample=4)
+        full = VirtualScaleEngine(config, nranks=8, sample=8)
+        d_sample = sampled.execute_sample("pairwise").digests
+        d_full = full.execute_sample("pairwise").digests
+        assert d_sample == d_full[: len(d_sample)]
+
+
+# -- the modeled timelines at virtual scale -----------------------------
+
+
+class TestModel:
+    def test_scale_sweep_is_pure_modeling(self):
+        engine = VirtualScaleEngine(_cfg(), nranks=65536, sample=8)
+        sweep = engine.sweep(GS_METHODS, [1024, 65536])
+        for p, by_method in sweep.items():
+            for m, t in by_method.items():
+                assert t.nranks == p
+                assert t.total.shape == (p,)
+                assert (t.total > 0).all()
+                assert t.step_seconds > 0
+        # The paper's Fig. 7 finding holds at scale: the dense global
+        # vector makes allreduce collapse far from the others.
+        big = sweep[65536]
+        assert (
+            big["allreduce"].step_seconds
+            > 10 * big["pairwise"].step_seconds
+        )
+
+    def test_model_rejects_unknown_method(self):
+        engine = VirtualScaleEngine(_cfg(), nranks=8)
+        with pytest.raises(VscaleError):
+            engine.model("hypercube")
+
+    def test_constructor_rejections(self):
+        with pytest.raises(VscaleError):
+            VirtualScaleEngine(_cfg(pack_fields=True))
+        with pytest.raises(VscaleError):
+            VirtualScaleEngine(_cfg(lb_mode="auto"))
+        with pytest.raises(VscaleError):
+            VirtualScaleEngine(_cfg(nsteps=0))
+        with pytest.raises(VscaleError):
+            VirtualScaleEngine(_cfg(), nranks=0)
+        with pytest.raises(VscaleError):
+            VirtualScaleEngine(_cfg(), nranks=8, sample=0)
+
+    def test_fault_extrapolation(self):
+        engine = VirtualScaleEngine(_cfg(), nranks=16384, sample=8)
+        fx = engine.extrapolate_faults("pairwise", rank_mtbf_hours=5000)
+        assert fx.job_mtbf_seconds == pytest.approx(
+            5000 * 3600 / 16384
+        )
+        assert fx.interval_seconds > 0
+        assert fx.interval_steps >= 1
+        assert 0 < fx.overhead_fraction < 1
+        assert fx.effective_step_seconds > fx.step_seconds
+
+    def test_report_text(self):
+        engine = VirtualScaleEngine(_cfg(), nranks=256, sample=8)
+        text = engine.report(
+            ("pairwise",), validate=True, rank_mtbf_hours=5000
+        )
+        assert "P=256" in text
+        assert "[OK] pairwise" in text
+        assert "% time in MPI (modeled, pairwise)" in text
+        assert "Young/Daly" in text
+
+
+# -- what-if exploration ------------------------------------------------
+
+
+class TestExploration:
+    def test_explorer_reuses_executed_profile(self):
+        base = MachineModel.preset("compton")
+        from repro.codesign import scale_machine
+
+        candidates = [
+            Candidate("base", base),
+            Candidate("fastnet", scale_machine(base, net_latency=0.5)),
+            Candidate("fatpipe", scale_machine(base, net_bandwidth=4.0)),
+            Candidate("fastcpu", scale_machine(base, cpu_speed=2.0)),
+        ]
+        explorer = VscaleExplorer(
+            config=_cfg(), nranks=1024, sample=8,
+            methods=("pairwise",),
+        )
+        evals = explorer.sweep(candidates)
+        assert len(evals) == 4
+        # Only two distinct compute models -> only two executed jobs.
+        assert explorer.executed_jobs == 2
+        by_name = {e.name: e for e in evals}
+        assert by_name["fastnet"].step_time < by_name["base"].step_time
+        assert by_name["fastcpu"].compute_time < (
+            by_name["base"].compute_time
+        )
+
+    def test_gs_method_crossover_rows(self):
+        rows = gs_method_crossover(
+            _cfg(), [64, 1024], sample=8,
+            methods=("pairwise", "allreduce"),
+        )
+        assert [p for p, _t, _w in rows] == [64, 1024]
+        for _p, times, winner in rows:
+            assert set(times) == {"pairwise", "allreduce"}
+            assert winner == min(times, key=times.get)
+
+
+# -- CLI ---------------------------------------------------------------
+
+
+class TestCli:
+    def test_vscale_study(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "vscale", "--ranks", "256", "--sample", "8",
+                "--proxy", "-N", "5", "--local", "2,2,1",
+                "--steps", "2", "--mtbf", "5000",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "P=256" in out
+        assert "[OK]" in out and "[FAIL]" not in out
+        assert "faults:" in out
+
+    def test_vscale_json(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        rc = main(
+            [
+                "vscale", "--ranks", "128", "--sample", "8",
+                "--proxy", "-N", "5", "--local", "2,2,1",
+                "--steps", "2", "--gs-method", "pairwise", "--json",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["nranks"] == 128
+        assert doc["fastest"] == "pairwise"
+        assert doc["agreement"]["pairwise"]["ok"] is True
+
+    def test_vscale_agreement_failure_exits_nonzero(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "vscale", "--ranks", "64", "--sample", "8",
+                "--proxy", "-N", "5", "--local", "2,2,1",
+                "--steps", "2", "--gs-method", "crystal",
+                "--tolerance", "1e-18",
+            ]
+        )
+        assert rc == 1
+
+    def test_vscale_rejects_unmodelable_config(self, capsys):
+        from repro.cli import main
+
+        rc = main(["vscale", "--ranks", "8", "--steps", "0"])
+        assert rc == 2
+
+
+# -- modeled mpiP summaries ---------------------------------------------
+
+
+class TestModeledReport:
+    def test_summarize_values(self):
+        from repro.analysis.mpip import summarize_values
+
+        mean, mn, mx, imb = summarize_values([10.0, 20.0, 30.0])
+        assert (mean, mn, mx) == (20.0, 10.0, 30.0)
+        assert imb == pytest.approx(1.5)
+        assert summarize_values([]) == (0.0, 0.0, 0.0, 0.0)
+
+    def test_modeled_fraction_report(self):
+        from repro.analysis.mpip import modeled_fraction_report
+
+        text = modeled_fraction_report(
+            np.linspace(10.0, 30.0, 1000), title="modeled MPI"
+        )
+        assert "modeled MPI" in text
+        assert "p95" in text
+        assert "ranks=1000" in text
+        assert modeled_fraction_report([]).endswith("(no ranks)")
