@@ -923,6 +923,142 @@ def _service_artifact_cache() -> List[Metric]:
     ]
 
 
+@register(
+    "service/disk_cache",
+    "service",
+    repeats=2,
+    jobs=4,
+    workers=1,
+)
+def _service_disk_cache() -> List[Metric]:
+    """Restart determinism of the disk-spilled artifact cache.
+
+    Two campaigns over the same spill directory with fresh services
+    (cold, then warm = a simulated restart): the warm run's first job
+    must hit from disk, and every warm result must be bitwise
+    identical to the cold run — same digest, same virtual time.
+    """
+    import tempfile
+
+    from ..service import run_campaign
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-art-") as d:
+        cold = run_campaign(_service_specs(2, 0), nworkers=1,
+                            artifact_dir=d)
+        warm = run_campaign(_service_specs(2, 0), nworkers=1,
+                            artifact_dir=d)
+    for report in (cold, warm):
+        if report.failed:
+            raise RuntimeError(
+                f"campaign failed: {report.failed[0].error}"
+            )
+    bitwise = (
+        {r.digest for r in cold.results + warm.results}
+        == {cold.results[0].digest}
+        and {r.vtime_total for r in cold.results + warm.results}
+        == {cold.results[0].vtime_total}
+    )
+    return [
+        Metric(
+            "cold_misses",
+            float(cold.cache_misses),
+            kind="count",
+            unit="misses",
+        ),
+        Metric(
+            "warm_disk_hits",
+            float(warm.cache_disk_hits),
+            kind="count",
+            unit="hits",
+            better="higher",
+        ),
+        Metric(
+            "warm_hits",
+            float(warm.cache_hits),
+            kind="count",
+            unit="hits",
+            better="higher",
+        ),
+        Metric(
+            "restart_bitwise_identical",
+            float(bitwise),
+            kind="count",
+            unit="bool",
+            better="higher",
+        ),
+        Metric(
+            "vtime_job_s",
+            warm.results[0].vtime_total,
+            kind="virtual",
+        ),
+    ]
+
+
+@register(
+    "service/timeout_retry",
+    "service",
+    repeats=1,
+    jobs=3,
+    workers=1,
+)
+def _service_timeout_retry() -> List[Metric]:
+    """Deterministic timeout/retry accounting through the service.
+
+    One hung job (30 s sleep, 0.2 s budget, 2 retries) batched with
+    two clean jobs on a single worker: every attempt of the hung job
+    is killed at its deadline, its batchmates are re-admitted free as
+    collateral, and the exact retry/timeout/re-admission counts gate
+    the policy — any drift means charged budgets or lost jobs.
+    """
+    from ..service import JobSpec, run_campaign
+
+    sleeper = JobSpec(
+        kind="cmtbone", name="hung", nranks=2,
+        machine=VIRTUAL_MACHINE,
+        timeout_seconds=0.2, max_retries=2,
+        params={"n": 5, "nel": 8, "nsteps": 3, "sleep_s": 30.0},
+    )
+    report = run_campaign([sleeper] + _service_specs(2, 0), nworkers=1)
+    hung, ok1, ok2 = report.results
+    if not (hung.status == "failed" and hung.timed_out):
+        raise RuntimeError(
+            f"hung job must time out, got {hung.status}: {hung.error}"
+        )
+    if not (ok1.ok and ok2.ok):
+        raise RuntimeError("collateral jobs must eventually finish")
+    return [
+        Metric(
+            "hung_retries",
+            float(hung.retries),
+            kind="count",
+            unit="retries",
+        ),
+        Metric(
+            "attempt_timeouts",
+            float(report.queue_stats["timeouts"]),
+            kind="count",
+            unit="timeouts",
+        ),
+        Metric(
+            "readmissions",
+            float(report.queue_stats["readmitted"]),
+            kind="count",
+            unit="jobs",
+        ),
+        Metric(
+            "collateral_retries_charged",
+            float(ok1.retries + ok2.retries),
+            kind="count",
+            unit="retries",
+        ),
+        Metric(
+            "timeout_overhead_wall_s",
+            report.wall_seconds,
+            kind="wall",
+        ),
+    ]
+
+
 # ---------------------------------------------------------------------
 # vscale — virtual scale-out engine (sampled execution + LogGP model)
 # ---------------------------------------------------------------------

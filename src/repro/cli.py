@@ -355,6 +355,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--drain", action="store_true",
                        help="exit once the spool is empty and all "
                             "accepted jobs finished")
+    p_srv.add_argument("--artifact-dir", default=None,
+                       help="disk-spill directory for the setup-artifact "
+                            "cache; warm hits survive service restarts "
+                            "(default: in-memory only)")
 
     p_sub = sub.add_parser(
         "submit",
@@ -376,6 +380,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub.add_argument("--params", default=None,
                        help='kind-specific params as JSON, e.g. '
                             '\'{"n": 5, "nel": 8, "nsteps": 4}\'')
+    p_sub.add_argument("--timeout-seconds", type=float, default=0.0,
+                       help="per-attempt execution budget; overrunning "
+                            "attempts are killed (default 0 = unlimited)")
+    p_sub.add_argument("--max-retries", type=int, default=0,
+                       help="re-admissions allowed after a timeout or "
+                            "worker death (default 0)")
     p_sub.add_argument("--wait", action="store_true",
                        help="block until the result arrives and print it")
     p_sub.add_argument("--timeout", type=float, default=300.0,
@@ -390,6 +400,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--count", type=int, default=None,
                         help="instead of --jobs: run COUNT copies of one "
                              "spec built from the flags below")
+    p_camp.add_argument("--matrix", default=None,
+                        help="instead of --jobs/--count: JSON file with "
+                             "a scenario matrix (axes crossed into one "
+                             "cell per combination; comparative report "
+                             "with a winner per row — see "
+                             "docs/service.md)")
     p_camp.add_argument("--kind", choices=["cmtbone", "sod"],
                         default="cmtbone")
     p_camp.add_argument("--ranks", type=int, default=2)
@@ -400,6 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="persistent pool workers (default 2)")
     p_camp.add_argument("--quota", type=int, default=None)
     p_camp.add_argument("--batch-max", type=int, default=4)
+    p_camp.add_argument("--artifact-dir", default=None,
+                        help="disk-spill directory for the setup-"
+                             "artifact cache (default: in-memory only)")
     p_camp.add_argument("--json", dest="json_out", default=None,
                         help="also write the full per-job results here")
 
@@ -954,7 +973,7 @@ def cmd_serve(args) -> int:
         pending = {}
         async with Service(
             nworkers=args.workers, quota=args.quota,
-            batch_max=args.batch_max,
+            batch_max=args.batch_max, artifact_dir=args.artifact_dir,
         ) as svc:
             print(f"serving spool {args.spool} with {args.workers} "
                   f"workers (pids {svc.pool.worker_pids()})", flush=True)
@@ -1011,7 +1030,8 @@ def cmd_submit(args) -> int:
     spec = JobSpec(
         kind=args.kind, name=args.name, submitter=args.submitter,
         priority=args.priority, nranks=args.ranks,
-        machine=args.machine, params=params,
+        machine=args.machine, timeout_seconds=args.timeout_seconds,
+        max_retries=args.max_retries, params=params,
     )
     _write_json_atomic(queue_dir / f"{spec.job_id}.json", spec.to_json())
     print(spec.job_id)
@@ -1039,10 +1059,14 @@ def cmd_campaign(args) -> int:
 
     from .service import JobSpec, run_campaign
 
-    if (args.jobs is None) == (args.count is None):
-        print("campaign needs exactly one of --jobs or --count",
-              file=sys.stderr)
+    sources = [s for s in (args.jobs, args.count, args.matrix)
+               if s is not None]
+    if len(sources) != 1:
+        print("campaign needs exactly one of --jobs, --count, "
+              "or --matrix", file=sys.stderr)
         return 2
+    if args.matrix is not None:
+        return _campaign_matrix(args)
     if args.jobs is not None:
         with open(args.jobs) as fh:
             docs = json.load(fh)
@@ -1065,7 +1089,7 @@ def cmd_campaign(args) -> int:
         ]
     report = run_campaign(
         specs, nworkers=args.workers, quota=args.quota,
-        batch_max=args.batch_max,
+        batch_max=args.batch_max, artifact_dir=args.artifact_dir,
     )
     print(report.summary())
     if args.json_out:
@@ -1078,10 +1102,36 @@ def cmd_campaign(args) -> int:
                 "p99_seconds": report.p99,
                 "cache_hits": report.cache_hits,
                 "cache_misses": report.cache_misses,
+                "cache_disk_hits": report.cache_disk_hits,
+                "retries": report.retries,
                 "queue": report.queue_stats,
                 "results": [r.to_json() for r in report.results],
             },
         )
+        print(f"wrote {args.json_out}")
+    return 1 if report.failed else 0
+
+
+def _campaign_matrix(args) -> int:
+    import json
+    import pathlib
+
+    from .service.matrix import MatrixSpec, run_matrix
+
+    with open(args.matrix) as fh:
+        doc = json.load(fh)
+    try:
+        matrix = MatrixSpec.from_doc(doc)
+    except (ValueError, TypeError) as exc:
+        print(f"--matrix {args.matrix}: {exc}", file=sys.stderr)
+        return 2
+    report = run_matrix(
+        matrix, nworkers=args.workers, quota=args.quota,
+        batch_max=args.batch_max, artifact_dir=args.artifact_dir,
+    )
+    print(report.summary())
+    if args.json_out:
+        _write_json_atomic(pathlib.Path(args.json_out), report.to_json())
         print(f"wrote {args.json_out}")
     return 1 if report.failed else 0
 

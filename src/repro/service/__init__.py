@@ -9,6 +9,7 @@ from .artifacts import (
     ArtifactCache,
     CacheEntry,
     CacheStats,
+    DiskArtifactStore,
     SetupArtifact,
     artifact_key,
 )
@@ -24,6 +25,7 @@ from .jobs import (
     digest_arrays,
     new_job_id,
 )
+from .matrix import MatrixCell, MatrixReport, MatrixSpec, run_matrix
 from .pool import PoolError, WorkerPool
 from .scheduler import DEFAULT_BATCH_MAX, JobQueue, QueueStats
 from .service import CampaignReport, Service, run_campaign
@@ -34,10 +36,14 @@ __all__ = [
     "CacheStats",
     "CampaignReport",
     "DEFAULT_BATCH_MAX",
+    "DiskArtifactStore",
     "JobQueue",
     "JobResult",
     "JobSpec",
     "KINDS",
+    "MatrixCell",
+    "MatrixReport",
+    "MatrixSpec",
     "PoolError",
     "QueueStats",
     "SMALL_JOB_UNITS",
@@ -52,5 +58,6 @@ __all__ = [
     "new_job_id",
     "run_campaign",
     "run_job",
+    "run_matrix",
     "spec_artifact_key",
 ]

@@ -29,15 +29,47 @@ Correctness contract (what makes a cache hit *bitwise* invisible):
   later one).
 * Hits are refused when the consuming rank's clock is not at zero or
   fault injection is active (the executor handles the latter).
+
+Disk spill (:class:`DiskArtifactStore`): a cache constructed with a
+spill directory additionally *publishes* every complete entry to disk
+and *fetches* entries it does not hold in memory from disk, so warm
+setup artifacts survive a service restart and are shared across all
+pool workers of one host.  The on-disk protocol mirrors the kir
+autotune cache (``repro.kir.autotune``): payloads are pickled to
+per-entry blob files committed with tmp + ``os.replace``, and a small
+``index.json`` is maintained with an advisory ``fcntl`` lock around a
+read-merge-write cycle, so concurrent workers publishing different
+keys interleave instead of clobbering each other (lost-update races
+are *merged* and counted).  Only complete ``nranks`` entries are ever
+published — a partial entry cannot exist on disk — and because
+:meth:`SetupArtifact.apply` restores absolute state that pickle
+round-trips exactly, a disk hit is as bitwise-invisible as a memory
+hit (the advanced-clock refusal also survives the round trip
+unchanged).
 """
 
 from __future__ import annotations
 
 import copy
 import hashlib
+import json
+import os
+import pickle
+import tempfile
 import threading
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
+
+try:  # advisory file locking (POSIX); degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+#: Schema version of the on-disk index.
+DISK_VERSION = 1
+INDEX_FILENAME = "index.json"
 
 
 def artifact_key(
@@ -162,35 +194,231 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Subset of ``hits`` that were served from the disk spill (the
+    #: entry was not in this worker's memory).
+    disk_hits: int = 0
+    #: Complete entries this cache published to the disk spill.
+    disk_stores: int = 0
+    #: Publish cycles whose index merge found (and kept) keys written
+    #: concurrently by another worker — survived lost-update races.
+    races_merged: int = 0
 
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits, "misses": self.misses, "stores": self.stores
-        }
+        return dict(vars(self))
+
+
+def _host_dirname() -> str:
+    """Filesystem-safe per-host spill subdirectory name."""
+    from ..autotune import host_fingerprint
+
+    fp = host_fingerprint()
+    safe = "".join(c if (c.isalnum() or c in "._-") else "_" for c in fp)
+    return f"{safe}-{hashlib.blake2b(fp.encode(), digest_size=4).hexdigest()}"
+
+
+class DiskArtifactStore:
+    """Per-host on-disk spill of complete artifact-cache entries.
+
+    Layout under ``root`` (one subdirectory per host fingerprint, so a
+    shared filesystem never mixes machines)::
+
+        <root>/<host>/index.json        {"version": 1, "entries":
+                                         {key: {"nranks", "method", "blob"}}}
+        <root>/<host>/<key>-r<N>.pkl    pickled CacheEntry
+
+    Blobs are committed first (tmp + ``os.replace``), then the index is
+    updated under an advisory ``<index>.lock`` with a read-merge-write
+    cycle — the same protocol as the kir autotune cache — so the index
+    never references a missing blob and concurrent publishers of
+    different keys never lose each other's entries.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = os.fspath(root)
+        self.host_dir = os.path.join(self.root, _host_dirname())
+        self._index_path = os.path.join(self.host_dir, INDEX_FILENAME)
+        #: Keys this process last observed in the index; a publish that
+        #: finds keys beyond these was raced by a concurrent writer
+        #: (``None`` until the first read — nothing to compare against).
+        self._known: Optional[frozenset] = None
+
+    # -- index maintenance --------------------------------------------
+
+    @contextmanager
+    def _lock(self):
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        os.makedirs(self.host_dir, exist_ok=True)
+        with open(self._index_path + ".lock", "w") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def _load_index(self) -> Dict[str, dict]:
+        """Entry table; a missing/corrupt/stale index degrades to {}."""
+        try:
+            with open(self._index_path) as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            return {}
+        except (OSError, json.JSONDecodeError) as exc:
+            warnings.warn(
+                f"artifact index {self._index_path!r} unreadable "
+                f"({exc}); treating the disk cache as cold",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return {}
+        if (not isinstance(data, dict)
+                or data.get("version") != DISK_VERSION):
+            warnings.warn(
+                f"artifact index {self._index_path!r} has unsupported "
+                "layout; treating the disk cache as cold",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return {}
+        entries = data.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def _save_index(self, entries: Dict[str, dict]) -> None:
+        os.makedirs(self.host_dir, exist_ok=True)
+        payload = {"version": DISK_VERSION, "entries": entries}
+        fd, tmp = tempfile.mkstemp(
+            prefix=INDEX_FILENAME + ".", dir=self.host_dir
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self._index_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- publish / fetch ----------------------------------------------
+
+    def _blob_name(self, key: str, nranks: int) -> str:
+        return f"{key}-r{nranks}.pkl"
+
+    def publish(self, key: str, entry: "CacheEntry",
+                stats: Optional[CacheStats] = None) -> None:
+        """Spill one *complete* entry (blob first, then index merge)."""
+        if len(entry.ranks) != entry.nranks:
+            raise ValueError(
+                f"refusing to publish a partial entry for {key!r}: "
+                f"{len(entry.ranks)}/{entry.nranks} ranks"
+            )
+        os.makedirs(self.host_dir, exist_ok=True)
+        blob = self._blob_name(key, entry.nranks)
+        fd, tmp = tempfile.mkstemp(prefix=blob + ".", dir=self.host_dir)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, os.path.join(self.host_dir, blob))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        with self._lock():
+            entries = self._load_index()
+            if (stats is not None and self._known is not None
+                    and any(k != key and k not in self._known
+                            for k in entries)):
+                stats.races_merged += 1
+            entries[key] = {
+                "nranks": entry.nranks,
+                "method": entry.method,
+                "blob": blob,
+            }
+            self._save_index(entries)
+            self._known = frozenset(entries)
+
+    def fetch(self, key: str, nranks: int) -> Optional["CacheEntry"]:
+        """Load a complete entry from disk, or None (never raises)."""
+        entries = self._load_index()
+        self._known = frozenset(entries)
+        meta = entries.get(key)
+        if not isinstance(meta, dict) or meta.get("nranks") != nranks:
+            return None
+        path = os.path.join(self.host_dir, str(meta.get("blob", "")))
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError) as exc:
+            warnings.warn(
+                f"artifact blob {path!r} unreadable ({exc}); "
+                "treating as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        if (not isinstance(entry, CacheEntry)
+                or entry.nranks != nranks
+                or len(entry.ranks) != entry.nranks):
+            return None
+        return entry
+
+    def keys(self):
+        return sorted(self._load_index())
 
 
 class ArtifactCache:
-    """In-memory artifact store for one persistent service worker.
+    """Artifact store for one persistent service worker.
 
     Complete entries live in ``_entries``; in-progress per-rank stores
     accumulate in ``_pending`` and are published atomically once all
     ``nranks`` shares arrive.  A lookup never sees a partial entry, so
     the executor's once-per-job hit/miss decision is safe.
+
+    With ``disk`` set (a directory path or a
+    :class:`DiskArtifactStore`), complete entries are additionally
+    spilled to disk on publish, and a memory miss consults the disk
+    spill before reporting a miss — so entries survive restarts and
+    are shared across every worker of the host.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        disk: Optional[Union[str, os.PathLike, DiskArtifactStore]] = None,
+    ) -> None:
         self._entries: Dict[str, CacheEntry] = {}
         self._pending: Dict[str, Dict[int, SetupArtifact]] = {}
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        if disk is None or isinstance(disk, DiskArtifactStore):
+            self.disk = disk
+        else:
+            self.disk = DiskArtifactStore(disk)
 
     def lookup(self, key: str, nranks: int) -> Optional[CacheEntry]:
-        """Complete entry for ``key`` (counted as hit), or None (miss)."""
+        """Complete entry for ``key`` (counted as hit), or None (miss).
+
+        Checks memory first, then the disk spill; a disk hit is
+        installed into memory (and counted in ``disk_hits``) so later
+        lookups and the affinity router see it as warm.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None and entry.nranks == nranks:
                 self.stats.hits += 1
                 return entry
+            if self.disk is not None:
+                entry = self.disk.fetch(key, nranks)
+                if entry is not None:
+                    self._entries[key] = entry
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    return entry
             self.stats.misses += 1
             return None
 
@@ -204,11 +432,23 @@ class ArtifactCache:
             pending[rank] = artifact
             self.stats.stores += 1
             if len(pending) == nranks:
-                self._entries[key] = CacheEntry(
+                entry = CacheEntry(
                     nranks=nranks,
                     ranks=self._pending.pop(key),
                     method=artifact.method,
                 )
+                self._entries[key] = entry
+                if self.disk is not None:
+                    try:
+                        self.disk.publish(key, entry, stats=self.stats)
+                        self.stats.disk_stores += 1
+                    except OSError as exc:
+                        warnings.warn(
+                            f"could not spill artifact {key!r} to "
+                            f"{self.disk.host_dir!r}: {exc}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
 
     def keys(self):
         with self._lock:

@@ -57,6 +57,13 @@ class JobSpec:
     nranks: int = 2
     #: Machine-model preset for the virtual clock.
     machine: str = "compton"
+    #: Wall-second execution budget for one attempt (0 = unlimited).
+    #: The pool's deadline monitor kills the worker of an overrunning
+    #: batch; see docs/service.md, "Timeouts and retries".
+    timeout_seconds: float = 0.0
+    #: Automatic re-admissions allowed after a timeout or worker death
+    #: (clean in-job failures are never retried).
+    max_retries: int = 0
     params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -66,6 +73,14 @@ class JobSpec:
             )
         if self.nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {self.nranks}")
+        if self.timeout_seconds < 0:
+            raise ValueError(
+                f"timeout_seconds must be >= 0, got {self.timeout_seconds}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
 
     def param(self, key: str, default: Any = None) -> Any:
         return self.params.get(key, default)
@@ -97,6 +112,8 @@ class JobSpec:
             priority=int(doc.get("priority", 0)),
             nranks=int(doc.get("nranks", 2)),
             machine=str(doc.get("machine", "compton")),
+            timeout_seconds=float(doc.get("timeout_seconds", 0.0)),
+            max_retries=int(doc.get("max_retries", 0)),
             params=dict(doc.get("params", {})),
         )
 
@@ -123,6 +140,22 @@ class JobResult:
     #: Setup-artifact cache accounting for this job.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Subset of ``cache_hits`` served from the disk spill rather than
+    #: the worker's memory (restart warm hits).
+    cache_disk_hits: int = 0
+    #: Re-admissions this job consumed before reaching this terminal
+    #: result (set by the service's retry loop).
+    retries: int = 0
+    #: The attempt producing this result overran its per-job
+    #: ``timeout_seconds`` and its worker was killed.
+    timed_out: bool = False
+    #: The attempt's worker died mid-batch (hard crash or kill).
+    worker_died: bool = False
+    #: The job was collateral: its worker died (or was timeout-killed)
+    #: before the job's turn in the batch came up.  The service
+    #: re-admits such jobs without charging their retry budget — a job
+    #: that never ran has not consumed an attempt.
+    never_started: bool = False
     #: Content digest of the physics output (bitwise-comparable with a
     #: standalone run of the same spec).
     digest: str = ""
@@ -131,6 +164,15 @@ class JobResult:
     @property
     def ok(self) -> bool:
         return self.status == STATUS_DONE
+
+    @property
+    def retryable(self) -> bool:
+        """Did this attempt fail for a reason re-admission can fix?
+
+        Timeouts and worker deaths are environmental; a clean in-job
+        exception is deterministic and would just fail again.
+        """
+        return self.timed_out or self.worker_died
 
     def to_json(self) -> Dict[str, Any]:
         return asdict(self)

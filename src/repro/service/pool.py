@@ -21,6 +21,26 @@ A worker that dies mid-batch (hard crash) is detected by pipe EOF +
 liveness; its in-flight jobs are failed and a fresh worker is forked
 in its slot, so one poisoned job cannot take the service down.
 
+Deadline monitor: the worker runs its batch serially and sends one
+result per job in batch order, so the parent always knows which job is
+*currently* running (the one at index ``len(results)``) and when it
+started (the dispatch, or the previous result's arrival).
+:meth:`WorkerPool.collect` polls the result pipe against that job's
+own ``timeout_seconds``; on overrun it drains results that already
+arrived, kills the worker, reports the overrunning job ``timed_out``
+and the rest of the batch ``worker_died`` (collateral — they never
+ran), and respawns the slot.  The queue/service layer decides whether
+those jobs are re-admitted (``max_retries``).  A job's measured start
+is its result-pipe predecessor, so pipe latency only ever *adds*
+budget — a timeout is never charged against time the job didn't get.
+
+Accounting is per serving worker: a batch is always credited to the
+worker that actually ran (or died running) it, never to the fresh
+replacement — otherwise the least-loaded affinity pick would treat
+the cold respawn as the pool's most seasoned worker.  Tallies of
+retired (dead) workers accumulate on the pool so pool-wide totals
+survive respawns.
+
 Affinity: the parent tracks which artifact keys each worker holds and
 :meth:`WorkerPool.pick_worker` prefers an idle worker that already
 caches the batch's key — without it, a round-robin pool spreads
@@ -30,6 +50,7 @@ identical configs across workers and every one pays the cold setup.
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -40,9 +61,9 @@ from .jobs import STATUS_FAILED, JobResult, JobSpec
 _CTX = mp.get_context("fork")
 
 
-def _worker_loop(cmd_conn, res_conn) -> None:
+def _worker_loop(cmd_conn, res_conn, artifact_dir=None) -> None:
     """Worker child main: serve ("run", batch) commands until stopped."""
-    cache = ArtifactCache()
+    cache = ArtifactCache(disk=artifact_dir)
     while True:
         try:
             msg = cmd_conn.recv()
@@ -66,6 +87,9 @@ class _Worker:
     busy: bool = False
     jobs_served: int = 0
     batches_served: int = 0
+    #: Monotonic wall time the in-flight batch was dispatched (the
+    #: rolling per-job deadline monitor measures from here).
+    batch_started: Optional[float] = None
     #: Artifact keys this worker's cache held after its last batch.
     cached_keys: Set[str] = field(default_factory=set)
 
@@ -81,22 +105,32 @@ class PoolError(RuntimeError):
 class WorkerPool:
     """See module docstring."""
 
-    def __init__(self, nworkers: int = 2) -> None:
+    def __init__(self, nworkers: int = 2,
+                 artifact_dir: Optional[str] = None) -> None:
         if nworkers < 1:
             raise ValueError(f"nworkers must be >= 1, got {nworkers}")
         self.nworkers = nworkers
+        #: Disk-spill directory every worker's ArtifactCache shares
+        #: (None = in-memory caches only).
+        self.artifact_dir = artifact_dir
         self._workers: List[_Worker] = [
             self._spawn() for _ in range(nworkers)
         ]
         self._closed = False
         #: Workers that died mid-batch and were replaced.
         self.respawns = 0
+        #: Batches killed by the deadline monitor.
+        self.timeout_kills = 0
+        #: Tallies of retired (replaced) workers, so pool-wide totals
+        #: survive respawns.
+        self._retired_jobs_served = 0
+        self._retired_batches_served = 0
 
     def _spawn(self) -> _Worker:
         cmd_r, cmd_w = _CTX.Pipe(duplex=False)
         res_r, res_w = _CTX.Pipe(duplex=False)
         proc = _CTX.Process(
-            target=_worker_loop, args=(cmd_r, res_w),
+            target=_worker_loop, args=(cmd_r, res_w, self.artifact_dir),
             name="repro-job-worker", daemon=True,
         )
         proc.start()
@@ -114,7 +148,8 @@ class WorkerPool:
         return [i for i, w in enumerate(self._workers) if not w.busy]
 
     def jobs_served(self) -> int:
-        return sum(w.jobs_served for w in self._workers)
+        return (sum(w.jobs_served for w in self._workers)
+                + self._retired_jobs_served)
 
     # -- scheduling hooks ----------------------------------------------
 
@@ -144,49 +179,145 @@ class WorkerPool:
         if w.busy:
             raise PoolError(f"worker {index} is busy")
         w.busy = True
+        w.batch_started = time.monotonic()
         w.cmd_w.send(("run", [s.to_json() for s in specs]))
+
+    def _drain_ready(self, w: _Worker, results: List[JobResult]) -> bool:
+        """Consume already-arrived messages without blocking.
+
+        Returns True if the batch's closing "done" message was seen —
+        the batch actually finished (possibly at the deadline's edge).
+        """
+        try:
+            while w.res_r.poll(0):
+                msg = w.res_r.recv()
+                if msg[0] == "result":
+                    results.append(JobResult.from_json(msg[1]))
+                elif msg[0] == "done":
+                    w.cached_keys = set(msg[2])
+                    return True
+        except EOFError:
+            pass
+        return False
 
     def collect(self, index: int, specs: List[JobSpec]
                 ) -> List[JobResult]:
         """Blocking: receive the batch's results from worker ``index``.
 
         Call from an executor thread, never the event loop.  A worker
-        death yields ``failed`` results for the unfinished jobs and a
-        replacement worker in the slot.
+        death yields ``worker_died`` failed results for the unfinished
+        jobs; a job that overruns its own ``timeout_seconds`` gets its
+        worker killed, a ``timed_out`` failed result, and the rest of
+        the batch fails ``worker_died`` (collateral — those jobs never
+        started).  Either way a replacement worker lands in the slot,
+        the batch is credited to the worker that served it (not the
+        replacement), and the dead worker's cached-key advertisement
+        dies with it.
         """
         w = self._workers[index]
         results: List[JobResult] = []
+        finished = False    # saw the batch's closing "done" message
+        timed_out = False   # deadline monitor killed the current job
+        died = False        # pipe EOF: worker crashed on its own
+        started = (w.batch_started if w.batch_started is not None
+                   else time.monotonic())
         try:
             while True:
+                # The worker serves the batch serially and reports in
+                # order, so the job currently running is the one at
+                # index len(results), started when its predecessor's
+                # result arrived (or at dispatch).
+                current = len(results)
+                deadline = None
+                if (current < len(specs)
+                        and specs[current].timeout_seconds > 0):
+                    deadline = started + specs[current].timeout_seconds
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        # Budget exhausted: anything already on the
+                        # wire still counts (the job may have finished
+                        # at the deadline's edge).
+                        finished = self._drain_ready(w, results)
+                        if finished:
+                            break
+                        if len(results) > current:
+                            started = time.monotonic()
+                            continue  # it did finish; next job's clock
+                        timed_out = True
+                        break
+                    if not w.res_r.poll(remaining):
+                        continue  # re-check the rolling deadline
                 msg = w.res_r.recv()
                 if msg[0] == "result":
                     results.append(JobResult.from_json(msg[1]))
+                    started = time.monotonic()
                 elif msg[0] == "done":
                     w.cached_keys = set(msg[2])
+                    finished = True
                     break
         except EOFError:
-            pass
-        if len(results) < len(specs):
-            # The worker died mid-batch: fail what never came back and
-            # put a fresh worker in the slot.
-            done = {r.job_id for r in results}
-            for spec in specs:
-                if spec.job_id not in done:
-                    results.append(JobResult(
-                        job_id=spec.job_id, kind=spec.kind,
-                        name=spec.name, status=STATUS_FAILED,
-                        worker_pid=w.pid,
-                        error=f"worker pid {w.pid} died mid-batch",
-                    ))
-            self._replace(index)
-            w = self._workers[index]
+            died = True
+        w.batch_started = None
+        if timed_out:
+            self.timeout_kills += 1
+            self._kill(w)
+        # Unfinished jobs are exactly specs[len(results):] (serial,
+        # in-order worker).  On a timeout the first of them is the
+        # overrunner; the rest never started.
+        running = len(results)  # the job in flight when things went bad
+        for j in range(len(results), len(specs)):
+            spec = specs[j]
+            if timed_out and j == running:
+                flags = dict(timed_out=True, worker_died=False)
+                reason = (
+                    f"job exceeded its {spec.timeout_seconds:.3g}s "
+                    f"timeout; worker pid {w.pid} killed"
+                )
+            elif j == running:
+                flags = dict(timed_out=False, worker_died=True)
+                reason = f"worker pid {w.pid} died mid-batch"
+            else:
+                # Collateral: its turn never came.  never_started lets
+                # the service re-admit it without charging a retry.
+                flags = dict(timed_out=False, worker_died=True,
+                             never_started=True)
+                cause = "timed out" if timed_out else "died"
+                reason = (
+                    f"never started: worker pid {w.pid} gone after "
+                    f"job {specs[running].job_id} {cause} earlier in "
+                    "the batch"
+                )
+            results.append(JobResult(
+                job_id=spec.job_id, kind=spec.kind,
+                name=spec.name, status=STATUS_FAILED,
+                worker_pid=w.pid,
+                error=reason,
+                **flags,
+            ))
+        # Credit the worker that served the batch — never the fresh
+        # replacement, which must start cold for least-loaded routing.
         w.jobs_served += len(specs)
         w.batches_served += 1
         w.busy = False
+        if died or timed_out:
+            self._replace(index)
         return results
+
+    @staticmethod
+    def _kill(w: _Worker) -> None:
+        """Terminate a worker that overran its deadline."""
+        if w.proc.is_alive():
+            w.proc.terminate()
+            w.proc.join(timeout=5.0)
+            if w.proc.is_alive():  # pragma: no cover - stuck in C code
+                w.proc.kill()
+                w.proc.join(timeout=5.0)
 
     def _replace(self, index: int) -> None:
         old = self._workers[index]
+        self._retired_jobs_served += old.jobs_served
+        self._retired_batches_served += old.batches_served
         self._close_worker(old, force=True)
         self._workers[index] = self._spawn()
         self.respawns += 1

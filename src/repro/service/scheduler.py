@@ -44,6 +44,8 @@ class _QueuedJob:
     submitted_at: float = 0.0
     dispatched: bool = False
     cancelled: bool = False
+    #: Re-admissions consumed so far (timeout/worker-death retries).
+    retries: int = 0
 
 
 @dataclass
@@ -55,6 +57,11 @@ class QueueStats:
     batched_dispatches: int = 0
     #: Times the quota held an otherwise-runnable job back.
     quota_deferrals: int = 0
+    #: Jobs re-admitted after a timeout or worker death.
+    readmitted: int = 0
+    #: Attempts that overran their ``timeout_seconds`` (every attempt
+    #: counts, including the final one that exhausts the retries).
+    timeouts: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -88,10 +95,25 @@ class JobQueue:
     def submit(
         self, spec: JobSpec, submitted_at: float = 0.0
     ) -> "asyncio.Future[JobResult]":
-        """Queue a job; the returned future resolves to its result."""
+        """Queue a job; the returned future resolves to its result.
+
+        Must be called from within a running event loop: the future is
+        created on (and must be awaited from) that loop.  Using
+        ``get_running_loop`` rather than the deprecated
+        ``get_event_loop`` keeps the failure mode on Python >= 3.12 an
+        immediate, explicit error instead of a warning that becomes a
+        new (wrong) implicit loop.
+        """
         if spec.job_id in self._jobs:
             raise ValueError(f"duplicate job id {spec.job_id!r}")
-        loop = asyncio.get_event_loop()
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError as exc:
+            raise RuntimeError(
+                "JobQueue.submit must be called from a running event "
+                "loop (use asyncio.run / Service.submit from async "
+                "code)"
+            ) from exc
         entry = _QueuedJob(
             spec=spec,
             future=loop.create_future(),
@@ -166,6 +188,35 @@ class JobQueue:
         if len(batch) > 1:
             self.stats.batched_dispatches += 1
         return batch
+
+    # -- re-admission -------------------------------------------------
+
+    def readmit(self, entry: _QueuedJob, charge: bool = True) -> None:
+        """Put a dispatched-but-unfinished job back in the queue.
+
+        Used by the service when an attempt timed out or its worker
+        died.  The job keeps its id, future, and priority but goes to
+        the back of its priority class (a fresh sequence number) and
+        releases its quota slot until it dispatches again.  With
+        ``charge=False`` (a collateral job that never started) the
+        job's retry budget is left untouched.
+        """
+        if entry.spec.job_id not in self._jobs or not entry.dispatched:
+            raise ValueError(
+                f"job {entry.spec.job_id!r} is not dispatched; "
+                "only in-flight jobs can be re-admitted"
+            )
+        submitter = entry.spec.submitter
+        if self._running.get(submitter):
+            self._running[submitter] -= 1
+            if not self._running[submitter]:
+                del self._running[submitter]
+        entry.dispatched = False
+        if charge:
+            entry.retries += 1
+        self.stats.readmitted += 1
+        heapq.heappush(self._heap, (-entry.spec.priority,
+                                    next(self._seq), entry.spec.job_id))
 
     # -- completion ---------------------------------------------------
 

@@ -33,9 +33,11 @@ class Service:
         nworkers: int = 2,
         quota: Optional[int] = None,
         batch_max: int = DEFAULT_BATCH_MAX,
+        artifact_dir: Optional[str] = None,
     ) -> None:
         self.queue = JobQueue(quota=quota, batch_max=batch_max)
-        self.pool = WorkerPool(nworkers=nworkers)
+        self.pool = WorkerPool(nworkers=nworkers,
+                               artifact_dir=artifact_dir)
         self._pump: Optional[asyncio.Task] = None
         self._wake = asyncio.Event()
         self._closing = False
@@ -62,11 +64,18 @@ class Service:
     # -- drive loop ----------------------------------------------------
 
     async def _run_batch(self, index: int, entries) -> None:
-        """Collect a batch already dispatched to worker ``index``."""
+        """Collect a batch already dispatched to worker ``index``.
+
+        Retry policy lives here: a result the pool marked ``timed_out``
+        or ``worker_died`` whose spec still has ``max_retries`` budget
+        is re-admitted to the queue (same id/future/priority) instead
+        of being finalised; everything else resolves its future with
+        the retry count stamped on the result.
+        """
         specs = [e.spec for e in entries]
         self._inflight += 1
         try:
-            loop = asyncio.get_event_loop()
+            loop = asyncio.get_running_loop()
             results = await loop.run_in_executor(
                 None, self.pool.collect, index, specs
             )
@@ -74,6 +83,18 @@ class Service:
             by_id: Dict[str, JobResult] = {r.job_id: r for r in results}
             for entry in entries:
                 result = by_id[entry.spec.job_id]
+                if result.timed_out:
+                    self.queue.stats.timeouts += 1
+                if result.never_started:
+                    # Collateral of a batchmate's timeout/crash: the
+                    # job never ran, so re-admission is free.
+                    self.queue.readmit(entry, charge=False)
+                    continue
+                if (result.retryable
+                        and entry.retries < entry.spec.max_retries):
+                    self.queue.readmit(entry)
+                    continue
+                result.retries = entry.retries
                 if entry.submitted_at:
                     result.latency_seconds = now - entry.submitted_at
                 self.queue.job_finished(entry.spec.job_id, result)
@@ -154,6 +175,19 @@ class CampaignReport:
     def cache_misses(self) -> int:
         return sum(r.cache_misses for r in self.results)
 
+    @property
+    def cache_disk_hits(self) -> int:
+        return sum(r.cache_disk_hits for r in self.results)
+
+    @property
+    def retries(self) -> int:
+        """Total re-admissions consumed across the campaign."""
+        return sum(r.retries for r in self.results)
+
+    @property
+    def timed_out(self) -> List[JobResult]:
+        return [r for r in self.results if r.timed_out]
+
     def latency_percentile(self, q: float) -> float:
         """Latency percentile over completed jobs (nearest-rank)."""
         lats = sorted(r.latency_seconds for r in self.results)
@@ -181,9 +215,15 @@ class CampaignReport:
             f"({self.jobs_per_second:.2f} jobs/s)",
             f"latency: p50 {self.p50 * 1e3:.1f} ms, "
             f"p99 {self.p99 * 1e3:.1f} ms",
-            f"setup-artifact cache: {self.cache_hits} hits, "
+            f"setup-artifact cache: {self.cache_hits} hits "
+            f"({self.cache_disk_hits} from disk), "
             f"{self.cache_misses} misses",
         ]
+        if self.retries or self.timed_out:
+            lines.append(
+                f"retries: {self.retries} re-admissions, "
+                f"{len(self.timed_out)} jobs ended timed-out"
+            )
         qs = self.queue_stats
         if qs:
             lines.append(
@@ -202,6 +242,7 @@ def run_campaign(
     nworkers: int = 2,
     quota: Optional[int] = None,
     batch_max: int = DEFAULT_BATCH_MAX,
+    artifact_dir: Optional[str] = None,
 ) -> CampaignReport:
     """Run a list of jobs through a fresh service; return the report.
 
@@ -212,7 +253,8 @@ def run_campaign(
     async def _campaign() -> CampaignReport:
         t0 = time.perf_counter()
         async with Service(
-            nworkers=nworkers, quota=quota, batch_max=batch_max
+            nworkers=nworkers, quota=quota, batch_max=batch_max,
+            artifact_dir=artifact_dir,
         ) as svc:
             futures = [svc.submit(spec) for spec in specs]
             results = list(await asyncio.gather(*futures))

@@ -15,6 +15,7 @@ import pytest
 
 from repro.service import (
     ArtifactCache,
+    DiskArtifactStore,
     JobQueue,
     JobResult,
     JobSpec,
@@ -177,6 +178,53 @@ class TestJobQueue:
 
         self.run(main())
 
+    def test_submit_outside_event_loop_raises(self):
+        # Regression: submit used the deprecated get_event_loop(),
+        # which silently created a loop nobody runs — the future then
+        # never resolves.  It must be an immediate, explicit error.
+        q = JobQueue()
+        with pytest.raises(RuntimeError, match="running event loop"):
+            q.submit(small_spec())
+        assert q.stats.submitted == 0
+
+    def test_submit_works_from_plain_coroutine(self):
+        async def main():
+            q = JobQueue()
+            fut = q.submit(small_spec())
+            assert asyncio.isfuture(fut) and not fut.done()
+            return q.stats.submitted
+
+        assert asyncio.run(main()) == 1
+
+    def test_readmit_requeues_with_retry_accounting(self):
+        async def main():
+            q = JobQueue(quota=1, batch_max=1)
+            spec = small_spec(0, submitter="alice")
+            q.submit(spec)
+            (entry,) = q.next_batch()
+            assert q.running_count() == 1
+            q.readmit(entry)
+            # The quota slot is released until it dispatches again.
+            assert q.running_count() == 0
+            assert entry.retries == 1
+            assert q.stats.readmitted == 1
+            (again,) = q.next_batch()
+            assert again is entry
+            q.readmit(again, charge=False)  # collateral: no charge
+            assert again.retries == 1
+            assert q.stats.readmitted == 2
+
+        self.run(main())
+
+    def test_readmit_rejects_undispatched_job(self):
+        async def main():
+            q = JobQueue()
+            q.submit(small_spec())
+            with pytest.raises(ValueError, match="not dispatched"):
+                q.readmit(next(iter(q._jobs.values())))
+
+        self.run(main())
+
 
 # ---------------------------------------------------------------------
 # Artifact cache
@@ -193,7 +241,8 @@ class TestArtifactCache:
         entry = cache.lookup("k", 2)
         assert entry is not None and entry.nranks == 2
         assert cache.stats.snapshot() == {
-            "hits": 1, "misses": 1, "stores": 2
+            "hits": 1, "misses": 1, "stores": 2,
+            "disk_hits": 0, "disk_stores": 0, "races_merged": 0,
         }
 
     def test_nranks_mismatch_is_a_miss(self):
@@ -219,6 +268,126 @@ class TestArtifactCache:
         assert spec_artifact_key(steps) == base
         assert spec_artifact_key(
             JobSpec(kind="sod", params=dict(SOD))) is None
+
+    def test_key_of_invalid_config_is_none_not_raise(self):
+        # Regression: spec_artifact_key runs in the service's drive
+        # loop (affinity routing); raising there killed the pump and
+        # hung every submitted future.  An unbuildable config simply
+        # has no cache identity.
+        bad = small_spec(params={**SMALL, "work_mode": "bogus"})
+        assert spec_artifact_key(bad) is None
+        bad_n = small_spec(params={**SMALL, "n": "wat"})
+        assert spec_artifact_key(bad_n) is None
+
+
+class TestDiskArtifactCache:
+    """Disk spill: restart-surviving, atomic, partial-proof, tolerant."""
+
+    def test_restart_warm_hit_is_bitwise_identical(self, tmp_path):
+        d = str(tmp_path / "spill")
+        cold = run_job(small_spec(0), ArtifactCache(disk=d))
+        # A *fresh* cache on the same directory simulates a service
+        # restart: nothing in memory, everything from disk.
+        warm_cache = ArtifactCache(disk=d)
+        warm = run_job(small_spec(1), warm_cache)
+        assert cold.ok and warm.ok
+        assert (cold.cache_misses, cold.cache_disk_hits) == (1, 0)
+        assert (warm.cache_hits, warm.cache_disk_hits) == (1, 1)
+        assert warm_cache.stats.disk_hits == 1
+        assert warm.digest == cold.digest
+        assert warm.vtime_total == cold.vtime_total
+        assert warm.vtime_comm == cold.vtime_comm
+
+    def test_complete_entry_spills_and_partial_never_does(self, tmp_path):
+        d = str(tmp_path / "spill")
+        art = SetupArtifact(handle=None, method="pairwise", autotune=None)
+        cache = ArtifactCache(disk=d)
+        cache.store("k", 0, art, nranks=2)
+        # Rank 0 of 2: nothing may reach disk yet.
+        assert DiskArtifactStore(d).keys() == []
+        assert cache.stats.disk_stores == 0
+        cache.store("k", 1, art, nranks=2)
+        assert DiskArtifactStore(d).keys() == ["k"]
+        assert cache.stats.disk_stores == 1
+        # And the publish API itself refuses a partial entry.
+        from repro.service.artifacts import CacheEntry
+        partial = CacheEntry(nranks=2, ranks={0: art}, method="pairwise")
+        with pytest.raises(ValueError, match="partial"):
+            DiskArtifactStore(d).publish("p", partial)
+
+    def test_disk_entry_respects_nranks(self, tmp_path):
+        d = str(tmp_path / "spill")
+        art = SetupArtifact(handle=None, method="pairwise", autotune=None)
+        first = ArtifactCache(disk=d)
+        first.store("k", 0, art, nranks=1)
+        fresh = ArtifactCache(disk=d)
+        assert fresh.lookup("k", 2) is None  # wrong nranks: a miss
+        assert fresh.lookup("k", 1) is not None
+
+    def test_corrupt_index_and_blob_degrade_to_cold(self, tmp_path):
+        d = str(tmp_path / "spill")
+        art = SetupArtifact(handle=None, method="pairwise", autotune=None)
+        cache = ArtifactCache(disk=d)
+        cache.store("k", 0, art, nranks=1)
+        import pathlib
+        blob = pathlib.Path(cache.disk.host_dir)
+        # Truncate the blob: fetch must warn and miss, not raise.
+        (blob / "k-r1.pkl").write_bytes(b"not a pickle")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert DiskArtifactStore(d).fetch("k", 1) is None
+        # Corrupt the index: load must warn and go cold, not raise.
+        (blob / "index.json").write_text("{broken")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert DiskArtifactStore(d).fetch("k", 1) is None
+        # And publishing over the wreckage heals it.
+        cache2 = ArtifactCache(disk=d)
+        with pytest.warns(RuntimeWarning):
+            cache2.store("k2", 0, art, nranks=1)
+        assert "k2" in DiskArtifactStore(d).keys()
+
+    def test_apply_refuses_advanced_clock_after_round_trip(self, tmp_path):
+        d = str(tmp_path / "spill")
+        assert run_job(small_spec(0), ArtifactCache(disk=d)).ok
+        key = spec_artifact_key(small_spec(0))
+        entry = DiskArtifactStore(d).fetch(key, 2)
+        assert entry is not None
+        art = entry.artifact_for(0)
+
+        class FakeClock:
+            now = 1.0
+
+        class FakeProfile:
+            records = {}
+
+        class FakeComm:
+            clock = FakeClock()
+            profile = FakeProfile()
+
+        with pytest.raises(RuntimeError, match="fresh rank"):
+            art.apply(object(), FakeComm())
+
+    def test_concurrent_publishers_merge_not_clobber(self, tmp_path):
+        d = str(tmp_path / "spill")
+        art = SetupArtifact(handle=None, method="pairwise", autotune=None)
+        from repro.service.artifacts import CacheEntry, CacheStats
+        entry = CacheEntry(nranks=1, ranks={0: art}, method="pairwise")
+        a, b = DiskArtifactStore(d), DiskArtifactStore(d)
+        a.publish("ka", entry)
+        b.fetch("ka", 1)          # b observes the index: known={ka}
+        a.publish("kc", entry)    # a races ahead of b's snapshot
+        stats = CacheStats()
+        b.publish("kb", entry, stats=stats)
+        # b's merge kept a's concurrent key and counted the race.
+        assert DiskArtifactStore(d).keys() == ["ka", "kb", "kc"]
+        assert stats.races_merged == 1
+
+    def test_hosts_do_not_share_spill_dirs(self, tmp_path, monkeypatch):
+        d = str(tmp_path / "spill")
+        art = SetupArtifact(handle=None, method="pairwise", autotune=None)
+        ArtifactCache(disk=d).store("k", 0, art, nranks=1)
+        monkeypatch.setenv("REPRO_HOST_ID", "some-other-host")
+        other = ArtifactCache(disk=d)
+        assert other.lookup("k", 1) is None  # different host dir
 
 
 class TestExecuteBitwise:
@@ -266,6 +435,26 @@ class TestExecuteBitwise:
         assert result.status == "failed"
         assert "work_mode" in result.error
 
+    def test_exit_signals_propagate_not_swallowed(self, monkeypatch):
+        # Regression: run_job caught BaseException, so SystemExit /
+        # KeyboardInterrupt inside a job became a "failed" result and
+        # the worker refused to die — breaking the timeout-kill path.
+        import repro.service.execute as execute
+
+        def boom(spec, cache, result):
+            raise SystemExit(3)
+
+        monkeypatch.setattr(execute, "_run_cmtbone", boom)
+        with pytest.raises(SystemExit):
+            run_job(small_spec(0))
+
+        def interrupt(spec, cache, result):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(execute, "_run_cmtbone", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            run_job(small_spec(1))
+
 
 # ---------------------------------------------------------------------
 # Worker pool
@@ -304,6 +493,76 @@ class TestWorkerPool:
             pool.dispatch(1, [spec])
             pool.collect(1, [spec])
             assert pool.pick_worker([small_spec(1)]) == 1
+
+    def test_mid_batch_death_partial_results(self, tmp_path):
+        # Worker dies on job 2 of 3: job 1's result survives, job 2 is
+        # the casualty, job 3 never started — and the batch's tally is
+        # credited to the dead worker, not the cold replacement.
+        flag = tmp_path / "die"
+        flag.touch()
+        specs = [
+            small_spec(0),
+            small_spec(1, params={**SMALL,
+                                  "exit_if_flag": str(flag)}),
+            small_spec(2),
+        ]
+        with WorkerPool(nworkers=1) as pool:
+            old_pid = pool.worker_pids()[0]
+            pool.dispatch(0, specs)
+            r1, r2, r3 = pool.collect(0, specs)
+            assert r1.ok and r1.cache_misses == 1
+            assert r2.status == "failed" and r2.worker_died
+            assert not r2.never_started and "died mid-batch" in r2.error
+            assert r3.status == "failed" and r3.worker_died
+            assert r3.never_started and "never started" in r3.error
+            assert pool.respawns == 1
+            assert pool.worker_pids()[0] != old_pid
+            # Replacement starts cold for least-loaded routing; the
+            # pool-wide total still counts the dead worker's batch.
+            w = pool._workers[0]
+            assert (w.jobs_served, w.batches_served) == (0, 0)
+            assert w.cached_keys == set()  # stale advertisement gone
+            assert pool.jobs_served() == 3
+            # The crash consumed the flag, so a rerun goes clean.
+            pool.dispatch(0, specs[1:2])
+            (redo,) = pool.collect(0, specs[1:2])
+            assert redo.ok
+
+    def test_timeout_kills_worker_and_respawns(self):
+        sleeper = small_spec(0, timeout_seconds=0.2,
+                             params={**SMALL, "sleep_s": 30.0})
+        with WorkerPool(nworkers=1) as pool:
+            old_pid = pool.worker_pids()[0]
+            pool.dispatch(0, [sleeper])
+            (res,) = pool.collect(0, [sleeper])
+            assert res.status == "failed"
+            assert res.timed_out and not res.never_started
+            assert "timeout" in res.error
+            assert pool.timeout_kills == 1
+            assert pool.respawns == 1
+            assert pool.worker_pids()[0] != old_pid
+            # Replacement is functional and cold.
+            assert pool._workers[0].jobs_served == 0
+            assert pool.jobs_served() == 1
+            spec = small_spec(9)
+            pool.dispatch(0, [spec])
+            (ok,) = pool.collect(0, [spec])
+            assert ok.ok
+
+    def test_timeout_spares_untimed_batchmates_clock(self):
+        # A 0.25s-timeout sleeper batched after a normal job must not
+        # charge the normal job's runtime against its own deadline:
+        # the rolling monitor arms each job's clock at its own start.
+        specs = [small_spec(0),
+                 small_spec(1, timeout_seconds=0.25,
+                            params={**SMALL, "sleep_s": 30.0}),
+                 small_spec(2)]
+        with WorkerPool(nworkers=1) as pool:
+            pool.dispatch(0, specs)
+            r1, r2, r3 = pool.collect(0, specs)
+            assert r1.ok
+            assert r2.timed_out and not r2.never_started
+            assert r3.never_started  # collateral, retryable for free
 
     def test_dead_worker_fails_batch_and_respawns(self):
         crash = JobSpec(kind="cmtbone", nranks=2,
@@ -357,6 +616,18 @@ class TestCampaign:
         assert not report.failed
         assert report.queue_stats["quota_deferrals"] >= 1
 
+    def test_campaign_cache_survives_service_restart(self, tmp_path):
+        d = str(tmp_path / "artifacts")
+        cold = run_campaign([small_spec(0)], nworkers=1, artifact_dir=d)
+        warm = run_campaign([small_spec(1)], nworkers=1, artifact_dir=d)
+        (c,), (w) = cold.results, warm.results[0]
+        assert c.ok and w.ok
+        assert (c.cache_misses, c.cache_disk_hits) == (1, 0)
+        assert (w.cache_hits, w.cache_disk_hits) == (1, 1)
+        assert warm.cache_disk_hits == 1
+        assert w.digest == c.digest
+        assert w.vtime_total == c.vtime_total
+
     def test_cancel_through_service(self):
         specs = [small_spec(i) for i in range(12)]
 
@@ -375,6 +646,69 @@ class TestCampaign:
         for i, r in enumerate(results):
             expect = "cancelled" if i in cancelled else "done"
             assert r.status == expect, (i, r.status, r.error)
+
+
+# ---------------------------------------------------------------------
+# Timeouts and retries through the service
+# ---------------------------------------------------------------------
+
+
+class TestTimeoutRetryService:
+    def test_timeout_retries_until_budget_exhausted(self):
+        sleeper = small_spec(0, timeout_seconds=0.2, max_retries=2,
+                             params={**SMALL, "sleep_s": 30.0})
+        report = run_campaign([sleeper], nworkers=1)
+        (res,) = report.results
+        assert res.status == "failed"
+        assert res.timed_out
+        assert res.retries == 2  # initial attempt + 2 retries, all killed
+        assert report.queue_stats["timeouts"] == 3
+        assert report.queue_stats["readmitted"] == 2
+        assert len(report.timed_out) == 1
+
+    def test_worker_death_retries_only_unfinished_jobs(self, tmp_path):
+        # j2 crashes its worker on the first attempt (flag consumed);
+        # the retry must rerun j2 and the never-started j3 — but NOT
+        # j1, whose result from the first attempt already resolved.
+        flag = tmp_path / "die-once"
+        flag.touch()
+        specs = [
+            small_spec(0),
+            small_spec(1, max_retries=1,
+                       params={**SMALL, "exit_if_flag": str(flag)}),
+            small_spec(2),
+        ]
+        report = run_campaign(specs, nworkers=1)
+        r1, r2, r3 = report.results
+        assert not report.failed
+        assert (r1.retries, r2.retries, r3.retries) == (0, 1, 0)
+        # j2 charged one retry; j3 was collateral and re-admitted free.
+        assert report.queue_stats["readmitted"] == 2
+        assert report.queue_stats["timeouts"] == 0
+        # j1 ran on the original worker, the reruns on its replacement.
+        assert r1.worker_pid != r2.worker_pid
+        assert r2.worker_pid == r3.worker_pid
+        assert not flag.exists()
+
+    def test_no_retry_budget_means_terminal_failure(self, tmp_path):
+        flag = tmp_path / "die"
+        flag.touch()
+        doomed = small_spec(0, params={**SMALL,
+                                       "exit_if_flag": str(flag)})
+        report = run_campaign([doomed], nworkers=1)
+        (res,) = report.results
+        assert res.status == "failed"
+        assert res.worker_died and res.retries == 0
+
+    def test_clean_failures_are_never_retried(self):
+        bad = small_spec(0, max_retries=3,
+                         params={**SMALL, "work_mode": "bogus"})
+        report = run_campaign([bad], nworkers=1)
+        (res,) = report.results
+        assert res.status == "failed"
+        assert not res.retryable
+        assert res.retries == 0
+        assert report.queue_stats["readmitted"] == 0
 
 
 # ---------------------------------------------------------------------
